@@ -1,0 +1,110 @@
+// Command calibrate measures the real implementation's unit costs on this
+// machine — seconds per marching cell scanned, per triangle generated, per
+// triangle rasterized, per pixel filled, per pixel merged — and prints them
+// as an isoviz.CostModel literal. This ties the simulated engine's
+// calibration to measured reality: run it, scale by the ratio of your CPU
+// to the paper's reference core, and paste the result over
+// isoviz.DefaultCosts to simulate clusters built from machines like yours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"datacutter/internal/geom"
+	"datacutter/internal/mcubes"
+	"datacutter/internal/render"
+	"datacutter/internal/volume"
+)
+
+func main() {
+	var (
+		grid = flag.Int("grid", 129, "calibration volume samples per axis")
+		size = flag.Int("size", 1024, "calibration image width and height")
+		iso  = flag.Float64("iso", 0.5, "isovalue")
+	)
+	flag.Parse()
+
+	fld := volume.NewPlumeField(7, 5)
+	fmt.Printf("sampling %d^3 volume...\n", *grid)
+	v := volume.Rasterize(fld, *grid, *grid, *grid, 0)
+
+	// Extraction: split cell scanning from triangle generation by running
+	// once at an isovalue above the maximum (pure scan) and once for real.
+	_, max := v.MinMax()
+	t0 := time.Now()
+	scanStats := mcubes.Walk(v, max+1, func(geom.Triangle) {})
+	scanSecs := time.Since(t0).Seconds()
+	cellSecs := scanSecs / float64(scanStats.Cells)
+
+	var tris []geom.Triangle
+	t0 = time.Now()
+	st := mcubes.Walk(v, float32(*iso), func(t geom.Triangle) { tris = append(tris, t) })
+	extractSecs := time.Since(t0).Seconds()
+	triGenSecs := (extractSecs - scanSecs) / float64(maxInt(st.Triangles, 1))
+	if triGenSecs < 0 {
+		triGenSecs = 0
+	}
+
+	// Rasterization: per-triangle setup vs per-pixel fill, separated by
+	// rendering the same scene at two image sizes.
+	cam := geom.DefaultCamera()
+	measure := func(w int) (secs float64, pixels int64) {
+		z := render.NewZBuffer(w, w)
+		rr := render.NewRaster(cam, w, w)
+		t0 := time.Now()
+		rr.DrawAll(tris, z)
+		return time.Since(t0).Seconds(), rr.Pixels
+	}
+	smallSecs, smallPx := measure(*size / 4)
+	bigSecs, bigPx := measure(*size)
+	pixelSecs := (bigSecs - smallSecs) / float64(maxInt64(bigPx-smallPx, 1))
+	triRasterSecs := (smallSecs - pixelSecs*float64(smallPx)) / float64(maxInt(len(tris), 1))
+	if triRasterSecs < 0 {
+		triRasterSecs = 0
+	}
+
+	// Merging.
+	full := render.NewZBuffer(*size, *size)
+	rr := render.NewRaster(cam, *size, *size)
+	rr.DrawAll(tris, full)
+	acc := render.NewZBuffer(*size, *size)
+	t0 = time.Now()
+	acc.MergeFrom(full)
+	mergeSecs := time.Since(t0).Seconds() / float64((*size)*(*size))
+	t0 = time.Now()
+	img := acc.Image()
+	imageGenSecs := time.Since(t0).Seconds() / float64((*size)*(*size))
+	_ = img
+
+	fmt.Printf("\nmeasured on this machine (%d cells, %d triangles, %dx%d image):\n\n",
+		scanStats.Cells, len(tris), *size, *size)
+	fmt.Printf("isoviz.CostModel{\n")
+	fmt.Printf("\tReadCPUPerByte:    6e-9, // not measured here: dominated by I/O path\n")
+	fmt.Printf("\tCellSeconds:       %.3g,\n", cellSecs)
+	fmt.Printf("\tTriGenSeconds:     %.3g,\n", triGenSecs)
+	fmt.Printf("\tTriRasterSeconds:  %.3g,\n", triRasterSecs)
+	fmt.Printf("\tPixelSeconds:      %.3g,\n", pixelSecs)
+	fmt.Printf("\tMergePixelSeconds: %.3g,\n", mergeSecs)
+	fmt.Printf("\tImageGenSeconds:   %.3g,\n", imageGenSecs)
+	fmt.Printf("\tCoverage:          0.75,\n")
+	fmt.Printf("\tAPDedupFactor:     0.55,\n")
+	fmt.Printf("}\n")
+	fmt.Printf("\nreference calibration (isoviz.DefaultCosts) models a 2002 Pentium III 550;\n")
+	fmt.Printf("divide your constants by DefaultCosts' to estimate this machine's speedup.\n")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

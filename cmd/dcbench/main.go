@@ -1,0 +1,66 @@
+// Command dcbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dcbench -list
+//	dcbench -exp fig4 -scale full
+//	dcbench -all -scale quick
+//
+// Each experiment builds the corresponding simulated cluster, dataset, and
+// filter configuration (see DESIGN.md §4) and prints paper-style rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"datacutter/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (table1..table5, fig4, fig5, fig7)")
+		scale = flag.String("scale", "quick", "workload scale: quick | full")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *exp != "":
+		ids = []string{*exp}
+	default:
+		fmt.Fprintln(os.Stderr, "dcbench: need -exp <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		res, err := experiments.Run(id, sc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("[%s completed in %.1fs real time]\n\n", id, time.Since(t0).Seconds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dcbench:", err)
+	os.Exit(1)
+}

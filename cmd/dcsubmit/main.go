@@ -1,0 +1,127 @@
+// Command dcsubmit coordinates a distributed isosurface rendering across
+// running dcworker processes: it ships the pipeline spec, drives the units
+// of work, and prints the aggregated stream statistics.
+//
+//	dcworker -listen :9101 &   # "host" data1
+//	dcworker -listen :9102 &   # "host" viz
+//	dcsubmit -workers data1=127.0.0.1:9101,viz=127.0.0.1:9102 \
+//	         -merge viz -copies 2 -size 512 -iso 0.5
+//
+// The rendered image stays on the merge worker's filter instance; pass
+// -dir to render a datagen dataset every worker can open, or omit it for
+// the synthetic field (reconstructed worker-side from its seed).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"datacutter/internal/core"
+	"datacutter/internal/dist"
+	"datacutter/internal/geom"
+	"datacutter/internal/isoviz"
+)
+
+func main() {
+	var (
+		workers = flag.String("workers", "", "comma-separated host=addr pairs (required)")
+		merge   = flag.String("merge", "", "host that runs the merge filter (default: first worker)")
+		dir     = flag.String("dir", "", "datagen dataset directory readable by every worker (default: synthetic field)")
+		copies  = flag.Int("copies", 2, "raster copies per host")
+		size    = flag.Int("size", 512, "output image width and height")
+		iso     = flag.Float64("iso", 0.5, "isosurface value")
+		steps   = flag.Int("timesteps", 1, "consecutive timesteps to render")
+		policy  = flag.String("policy", "DD", "writer policy: RR | WRR | DD | DD/<k>")
+		grid    = flag.Int("grid", 65, "synthetic grid samples per axis (without -dir)")
+	)
+	flag.Parse()
+	if *workers == "" {
+		fmt.Fprintln(os.Stderr, "dcsubmit: -workers is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	addrs := map[string]string{}
+	var hosts []string
+	for _, pair := range strings.Split(*workers, ",") {
+		host, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -workers entry %q (want host=addr)", pair))
+		}
+		addrs[host] = addr
+		hosts = append(hosts, host)
+	}
+	mergeHost := *merge
+	if mergeHost == "" {
+		mergeHost = hosts[0]
+	}
+	if _, ok := addrs[mergeHost]; !ok {
+		fatal(fmt.Errorf("merge host %q not among workers", mergeHost))
+	}
+
+	// Pipeline spec: source reconstructed worker-side.
+	var re dist.FilterSpec
+	if *dir != "" {
+		raw, err := json.Marshal(isoviz.StoreREParams{Dir: *dir})
+		if err != nil {
+			fatal(err)
+		}
+		re = dist.FilterSpec{Name: "RE", Kind: isoviz.KindREStore, Params: raw}
+	} else {
+		raw, err := json.Marshal(isoviz.FieldREParams{
+			Seed: 2002, Plumes: 5,
+			GX: *grid, GY: *grid, GZ: *grid, BX: 4, BY: 4, BZ: 4,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		re = dist.FilterSpec{Name: "RE", Kind: isoviz.KindREField, Params: raw}
+	}
+	spec := dist.GraphSpec{
+		Filters: []dist.FilterSpec{
+			re,
+			{Name: "Ra", Kind: isoviz.KindRasterAP},
+			{Name: "M", Kind: isoviz.KindMerge},
+		},
+		Streams: []core.StreamSpec{
+			{Name: isoviz.StreamTriangles, From: "RE", To: "Ra"},
+			{Name: isoviz.StreamPixels, From: "Ra", To: "M"},
+		},
+	}
+
+	var placement []dist.PlacementEntry
+	for _, h := range hosts {
+		placement = append(placement,
+			dist.PlacementEntry{Filter: "RE", Host: h, Copies: 1},
+			dist.PlacementEntry{Filter: "Ra", Host: h, Copies: *copies},
+		)
+	}
+	placement = append(placement, dist.PlacementEntry{Filter: "M", Host: mergeHost, Copies: 1})
+
+	var uows []any
+	for t := 0; t < *steps; t++ {
+		uows = append(uows, isoviz.View{
+			Timestep: t, Iso: float32(*iso),
+			Width: *size, Height: *size, Camera: geom.DefaultCamera(),
+		})
+	}
+
+	stats, err := dist.Run(addrs, spec, placement, dist.Options{Policy: *policy}, uows)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rendered %d timestep(s) at %dx%d across %d workers (merge on %s, %s policy)\n",
+		*steps, *size, *size, len(hosts), mergeHost, *policy)
+	for _, name := range stats.StreamNames() {
+		ss := stats.Streams[name]
+		fmt.Printf("  stream %-10s %6d buffers %9.2f MB %6d acks  per host: %v\n",
+			name, ss.Buffers, float64(ss.Bytes)/1e6, ss.Acks, ss.PerTargetHost)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dcsubmit:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+// Command dcworker serves one host of a distributed DataCutter run: it
+// listens for a coordinator, builds the filter copies placed on its host
+// name, and exchanges stream buffers with peer workers over TCP (the
+// deployment model of the original DataCutter prototype).
+//
+// The worker can construct any filter kind registered by the packages it
+// imports; this binary imports the isosurface application, so it serves
+// isoviz pipelines. Run one worker per host:
+//
+//	dcworker -listen :9101   # on node1
+//	dcworker -listen :9102   # on node2
+//
+// then point a coordinator (e.g. examples/distributed) at the addresses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"datacutter/internal/dist"
+	_ "datacutter/internal/isoviz" // register the isosurface filter kinds
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9101", "address to listen on")
+	flag.Parse()
+
+	w, err := dist.NewWorker(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcworker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dcworker listening on %s\n", w.Addr())
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		w.Close()
+	}()
+	w.Serve()
+}

@@ -1,0 +1,94 @@
+// Heterosim: the paper's headline heterogeneity result (Figure 5) in
+// miniature, on the simulated cluster. Four Rogue + four Blue nodes render
+// a dataset while background jobs load the Rogue nodes; the ADR-style
+// static SPMD baseline degrades linearly while the DataCutter pipeline
+// under demand-driven scheduling sheds work to the dedicated Blue nodes.
+package main
+
+import (
+	"fmt"
+
+	"datacutter/internal/adr"
+	"datacutter/internal/cluster"
+	"datacutter/internal/core"
+	"datacutter/internal/dataset"
+	"datacutter/internal/isoviz"
+	"datacutter/internal/sim"
+	"datacutter/internal/simrt"
+)
+
+func buildCluster(bg int) (*cluster.Cluster, []string, []string) {
+	cl := cluster.New(sim.NewKernel())
+	rogues := cluster.AddRogue(cl, 4)
+	blues := cluster.AddBlue(cl, 4)
+	for _, r := range rogues {
+		cl.Host(r).SetBackgroundJobs(bg)
+	}
+	return cl, rogues, blues
+}
+
+func main() {
+	ds, err := dataset.New(dataset.Meta{
+		GX: 129, GY: 129, GZ: 97, BX: 8, BY: 8, BZ: 6,
+		Timesteps: 3, Files: 64, Seed: 2002, Plumes: 5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	w := isoviz.NewWorkload(ds, 1.0)
+	view := isoviz.View{Timestep: 0, Iso: 1.0, Width: 2048, Height: 2048, Camera: isoviz.DefaultView(0).Camera}
+
+	fmt.Printf("%-8s %-12s %-14s %-14s %s\n", "bg jobs", "ADR (s)", "DC DD (s)", "DC/ADR", "buffers rogue:blue under DD")
+	for _, bg := range []int{0, 1, 4, 16} {
+		// ADR baseline: static partition over all eight nodes.
+		cl, rogues, blues := buildCluster(bg)
+		hosts := append(append([]string{}, rogues...), blues...)
+		dist := dataset.DistributeEven(ds.Files, hosts, 2)
+		res, err := adr.RunSim(cl, adr.SimOptions{
+			W: w, Dist: dist, Costs: isoviz.DefaultCosts(),
+			Hosts: hosts, Views: []isoviz.View{view},
+		})
+		if err != nil {
+			panic(err)
+		}
+
+		// DataCutter RE–Ra–M under demand-driven scheduling.
+		cl2, rogues2, blues2 := buildCluster(bg)
+		hosts2 := append(append([]string{}, rogues2...), blues2...)
+		dist2 := dataset.DistributeEven(ds.Files, hosts2, 2)
+		pl := core.NewPlacement()
+		for _, h := range hosts2 {
+			pl.Place("RE", h, 1).Place("Ra", h, 1)
+		}
+		pl.Place("M", blues2[0], 1)
+		spec := isoviz.ModelSpec{
+			Config: isoviz.ReadExtract, Alg: isoviz.ActivePixel,
+			W: w, Dist: dist2,
+			Assign: isoviz.AssignByDistribution(ds, dist2, pl, "RE"),
+			Costs:  isoviz.DefaultCosts(),
+		}
+		runner, err := simrt.NewRunner(spec.Build(), pl, cl2, simrt.Options{
+			Policy: core.DemandDriven(), UOWs: []any{view}, BufferBytes: 16 << 10,
+		})
+		if err != nil {
+			panic(err)
+		}
+		st, err := runner.Run()
+		if err != nil {
+			panic(err)
+		}
+		var rogueBufs, blueBufs int64
+		for host, n := range st.Streams[isoviz.StreamTriangles].PerTargetHost {
+			if cl2.Host(host).Spec.NICBandwidth < 20e6 {
+				rogueBufs += n
+			} else {
+				blueBufs += n
+			}
+		}
+		dc := st.WallSeconds
+		fmt.Printf("%-8d %-12.2f %-14.2f %-14.2f %d:%d\n",
+			bg, res.TotalSeconds, dc, dc/res.TotalSeconds, rogueBufs, blueBufs)
+	}
+	fmt.Println("\nexpected: ADR time grows with background load; DataCutter stays nearly")
+	fmt.Println("flat as demand-driven scheduling shifts buffers from Rogue to Blue.")
+}

@@ -1,0 +1,74 @@
+// Skewed: the paper's skewed-data-distribution study (Figure 7) in
+// miniature. Files migrate from the Blue nodes to the Rogue nodes; the
+// fully combined RERa–M configuration (SPMD-like) is gated by the node with
+// the most data, while decoupled configurations let data read on slow nodes
+// be processed elsewhere — especially under demand-driven scheduling.
+package main
+
+import (
+	"fmt"
+
+	"datacutter/internal/cluster"
+	"datacutter/internal/core"
+	"datacutter/internal/dataset"
+	"datacutter/internal/isoviz"
+	"datacutter/internal/sim"
+	"datacutter/internal/simrt"
+)
+
+func main() {
+	ds, err := dataset.New(dataset.Meta{
+		GX: 129, GY: 129, GZ: 97, BX: 8, BY: 8, BZ: 6,
+		Timesteps: 2, Files: 64, Seed: 7, Plumes: 5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	w := isoviz.NewWorkload(ds, 1.0)
+	view := isoviz.View{Timestep: 0, Iso: 1.0, Width: 512, Height: 512, Camera: isoviz.DefaultView(0).Camera}
+
+	fmt.Printf("%-10s %-10s %-8s %-8s %-8s\n", "skew", "config", "RR", "WRR", "DD")
+	for _, skew := range []int{0, 25, 50, 75} {
+		for _, cfg := range []isoviz.Config{isoviz.CombinedAll, isoviz.ReadExtract} {
+			row := fmt.Sprintf("%-10s %-10s", fmt.Sprintf("%d%%", skew), cfg)
+			for _, pol := range []core.Policy{core.RoundRobin(), core.WeightedRoundRobin(), core.DemandDriven()} {
+				cl := cluster.New(sim.NewKernel())
+				blues := cluster.AddBlue(cl, 2)
+				rogues := cluster.AddRogue(cl, 2)
+				hosts := append(append([]string{}, blues...), rogues...)
+				dist := dataset.DistributeEven(ds.Files, hosts, 2)
+				if skew > 0 {
+					dist.Skew(blues, rogues, skew, 2)
+				}
+				pl := core.NewPlacement()
+				src := cfg.SourceFilter()
+				for _, h := range hosts {
+					pl.Place(src, h, 1)
+					if wk := cfg.WorkerFilter(); wk != "" {
+						pl.Place(wk, h, 1)
+					}
+				}
+				pl.Place("M", blues[0], 1)
+				spec := isoviz.ModelSpec{
+					Config: cfg, Alg: isoviz.ActivePixel, W: w, Dist: dist,
+					Assign: isoviz.AssignByDistribution(ds, dist, pl, src),
+					Costs:  isoviz.DefaultCosts(),
+				}
+				runner, err := simrt.NewRunner(spec.Build(), pl, cl, simrt.Options{
+					Policy: pol, UOWs: []any{view}, BufferBytes: 64 << 10,
+				})
+				if err != nil {
+					panic(err)
+				}
+				st, err := runner.Run()
+				if err != nil {
+					panic(err)
+				}
+				row += fmt.Sprintf(" %-8.2f", st.WallSeconds)
+			}
+			fmt.Println(row)
+		}
+	}
+	fmt.Println("\nexpected: RERa-M degrades steadily with skew; RE-Ra-M stays flat,")
+	fmt.Println("and demand-driven scheduling gives the best times under skew.")
+}

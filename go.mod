@@ -1,0 +1,3 @@
+module datacutter
+
+go 1.22

@@ -1,0 +1,160 @@
+package adr
+
+import (
+	"fmt"
+
+	"datacutter/internal/cluster"
+	"datacutter/internal/dataset"
+	"datacutter/internal/isoviz"
+	"datacutter/internal/render"
+	"datacutter/internal/sim"
+)
+
+// SimOptions configures a simulated ADR run on a modeled cluster.
+type SimOptions struct {
+	W     *isoviz.Workload
+	Dist  *dataset.Distribution // static chunk-to-node partition
+	Costs isoviz.CostModel
+	Hosts []string // participating nodes; Hosts[0] also merges
+	Views []isoviz.View
+	// PrefetchDepth is the number of outstanding asynchronous chunk reads
+	// per node (ADR keeps "an optimal number of active asynchronous disk
+	// I/O calls"); default 4.
+	PrefetchDepth int
+	// Chunks restricts processing to a chunk subset (a range query);
+	// nil processes the whole dataset.
+	Chunks []int
+}
+
+// allowedSet returns the query filter, or nil for "all chunks".
+func (o *SimOptions) allowedSet() map[int]bool {
+	if o.Chunks == nil {
+		return nil
+	}
+	m := make(map[int]bool, len(o.Chunks))
+	for _, c := range o.Chunks {
+		m[c] = true
+	}
+	return m
+}
+
+// SimResult reports a simulated ADR run.
+type SimResult struct {
+	TotalSeconds  float64
+	PerUOWSeconds []float64
+	BytesMoved    int64
+}
+
+// RunSim executes the ADR baseline in virtual time: every node overlaps
+// local disk I/O with extract+raster compute into a private z-buffer
+// (z-buffer algorithm — the accumulator model ADR supports; paper §4.2),
+// then ships the full accumulator to the merge node. Static partitioning
+// means a loaded or slow node delays the whole timestep.
+func RunSim(cl *cluster.Cluster, opts SimOptions) (*SimResult, error) {
+	if len(opts.Hosts) == 0 {
+		return nil, fmt.Errorf("adr: no hosts")
+	}
+	for _, h := range opts.Hosts {
+		if cl.Host(h) == nil {
+			return nil, fmt.Errorf("adr: unknown host %q", h)
+		}
+	}
+	depth := opts.PrefetchDepth
+	if depth < 1 {
+		depth = 4
+	}
+	k := cl.Kernel()
+	res := &SimResult{}
+	bytes0 := cl.BytesMoved
+	start := k.Now()
+
+	for _, view := range opts.Views {
+		t0 := k.Now()
+		if err := runSimUOW(cl, opts, view, depth); err != nil {
+			return nil, err
+		}
+		res.PerUOWSeconds = append(res.PerUOWSeconds, float64(k.Now()-t0))
+	}
+	res.TotalSeconds = float64(k.Now() - start)
+	res.BytesMoved = cl.BytesMoved - bytes0
+	return res, nil
+}
+
+func runSimUOW(cl *cluster.Cluster, opts SimOptions, view isoviz.View, depth int) error {
+	k := cl.Kernel()
+	merge := opts.Hosts[0]
+	pxPerTri := opts.Costs.PxPerTri(view, opts.W.TotalTris(view.Timestep))
+	frameBytes := view.Width * view.Height * render.ZPixelBytes
+
+	mergeQ := sim.NewChan[int](k, "adr-merge", len(opts.Hosts))
+	nodesLeft := len(opts.Hosts)
+
+	allowed := opts.allowedSet()
+	for _, host := range opts.Hosts {
+		host := host
+		chunks := dataset.ChunksOnHost(opts.W.DS, opts.Dist, host)
+		if allowed != nil {
+			var sel []int
+			for _, c := range chunks {
+				if allowed[c] {
+					sel = append(sel, c)
+				}
+			}
+			chunks = sel
+		}
+		readq := sim.NewChan[isoviz.ChunkStats](k, "adr-read@"+host, depth)
+
+		// Asynchronous I/O: a reader keeps `depth` chunk reads in flight.
+		k.Spawn("adr-io@"+host, func(p *sim.Proc) {
+			h := cl.Host(host)
+			for _, c := range chunks {
+				st := opts.W.Stats(c, view.Timestep)
+				h.ReadDisk(p, dataset.DiskOfChunk(opts.W.DS, opts.Dist, c).Disk, st.Bytes)
+				readq.Send(p, st)
+			}
+			readq.Close()
+		})
+
+		// The accumulator loop: extract + raster each chunk into the local
+		// z-buffer, then ship the accumulator to the merge node.
+		k.Spawn("adr-cpu@"+host, func(p *sim.Proc) {
+			h := cl.Host(host)
+			for {
+				st, ok := readq.Recv(p)
+				if !ok {
+					break
+				}
+				work := float64(st.Bytes)*opts.Costs.ReadCPUPerByte +
+					opts.Costs.ExtractSeconds(st.Cells, st.Tris) +
+					opts.Costs.RasterSeconds(st.Tris, pxPerTri)
+				h.CPU.Compute(p, work)
+			}
+			if host != merge {
+				cl.Transfer(p, host, merge, frameBytes)
+			}
+			mergeQ.Send(p, view.Width*view.Height)
+		})
+	}
+
+	// The merge node combines partial accumulators as they arrive, then
+	// generates the final client image.
+	var mergeErr error
+	k.Spawn("adr-merge@"+merge, func(p *sim.Proc) {
+		h := cl.Host(merge)
+		for nodesLeft > 0 {
+			px, ok := mergeQ.Recv(p)
+			if !ok {
+				mergeErr = fmt.Errorf("adr: merge queue closed early")
+				return
+			}
+			nodesLeft--
+			h.CPU.Compute(p, float64(px)*opts.Costs.MergePixelSeconds)
+		}
+		h.CPU.Compute(p, float64(view.Width)*float64(view.Height)*opts.Costs.ImageGenSeconds)
+	})
+
+	if err := k.Run(); err != nil {
+		return err
+	}
+	return mergeErr
+}

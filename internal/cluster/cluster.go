@@ -1,0 +1,171 @@
+// Package cluster models heterogeneous collections of hosts — CPUs with
+// processor sharing, disks, and network interfaces — on top of the
+// discrete-event kernel in internal/sim. It provides constructors for the
+// four University of Maryland clusters used in the paper's evaluation
+// (Red, Blue, Rogue, Deathstar) and the paper's load generator: background
+// jobs competing for CPU at equal priority.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"datacutter/internal/sim"
+)
+
+// DiskSpec describes one disk: a fixed per-request positioning time plus a
+// sequential transfer rate.
+type DiskSpec struct {
+	SeekSeconds float64 // per-request positioning overhead
+	Bandwidth   float64 // bytes/second sequential
+}
+
+// HostSpec describes one machine.
+type HostSpec struct {
+	Name  string
+	Cores int
+	// Speed is the relative per-core CPU speed; 1.0 is the reference core
+	// (a Pentium III 550 in the paper's calibration).
+	Speed float64
+	MemMB int
+	Disks []DiskSpec
+	// NICBandwidth is the effective network bandwidth in bytes/second.
+	NICBandwidth float64
+	// NICOverhead is the fixed per-message NIC occupancy (protocol and
+	// interrupt cost), charged in addition to size/bandwidth. This is what
+	// makes small messages (DD acknowledgments) expensive on slow NICs.
+	NICOverhead float64
+}
+
+// Host is a simulated machine.
+type Host struct {
+	Spec    HostSpec
+	CPU     *sim.CPU
+	Egress  *sim.Server // outbound NIC queue
+	Ingress *sim.Server // inbound NIC queue
+	Disks   []*sim.Server
+	cl      *Cluster
+}
+
+// SetBackgroundJobs sets the number of equal-priority CPU hog processes on
+// this host (the paper's synthetic load).
+func (h *Host) SetBackgroundJobs(n int) { h.CPU.SetHogs(n) }
+
+// ReadDisk charges a read of `bytes` from disk `disk` (modulo the disk
+// count), blocking the caller for queueing, seek, and transfer time.
+func (h *Host) ReadDisk(p *sim.Proc, disk int, bytes int) {
+	if len(h.Disks) == 0 {
+		return
+	}
+	d := h.Disks[disk%len(h.Disks)]
+	spec := h.Spec.Disks[disk%len(h.Spec.Disks)]
+	d.Serve(p, spec.SeekSeconds+float64(bytes)/spec.Bandwidth)
+}
+
+// Cluster is a set of hosts plus the network connecting them.
+type Cluster struct {
+	k     *sim.Kernel
+	hosts map[string]*Host
+	order []string
+
+	// Latency is the one-way message latency between distinct hosts.
+	Latency float64
+	// LocalBandwidth is the effective bandwidth for same-host transfers
+	// (shared-memory buffer hand-off).
+	LocalBandwidth float64
+	// LocalOverhead is the fixed per-message cost for same-host transfers.
+	LocalOverhead float64
+
+	// Traffic statistics.
+	BytesMoved    int64
+	MessagesMoved int64
+	// RemoteBytes counts only bytes that crossed the network (excludes
+	// same-host hand-offs).
+	RemoteBytes int64
+}
+
+// New creates an empty cluster with LAN-like defaults (150 microsecond
+// latency, 1 GB/s local hand-off).
+func New(k *sim.Kernel) *Cluster {
+	return &Cluster{
+		k:              k,
+		hosts:          make(map[string]*Host),
+		Latency:        150e-6,
+		LocalBandwidth: 1e9,
+		LocalOverhead:  5e-6,
+	}
+}
+
+// Kernel returns the simulation kernel.
+func (c *Cluster) Kernel() *sim.Kernel { return c.k }
+
+// AddHost instantiates a host from its spec.
+func (c *Cluster) AddHost(spec HostSpec) *Host {
+	if _, dup := c.hosts[spec.Name]; dup {
+		panic("cluster: duplicate host " + spec.Name)
+	}
+	h := &Host{
+		Spec:    spec,
+		CPU:     sim.NewCPU(c.k, spec.Name+"/cpu", spec.Cores, spec.Speed),
+		Egress:  sim.NewServer(c.k, spec.Name+"/tx", 1),
+		Ingress: sim.NewServer(c.k, spec.Name+"/rx", 1),
+		cl:      c,
+	}
+	for i := range spec.Disks {
+		h.Disks = append(h.Disks, sim.NewServer(c.k, fmt.Sprintf("%s/disk%d", spec.Name, i), 1))
+	}
+	c.hosts[spec.Name] = h
+	c.order = append(c.order, spec.Name)
+	return h
+}
+
+// Host returns a host by name, or nil.
+func (c *Cluster) Host(name string) *Host { return c.hosts[name] }
+
+// Hosts returns host names in insertion order.
+func (c *Cluster) Hosts() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// HostsSorted returns host names sorted lexicographically.
+func (c *Cluster) HostsSorted() []string {
+	out := c.Hosts()
+	sort.Strings(out)
+	return out
+}
+
+// Transfer moves `bytes` from host `from` to host `to`, blocking the caller
+// for the transfer duration. Remote transfers hold the sender's egress NIC
+// and the receiver's ingress NIC for the cut-through duration
+// overhead + bytes/bottleneck + latency, so NIC contention (many producers
+// feeding one merge node, ack storms on Fast Ethernet) queues naturally.
+// Same-host transfers charge only the cheap local hand-off.
+func (c *Cluster) Transfer(p *sim.Proc, from, to string, bytes int) {
+	c.BytesMoved += int64(bytes)
+	c.MessagesMoved++
+	if from == to {
+		p.Sleep(c.LocalOverhead + float64(bytes)/c.LocalBandwidth)
+		return
+	}
+	c.RemoteBytes += int64(bytes)
+	src, ok := c.hosts[from]
+	if !ok {
+		panic("cluster: unknown host " + from)
+	}
+	dst, ok := c.hosts[to]
+	if !ok {
+		panic("cluster: unknown host " + to)
+	}
+	bw := src.Spec.NICBandwidth
+	if dst.Spec.NICBandwidth < bw {
+		bw = dst.Spec.NICBandwidth
+	}
+	dur := src.Spec.NICOverhead + dst.Spec.NICOverhead + float64(bytes)/bw
+	src.Egress.Acquire(p)
+	dst.Ingress.Acquire(p)
+	p.Sleep(dur + c.Latency)
+	dst.Ingress.Release()
+	src.Egress.Release()
+}

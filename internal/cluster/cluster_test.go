@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"datacutter/internal/sim"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func twoHosts(k *sim.Kernel) *Cluster {
+	c := New(k)
+	c.AddHost(HostSpec{Name: "a", Cores: 1, Speed: 1, NICBandwidth: 10e6, NICOverhead: 0,
+		Disks: []DiskSpec{{SeekSeconds: 0.01, Bandwidth: 50e6}}})
+	c.AddHost(HostSpec{Name: "b", Cores: 1, Speed: 1, NICBandwidth: 20e6, NICOverhead: 0})
+	return c
+}
+
+func TestTransferUsesBottleneckBandwidth(t *testing.T) {
+	k := sim.NewKernel()
+	c := twoHosts(k)
+	c.Latency = 0
+	var done float64
+	k.Spawn("t", func(p *sim.Proc) {
+		c.Transfer(p, "a", "b", 10e6) // 10 MB over min(10,20) MB/s = 1 s
+		done = float64(p.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(done, 1.0, 1e-9) {
+		t.Fatalf("transfer took %v, want 1.0", done)
+	}
+}
+
+func TestTransferLatencyAndOverhead(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k)
+	c.Latency = 0.001
+	c.AddHost(HostSpec{Name: "a", Cores: 1, Speed: 1, NICBandwidth: 1e6, NICOverhead: 0.002})
+	c.AddHost(HostSpec{Name: "b", Cores: 1, Speed: 1, NICBandwidth: 1e6, NICOverhead: 0.003})
+	var done float64
+	k.Spawn("t", func(p *sim.Proc) {
+		c.Transfer(p, "a", "b", 0) // pure overhead: 0.002+0.003+0.001
+		done = float64(p.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(done, 0.006, 1e-9) {
+		t.Fatalf("zero-byte transfer took %v, want 0.006", done)
+	}
+}
+
+func TestLocalTransferIsCheap(t *testing.T) {
+	k := sim.NewKernel()
+	c := twoHosts(k)
+	var local, remote float64
+	k.Spawn("t", func(p *sim.Proc) {
+		t0 := p.Now()
+		c.Transfer(p, "a", "a", 1e6)
+		local = float64(p.Now() - t0)
+		t0 = p.Now()
+		c.Transfer(p, "a", "b", 1e6)
+		remote = float64(p.Now() - t0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if local*10 > remote {
+		t.Fatalf("local transfer (%v) not much cheaper than remote (%v)", local, remote)
+	}
+}
+
+func TestNICContentionSerializes(t *testing.T) {
+	// Two senders to the same receiver share its ingress NIC: total time is
+	// the sum, not the max.
+	k := sim.NewKernel()
+	c := New(k)
+	c.Latency = 0
+	c.AddHost(HostSpec{Name: "a", Cores: 1, Speed: 1, NICBandwidth: 10e6})
+	c.AddHost(HostSpec{Name: "b", Cores: 1, Speed: 1, NICBandwidth: 10e6})
+	c.AddHost(HostSpec{Name: "dst", Cores: 1, Speed: 1, NICBandwidth: 10e6})
+	var t1, t2 float64
+	k.Spawn("s1", func(p *sim.Proc) { c.Transfer(p, "a", "dst", 10e6); t1 = float64(p.Now()) })
+	k.Spawn("s2", func(p *sim.Proc) { c.Transfer(p, "b", "dst", 10e6); t2 = float64(p.Now()) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	max := t1
+	if t2 > max {
+		max = t2
+	}
+	if !almostEq(max, 2.0, 1e-9) {
+		t.Fatalf("contended finish at %v, want 2.0 (serialized)", max)
+	}
+}
+
+func TestDiskReadCost(t *testing.T) {
+	k := sim.NewKernel()
+	c := twoHosts(k)
+	var done float64
+	k.Spawn("r", func(p *sim.Proc) {
+		h := c.Host("a")
+		h.ReadDisk(p, 0, 50e6) // seek 0.01 + 1s transfer
+		done = float64(p.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(done, 1.01, 1e-9) {
+		t.Fatalf("disk read took %v, want 1.01", done)
+	}
+}
+
+func TestDiskIndexWrapsAround(t *testing.T) {
+	k := sim.NewKernel()
+	c := twoHosts(k)
+	k.Spawn("r", func(p *sim.Proc) {
+		c.Host("a").ReadDisk(p, 5, 1000) // only one disk; index must wrap
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackgroundJobsSlowCompute(t *testing.T) {
+	k := sim.NewKernel()
+	c := twoHosts(k)
+	h := c.Host("a")
+	h.SetBackgroundJobs(3)
+	var done float64
+	k.Spawn("w", func(p *sim.Proc) {
+		h.CPU.Compute(p, 1) // shares 1 core with 3 hogs: 4x slower
+		done = float64(p.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(done, 4, 1e-9) {
+		t.Fatalf("compute with 3 hogs took %v, want 4", done)
+	}
+}
+
+func TestPaperSpecs(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k)
+	rogues := AddRogue(c, 8)
+	blues := AddBlue(c, 8)
+	reds := AddRed(c, 8)
+	ds := AddDeathstar(c)
+	if len(c.Hosts()) != 25 {
+		t.Fatalf("host count = %d", len(c.Hosts()))
+	}
+	if got := c.Host(rogues[0]); got.Spec.Cores != 1 || len(got.Disks) != 2 {
+		t.Fatalf("rogue spec wrong: %+v", got.Spec)
+	}
+	if got := c.Host(blues[7]); got.Spec.Cores != 2 || got.Spec.Speed != 1.0 {
+		t.Fatalf("blue spec wrong: %+v", got.Spec)
+	}
+	if got := c.Host(reds[0]); got.Spec.Speed >= 1.0 {
+		t.Fatalf("red should be slower than reference: %+v", got.Spec)
+	}
+	if got := c.Host(ds); got.Spec.Cores != 8 {
+		t.Fatalf("deathstar spec wrong: %+v", got.Spec)
+	}
+	// Rogue NICs must be slower than Blue NICs (Fast vs Gigabit Ethernet).
+	if c.Host(rogues[0]).Spec.NICBandwidth >= c.Host(blues[0]).Spec.NICBandwidth {
+		t.Fatal("rogue NIC should be slower than blue NIC")
+	}
+	// Rogue cores are the fastest individual cores.
+	if c.Host(rogues[0]).Spec.Speed <= c.Host(blues[0]).Spec.Speed {
+		t.Fatal("rogue core should be fastest")
+	}
+}
+
+func TestTrafficStats(t *testing.T) {
+	k := sim.NewKernel()
+	c := twoHosts(k)
+	k.Spawn("t", func(p *sim.Proc) {
+		c.Transfer(p, "a", "b", 1000)
+		c.Transfer(p, "a", "a", 500)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.BytesMoved != 1500 || c.MessagesMoved != 2 {
+		t.Fatalf("traffic stats: %d bytes, %d messages", c.BytesMoved, c.MessagesMoved)
+	}
+}
+
+func TestDuplicateHostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k := sim.NewKernel()
+	c := New(k)
+	c.AddHost(HostSpec{Name: "x", Cores: 1, Speed: 1})
+	c.AddHost(HostSpec{Name: "x", Cores: 1, Speed: 1})
+}

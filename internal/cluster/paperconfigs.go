@@ -1,0 +1,125 @@
+package cluster
+
+import "fmt"
+
+// Relative CPU speeds, normalized to the Pentium III 550 MHz (Blue,
+// Deathstar) reference core. The Pentium II 450 is both slower-clocked and
+// an older core; the Pentium III 650 is a clock-scaled reference core.
+const (
+	speedPII450  = 0.75
+	speedPIII550 = 1.00
+	speedPIII650 = 650.0 / 550.0
+)
+
+// Effective network bandwidths (bytes/second) and per-message overheads.
+// Fast Ethernet delivers ~11 MB/s of payload; Gigabit on 2002-era Linux
+// hosts ~65 MB/s. Per-message costs are higher on Fast Ethernet, which is
+// what makes DD acknowledgment traffic expensive there (paper §4.4).
+const (
+	bwFastEther  = 11e6
+	bwGigE       = 65e6
+	ovhFastEther = 60e-6
+	ovhGigE      = 20e-6
+	// Per-chunk positioning cost. Chunks within a file are laid out in
+	// Hilbert order and read mostly sequentially, so the effective
+	// per-request overhead is below a full random seek.
+	seekSCSI     = 4e-3
+	seekIDE      = 5e-3
+	bwSCSI       = 30e6
+	bwIDE        = 24e6
+	memPerRed    = 256
+	memPerBlue   = 1024
+	memPerRogue  = 128
+	memDeathstar = 4096
+)
+
+// RedSpec returns node i of the Red cluster: 8 nodes, 2-processor Pentium
+// II 450 MHz, 256 MB, one 18 GB SCSI disk, Gigabit Ethernet.
+func RedSpec(i int) HostSpec {
+	return HostSpec{
+		Name:         fmt.Sprintf("red%d", i),
+		Cores:        2,
+		Speed:        speedPII450,
+		MemMB:        memPerRed,
+		Disks:        []DiskSpec{{SeekSeconds: seekSCSI, Bandwidth: bwSCSI}},
+		NICBandwidth: bwGigE,
+		NICOverhead:  ovhGigE,
+	}
+}
+
+// BlueSpec returns node i of the Blue cluster: 8 nodes, 2-processor Pentium
+// III 550 MHz, 1 GB, two 18 GB SCSI disks, Gigabit Ethernet.
+func BlueSpec(i int) HostSpec {
+	return HostSpec{
+		Name:         fmt.Sprintf("blue%d", i),
+		Cores:        2,
+		Speed:        speedPIII550,
+		MemMB:        memPerBlue,
+		Disks:        []DiskSpec{{SeekSeconds: seekSCSI, Bandwidth: bwSCSI}, {SeekSeconds: seekSCSI, Bandwidth: bwSCSI}},
+		NICBandwidth: bwGigE,
+		NICOverhead:  ovhGigE,
+	}
+}
+
+// RogueSpec returns node i of the Rogue cluster: 8 nodes, 1-processor
+// Pentium III 650 MHz, 128 MB, two 75 GB IDE disks, switched Fast Ethernet.
+func RogueSpec(i int) HostSpec {
+	return HostSpec{
+		Name:         fmt.Sprintf("rogue%d", i),
+		Cores:        1,
+		Speed:        speedPIII650,
+		MemMB:        memPerRogue,
+		Disks:        []DiskSpec{{SeekSeconds: seekIDE, Bandwidth: bwIDE}, {SeekSeconds: seekIDE, Bandwidth: bwIDE}},
+		NICBandwidth: bwFastEther,
+		NICOverhead:  ovhFastEther,
+	}
+}
+
+// DeathstarSpec returns the Deathstar node: one 8-processor Pentium III
+// 550 MHz SMP with 4 GB, connected to the other clusters via Fast Ethernet.
+func DeathstarSpec() HostSpec {
+	return HostSpec{
+		Name:         "deathstar",
+		Cores:        8,
+		Speed:        speedPIII550,
+		MemMB:        memDeathstar,
+		Disks:        []DiskSpec{{SeekSeconds: seekSCSI, Bandwidth: bwSCSI}},
+		NICBandwidth: bwFastEther,
+		NICOverhead:  ovhFastEther,
+	}
+}
+
+// AddRogue adds n Rogue nodes to the cluster and returns their names.
+func AddRogue(c *Cluster, n int) []string {
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		h := c.AddHost(RogueSpec(i))
+		names[i] = h.Spec.Name
+	}
+	return names
+}
+
+// AddBlue adds n Blue nodes to the cluster and returns their names.
+func AddBlue(c *Cluster, n int) []string {
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		h := c.AddHost(BlueSpec(i))
+		names[i] = h.Spec.Name
+	}
+	return names
+}
+
+// AddRed adds n Red nodes to the cluster and returns their names.
+func AddRed(c *Cluster, n int) []string {
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		h := c.AddHost(RedSpec(i))
+		names[i] = h.Spec.Name
+	}
+	return names
+}
+
+// AddDeathstar adds the 8-way SMP node and returns its name.
+func AddDeathstar(c *Cluster) string {
+	return c.AddHost(DeathstarSpec()).Spec.Name
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDemandDrivenBatchedBasics(t *testing.T) {
+	p := DemandDrivenBatched(4)
+	if p.Name() != "DD/4" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	w := p.NewWriter(targets(1, 1))
+	if !w.WantsAcks() {
+		t.Fatal("batched DD must still want acks")
+	}
+	if AckBatchOf(w) != 4 {
+		t.Fatalf("AckBatchOf = %d", AckBatchOf(w))
+	}
+	// Plain writers report factor 1.
+	if AckBatchOf(DemandDriven().NewWriter(targets(1))) != 1 {
+		t.Fatal("plain DD should be unbatched")
+	}
+	if AckBatchOf(RoundRobin().NewWriter(targets(1))) != 1 {
+		t.Fatal("RR should be unbatched")
+	}
+	// Degenerate factor clamps to plain DD behavior.
+	if DemandDrivenBatched(0).Name() != "DD/1" {
+		t.Fatalf("clamped name = %q", DemandDrivenBatched(0).Name())
+	}
+}
+
+func TestPolicyByNameBatched(t *testing.T) {
+	p := PolicyByName("DD/8")
+	if p == nil || p.Name() != "DD/8" {
+		t.Fatalf("PolicyByName(DD/8) = %v", p)
+	}
+	if PolicyByName("DD/x") != nil {
+		t.Fatal("malformed batched name accepted")
+	}
+}
+
+// Batched DD must still deliver every buffer exactly once and produce
+// fewer acknowledgment messages than per-buffer DD.
+func TestBatchedAcksDeliverEverything(t *testing.T) {
+	run := func(pol Policy) (*Stats, int) {
+		g, got := pipelineGraph(400)
+		pl := NewPlacement().
+			Place("S", "h0", 1).
+			Place("D", "h0", 1).Place("D", "h1", 1).
+			Place("C", "h0", 1)
+		r, err := NewRunner(g, pl, Options{Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkDoubled(t, *got, 400)
+		return st, len(*got)
+	}
+	plain, _ := run(DemandDriven())
+	batched, _ := run(DemandDrivenBatched(8))
+	if batched.Streams["nums"].Acks >= plain.Streams["nums"].Acks {
+		t.Fatalf("batched acks (%d) should be fewer than plain (%d)",
+			batched.Streams["nums"].Acks, plain.Streams["nums"].Acks)
+	}
+	// Roughly k-fold fewer (flush remainders allowed).
+	if batched.Streams["nums"].Acks > plain.Streams["nums"].Acks/4 {
+		t.Fatalf("batched acks (%d) not substantially coalesced (plain %d)",
+			batched.Streams["nums"].Acks, plain.Streams["nums"].Acks)
+	}
+}
+
+func TestBatchedAcksMultiUOW(t *testing.T) {
+	g, got := pipelineGraph(60)
+	pl := NewPlacement().
+		Place("S", "h0", 1).Place("D", "h0", 2).Place("C", "h0", 1)
+	r, _ := NewRunner(g, pl, Options{Policy: DemandDrivenBatched(7), UOWs: []any{1, 2, 3}})
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 180 {
+		t.Fatalf("collected %d, want 180", len(*got))
+	}
+}

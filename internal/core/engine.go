@@ -1,0 +1,549 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a run on the real (goroutine) engine. The zero value
+// is usable: RR policy, queue capacity 8, 256 KiB buffers, one unit of work.
+type Options struct {
+	// Policy is the default writer policy for every stream (RoundRobin if
+	// nil).
+	Policy Policy
+	// StreamPolicy overrides the policy for individual streams by name.
+	StreamPolicy map[string]Policy
+	// QueueCap is the per-copy-set queue capacity in buffers (default 8).
+	QueueCap int
+	// BufferBytes is the default stream buffer size the runtime proposes;
+	// it is clamped by the filters' DeclareBuffer bounds (default 256 KiB).
+	BufferBytes int
+	// UOWs describes the units of work; each entry is passed to the
+	// filters via Ctx.Work. Nil means a single unit of work with a nil
+	// descriptor.
+	UOWs []any
+}
+
+func (o *Options) policyFor(stream string) Policy {
+	if p, ok := o.StreamPolicy[stream]; ok && p != nil {
+		return p
+	}
+	if o.Policy != nil {
+		return o.Policy
+	}
+	return RoundRobin()
+}
+
+func (o *Options) queueCap() int {
+	if o.QueueCap > 0 {
+		return o.QueueCap
+	}
+	return 8
+}
+
+func (o *Options) bufferBytes() int {
+	if o.BufferBytes > 0 {
+		return o.BufferBytes
+	}
+	return 256 << 10
+}
+
+// Runner executes a Graph under a Placement on the real engine: every
+// transparent copy is a goroutine, every copy set shares one queue
+// (demand-based balance within a host), and writer policies distribute
+// buffers across copy sets.
+type Runner struct {
+	g    *Graph
+	pl   *Placement
+	opts Options
+
+	copies map[string][]*copyInst
+	stats  *Stats
+}
+
+type copyInst struct {
+	filter    Filter
+	name      string
+	host      string
+	globalIdx int
+	total     int
+}
+
+// NewRunner validates the graph and placement and instantiates one filter
+// instance per transparent copy. Instances persist across units of work, as
+// in the paper's work-cycle model.
+func NewRunner(g *Graph, pl *Placement, opts Options) (*Runner, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(g); err != nil {
+		return nil, err
+	}
+	r := &Runner{g: g, pl: pl, opts: opts, copies: make(map[string][]*copyInst), stats: newStats(g)}
+	for _, name := range g.Filters() {
+		total := pl.TotalCopies(name)
+		idx := 0
+		for _, e := range pl.Of(name) {
+			for c := 0; c < e.Copies; c++ {
+				r.copies[name] = append(r.copies[name], &copyInst{
+					filter:    g.Factory(name)(),
+					name:      name,
+					host:      e.Host,
+					globalIdx: idx,
+					total:     total,
+				})
+				idx++
+			}
+		}
+		fs := r.stats.Filters[name]
+		fs.Copies = total
+		fs.BusySeconds = make([]float64, total)
+		fs.WallSeconds = make([]float64, total)
+		fs.ReadBlockedSeconds = make([]float64, total)
+		fs.WriteBlockedSeconds = make([]float64, total)
+	}
+	return r, nil
+}
+
+// Instances returns the filter instances for a filter name in global copy
+// order, so callers can retrieve results a sink filter accumulated.
+func (r *Runner) Instances(name string) []Filter {
+	out := make([]Filter, len(r.copies[name]))
+	for i, c := range r.copies[name] {
+		out[i] = c.filter
+	}
+	return out
+}
+
+// Stats returns the accumulated statistics. Valid after Run.
+func (r *Runner) Stats() *Stats { return r.stats }
+
+// Run executes every unit of work sequentially and returns the accumulated
+// stats. The first filter error aborts the run.
+func (r *Runner) Run() (*Stats, error) {
+	uows := r.opts.UOWs
+	if len(uows) == 0 {
+		uows = []any{nil}
+	}
+	start := time.Now()
+	for i, work := range uows {
+		t0 := time.Now()
+		if err := r.runUOW(i, work); err != nil {
+			return r.stats, err
+		}
+		r.stats.PerUOWSeconds = append(r.stats.PerUOWSeconds, time.Since(t0).Seconds())
+	}
+	r.stats.WallSeconds = time.Since(start).Seconds()
+	return r.stats, nil
+}
+
+// delivery is one buffer in flight, carrying the DD ack path back to the
+// producing copy.
+type delivery struct {
+	buf       Buffer
+	ackCh     chan int
+	targetIdx int
+	// ackEvery is the producer policy's ack coalescing factor (>= 1).
+	ackEvery int
+}
+
+// streamRT is the per-UOW runtime state of one logical stream.
+type streamRT struct {
+	spec      StreamSpec
+	hosts     []string // consumer copy-set hosts, placement order
+	copies    []int    // consumer copies per host
+	chans     []chan delivery
+	recvCount []int64 // atomic, per target
+	producers int32   // atomic: unfinished producer copies
+	bufBytes  int
+
+	// DeclareBuffer bounds gathered during Init.
+	mu       sync.Mutex
+	declMin  int
+	declMax  int // 0 = unbounded
+	declared bool
+}
+
+func (s *streamRT) declare(min, max int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if min > s.declMin {
+		s.declMin = min
+	}
+	if max > 0 && (s.declMax == 0 || max < s.declMax) {
+		s.declMax = max
+	}
+	s.declared = true
+}
+
+func (s *streamRT) resolve(def int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := def
+	if s.declMin > 0 && b < s.declMin {
+		b = s.declMin
+	}
+	if s.declMax > 0 && b > s.declMax {
+		b = s.declMax
+	}
+	s.bufBytes = b
+}
+
+func (r *Runner) runUOW(uow int, work any) error {
+	qcap := r.opts.queueCap()
+
+	// Build per-stream runtime state.
+	streams := make(map[string]*streamRT)
+	for _, sp := range r.g.Streams() {
+		st := &streamRT{spec: sp, producers: int32(r.pl.TotalCopies(sp.From))}
+		for _, e := range r.pl.Of(sp.To) {
+			st.hosts = append(st.hosts, e.Host)
+			st.copies = append(st.copies, e.Copies)
+			st.chans = append(st.chans, make(chan delivery, qcap))
+		}
+		st.recvCount = make([]int64, len(st.hosts))
+		streams[sp.Name] = st
+	}
+
+	ab := &abort{done: make(chan struct{})}
+	done := ab.done
+	fail := ab.fail
+
+	// Build per-copy contexts.
+	var ctxs []*runCtx
+	for _, name := range r.g.Filters() {
+		for _, ci := range r.copies[name] {
+			c := &runCtx{
+				r:       r,
+				ci:      ci,
+				uow:     uow,
+				work:    work,
+				done:    done,
+				inputs:  make(map[string]chan delivery),
+				inputRT: make(map[string]*streamRT),
+				writers: make(map[string]*writerRT),
+			}
+			for _, sp := range r.g.Inputs(name) {
+				st := streams[sp.Name]
+				for i, h := range st.hosts {
+					if h == ci.host {
+						c.inputs[sp.Name] = st.chans[i]
+						break
+					}
+				}
+				if c.inputs[sp.Name] == nil {
+					return fmt.Errorf("core: stream %s: consumer copy of %q on host %q has no queue (placement mismatch)", sp.Name, name, ci.host)
+				}
+				c.inputRT[sp.Name] = st
+			}
+			for _, sp := range r.g.Outputs(name) {
+				st := streams[sp.Name]
+				infos := make([]TargetInfo, len(st.hosts))
+				maxInFlight := 8
+				for i, h := range st.hosts {
+					infos[i] = TargetInfo{Host: h, Copies: st.copies[i], Local: h == ci.host}
+					maxInFlight += qcap + st.copies[i]
+				}
+				w := r.opts.policyFor(sp.Name).NewWriter(infos)
+				wr := &writerRT{st: st, w: w, unacked: make([]int, len(st.hosts))}
+				if w.WantsAcks() {
+					// Sized so a consumer's ack send can never block: at
+					// most (queue capacity + copies) buffers per target can
+					// be un-acked from this producer at once.
+					wr.ackCh = make(chan int, maxInFlight)
+				}
+				c.writers[sp.Name] = wr
+			}
+			ctxs = append(ctxs, c)
+		}
+	}
+
+	// Phase 1: Init (concurrent), gathering buffer declarations.
+	if err := r.runPhase(ctxs, ab, func(c *runCtx) error { return c.ci.filter.Init(c) }); err != nil {
+		return err
+	}
+	for _, st := range streams {
+		st.resolve(r.opts.bufferBytes())
+	}
+
+	// Phase 2: Process, with end-of-work propagation: when the last
+	// producer copy of a stream finishes, its copy-set queues close.
+	var wg sync.WaitGroup
+	for _, c := range ctxs {
+		wg.Add(1)
+		go func(c *runCtx) {
+			defer wg.Done()
+			t0 := time.Now()
+			err := safeCall(func() error { return c.ci.filter.Process(c) })
+			wall := time.Since(t0).Seconds()
+			fs := r.stats.Filters[c.ci.name]
+			fs.WallSeconds[c.ci.globalIdx] += wall
+			fs.BusySeconds[c.ci.globalIdx] += wall - c.readBlocked - c.writeBlocked
+			fs.ReadBlockedSeconds[c.ci.globalIdx] += c.readBlocked
+			fs.WriteBlockedSeconds[c.ci.globalIdx] += c.writeBlocked
+			// End-of-work: this copy will write no more buffers.
+			for _, sp := range r.g.Outputs(c.ci.name) {
+				st := streams[sp.Name]
+				if atomic.AddInt32(&st.producers, -1) == 0 {
+					for _, ch := range st.chans {
+						close(ch)
+					}
+				}
+			}
+			if err != nil {
+				fail(fmt.Errorf("core: filter %s copy %d: %w", c.ci.name, c.ci.globalIdx, err))
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := ab.err(); err != nil {
+		return err
+	}
+
+	// Phase 3: Finalize (concurrent).
+	if err := r.runPhase(ctxs, ab, func(c *runCtx) error { return c.ci.filter.Finalize(c) }); err != nil {
+		return err
+	}
+
+	// Fold per-target receive counts into stats.
+	for name, st := range streams {
+		ss := r.stats.Streams[name]
+		for i, h := range st.hosts {
+			ss.PerTargetHost[h] += atomic.LoadInt64(&st.recvCount[i])
+		}
+	}
+	return nil
+}
+
+// abort records the first failure and cancels the unit of work.
+type abort struct {
+	done chan struct{}
+	once sync.Once
+	mu   sync.Mutex
+	e    error
+}
+
+func (a *abort) fail(err error) {
+	a.once.Do(func() {
+		a.mu.Lock()
+		a.e = err
+		a.mu.Unlock()
+		close(a.done)
+	})
+}
+
+func (a *abort) err() error {
+	select {
+	case <-a.done:
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.e
+	default:
+		return nil
+	}
+}
+
+// safeCall invokes a filter callback, converting panics into errors so a
+// buggy filter aborts the run instead of crashing the process.
+func safeCall(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("filter panicked: %v", r)
+		}
+	}()
+	return fn()
+}
+
+func (r *Runner) runPhase(ctxs []*runCtx, ab *abort, f func(*runCtx) error) error {
+	var wg sync.WaitGroup
+	for _, c := range ctxs {
+		wg.Add(1)
+		go func(c *runCtx) {
+			defer wg.Done()
+			t0 := time.Now()
+			err := safeCall(func() error { return f(c) })
+			// Init/Finalize work counts toward the filter's busy time.
+			dt := time.Since(t0).Seconds()
+			fs := r.stats.Filters[c.ci.name]
+			fs.BusySeconds[c.ci.globalIdx] += dt
+			fs.WallSeconds[c.ci.globalIdx] += dt
+			if err != nil {
+				ab.fail(fmt.Errorf("core: filter %s copy %d: %w", c.ci.name, c.ci.globalIdx, err))
+			}
+		}(c)
+	}
+	wg.Wait()
+	return ab.err()
+}
+
+// writerRT is per-(producer copy, stream) state.
+type writerRT struct {
+	st      *streamRT
+	w       Writer
+	unacked []int
+	ackCh   chan int
+}
+
+// runCtx implements Ctx for the real engine.
+type runCtx struct {
+	r    *Runner
+	ci   *copyInst
+	uow  int
+	work any
+	done chan struct{}
+
+	inputs  map[string]chan delivery
+	inputRT map[string]*streamRT
+	writers map[string]*writerRT
+
+	readBlocked  float64
+	writeBlocked float64
+
+	// ackPending coalesces acks per (stream, ack channel, target) for
+	// batched-ack policies.
+	ackPending map[ackPendingKey]int
+}
+
+type ackPendingKey struct {
+	stream string
+	ch     chan int
+	target int
+}
+
+var _ Ctx = (*runCtx)(nil)
+
+func (c *runCtx) Read(stream string) (Buffer, bool) {
+	ch, ok := c.inputs[stream]
+	if !ok {
+		panic(fmt.Sprintf("core: filter %s reads unknown input stream %q", c.ci.name, stream))
+	}
+	t0 := time.Now()
+	select {
+	case d, ok := <-ch:
+		c.readBlocked += time.Since(t0).Seconds()
+		if !ok {
+			c.flushAcks()
+			return Buffer{}, false
+		}
+		if d.ackCh != nil {
+			c.ack(stream, d)
+		}
+		atomic.AddInt64(&c.r.stats.Filters[c.ci.name].BuffersIn, 1)
+		return d.buf, true
+	case <-c.done:
+		c.readBlocked += time.Since(t0).Seconds()
+		return Buffer{}, false
+	}
+}
+
+// ack acknowledges one consumed buffer as processing begins (paper §2),
+// coalescing per the producer policy's batch factor. The ack channel is
+// sized so sends cannot block.
+func (c *runCtx) ack(stream string, d delivery) {
+	if d.ackEvery > 1 {
+		if c.ackPending == nil {
+			c.ackPending = make(map[ackPendingKey]int)
+		}
+		key := ackPendingKey{stream: stream, ch: d.ackCh, target: d.targetIdx}
+		c.ackPending[key]++
+		if c.ackPending[key] < d.ackEvery {
+			return
+		}
+		n := c.ackPending[key]
+		delete(c.ackPending, key)
+		for i := 0; i < n; i++ {
+			d.ackCh <- d.targetIdx
+		}
+		atomic.AddInt64(&c.r.stats.Streams[stream].Acks, 1)
+		return
+	}
+	d.ackCh <- d.targetIdx
+	atomic.AddInt64(&c.r.stats.Streams[stream].Acks, 1)
+}
+
+// flushAcks releases coalesced acknowledgments at end-of-work (each flush
+// counts as one acknowledgment message, as it would on the wire).
+func (c *runCtx) flushAcks() {
+	for key, n := range c.ackPending {
+		delete(c.ackPending, key)
+		for i := 0; i < n; i++ {
+			key.ch <- key.target
+		}
+		atomic.AddInt64(&c.r.stats.Streams[key.stream].Acks, 1)
+	}
+}
+
+func (c *runCtx) Write(stream string, b Buffer) error {
+	wr, ok := c.writers[stream]
+	if !ok {
+		panic(fmt.Sprintf("core: filter %s writes unknown output stream %q", c.ci.name, stream))
+	}
+	// Fold in any pending acknowledgments before choosing a target.
+	if wr.ackCh != nil {
+	drain:
+		for {
+			select {
+			case i := <-wr.ackCh:
+				wr.unacked[i]--
+			default:
+				break drain
+			}
+		}
+	}
+	idx := wr.w.Pick(wr.unacked)
+	d := delivery{buf: b, targetIdx: idx}
+	if wr.ackCh != nil {
+		d.ackCh = wr.ackCh
+		d.ackEvery = AckBatchOf(wr.w)
+	}
+	t0 := time.Now()
+	select {
+	case wr.st.chans[idx] <- d:
+		c.writeBlocked += time.Since(t0).Seconds()
+	case <-c.done:
+		c.writeBlocked += time.Since(t0).Seconds()
+		return ErrCancelled
+	}
+	if wr.ackCh != nil {
+		wr.unacked[idx]++
+	}
+	atomic.AddInt64(&wr.st.recvCount[idx], 1)
+	ss := c.r.stats.Streams[stream]
+	atomic.AddInt64(&ss.Buffers, 1)
+	atomic.AddInt64(&ss.Bytes, int64(b.Size))
+	atomic.AddInt64(&c.r.stats.Filters[c.ci.name].BuffersOut, 1)
+	return nil
+}
+
+func (c *runCtx) Compute(float64)     {} // real work is real on this engine
+func (c *runCtx) ChargeDisk(int, int) {}
+
+func (c *runCtx) DeclareBuffer(stream string, minBytes, maxBytes int) {
+	if wr, ok := c.writers[stream]; ok {
+		wr.st.declare(minBytes, maxBytes)
+		return
+	}
+	if st, ok := c.inputRT[stream]; ok {
+		st.declare(minBytes, maxBytes)
+		return
+	}
+	panic(fmt.Sprintf("core: filter %s declares unknown stream %q", c.ci.name, stream))
+}
+
+func (c *runCtx) BufferBytes(stream string) int {
+	if wr, ok := c.writers[stream]; ok {
+		return wr.st.bufBytes
+	}
+	if st, ok := c.inputRT[stream]; ok {
+		return st.bufBytes
+	}
+	panic(fmt.Sprintf("core: filter %s queries unknown stream %q", c.ci.name, stream))
+}
+
+func (c *runCtx) Host() string     { return c.ci.host }
+func (c *runCtx) CopyIndex() int   { return c.ci.globalIdx }
+func (c *runCtx) TotalCopies() int { return c.ci.total }
+func (c *runCtx) UOW() int         { return c.uow }
+func (c *runCtx) Work() any        { return c.work }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func targets(hostCopies ...int) []TargetInfo {
+	var ts []TargetInfo
+	for i, c := range hostCopies {
+		ts = append(ts, TargetInfo{Host: string(rune('a' + i)), Copies: c})
+	}
+	return ts
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	w := RoundRobin().NewWriter(targets(1, 1, 1))
+	var picks []int
+	for i := 0; i < 7; i++ {
+		picks = append(picks, w.Pick(nil))
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("picks = %v", picks)
+		}
+	}
+	if w.WantsAcks() {
+		t.Fatal("RR should not want acks")
+	}
+}
+
+func TestWRRProportions(t *testing.T) {
+	// Hosts with 1, 2, 5 copies: over 8 picks each host gets exactly its
+	// weight.
+	w := WeightedRoundRobin().NewWriter(targets(1, 2, 5))
+	counts := make([]int, 3)
+	for i := 0; i < 8*10; i++ {
+		counts[w.Pick(nil)]++
+	}
+	if counts[0] != 10 || counts[1] != 20 || counts[2] != 50 {
+		t.Fatalf("WRR counts = %v, want [10 20 50]", counts)
+	}
+}
+
+func TestWRRSmoothness(t *testing.T) {
+	// Smooth WRR with weights (1,1,2) should not send two consecutive
+	// buffers to a weight-1 host and should interleave the weight-2 host.
+	w := WeightedRoundRobin().NewWriter(targets(1, 1, 2))
+	var picks []int
+	for i := 0; i < 8; i++ {
+		picks = append(picks, w.Pick(nil))
+	}
+	// One full cycle is 4 picks: host 2 twice, hosts 0 and 1 once, spread.
+	counts := make([]int, 3)
+	for _, p := range picks[:4] {
+		counts[p]++
+	}
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 2 {
+		t.Fatalf("cycle counts = %v", counts)
+	}
+	for i := 1; i < len(picks); i++ {
+		if picks[i] == picks[i-1] && picks[i] != 2 {
+			t.Fatalf("weight-1 host picked consecutively: %v", picks)
+		}
+	}
+}
+
+// Property: WRR distributes exactly weight_i picks to target i per cycle of
+// total-weight picks, for random weights.
+func TestWRRExactnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		ws := make([]int, n)
+		total := 0
+		for i := range ws {
+			ws[i] = 1 + rng.Intn(6)
+			total += ws[i]
+		}
+		w := WeightedRoundRobin().NewWriter(targets(ws...))
+		counts := make([]int, n)
+		for i := 0; i < total*3; i++ {
+			counts[w.Pick(nil)]++
+		}
+		for i := range ws {
+			if counts[i] != 3*ws[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDDPicksLeastUnacked(t *testing.T) {
+	w := DemandDriven().NewWriter(targets(1, 1, 1))
+	if got := w.Pick([]int{3, 1, 2}); got != 1 {
+		t.Fatalf("DD picked %d, want 1", got)
+	}
+	if !w.WantsAcks() {
+		t.Fatal("DD must want acks")
+	}
+}
+
+func TestDDLocalTieBreak(t *testing.T) {
+	ts := targets(1, 1, 1)
+	ts[2].Local = true
+	w := DemandDriven().NewWriter(ts)
+	// All tied: the local target should win even though it is not first.
+	if got := w.Pick([]int{2, 2, 2}); got != 2 {
+		t.Fatalf("DD tie-break picked %d, want local target 2", got)
+	}
+	// Remote strictly better than local: remote wins.
+	if got := w.Pick([]int{0, 2, 1}); got != 0 {
+		t.Fatalf("DD picked %d, want 0", got)
+	}
+}
+
+func TestDDStableFirstOnRemoteTies(t *testing.T) {
+	w := DemandDriven().NewWriter(targets(1, 1, 1))
+	if got := w.Pick([]int{1, 1, 1}); got != 0 {
+		t.Fatalf("DD picked %d, want 0 (first of equal remotes)", got)
+	}
+}
+
+// Property: DD never picks a target with strictly more unacked buffers than
+// some other target.
+func TestDDMinimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		ts := targets(make([]int, n)...)
+		for i := range ts {
+			ts[i].Copies = 1
+			ts[i].Local = rng.Intn(2) == 0
+		}
+		w := DemandDriven().NewWriter(ts)
+		un := make([]int, n)
+		for i := range un {
+			un[i] = rng.Intn(10)
+		}
+		got := w.Pick(un)
+		for _, u := range un {
+			if u < un[got] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"RR", "WRR", "DD"} {
+		p := PolicyByName(name)
+		if p == nil || p.Name() != name {
+			t.Fatalf("PolicyByName(%q) = %v", name, p)
+		}
+	}
+	if PolicyByName("nope") != nil {
+		t.Fatal("unknown policy should be nil")
+	}
+}

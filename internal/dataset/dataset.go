@@ -1,0 +1,243 @@
+// Package dataset implements the storage substrate: multi-timestep volume
+// datasets partitioned into rectangular chunks, declustered across a set of
+// data files along a 3-D Hilbert curve (as the paper's datasets were, over
+// 64 files), distributed across the disks of cluster nodes — evenly or
+// skewed — and retrieved by multi-dimensional range queries.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"datacutter/internal/hilbert"
+	"datacutter/internal/volume"
+)
+
+// Meta describes a chunked dataset.
+type Meta struct {
+	// Grid dimensions in samples.
+	GX, GY, GZ int
+	// Chunking: the grid is partitioned into BX*BY*BZ chunks.
+	BX, BY, BZ int
+	// Timesteps stored.
+	Timesteps int
+	// Files the chunks are declustered across (the paper used 64).
+	Files int
+	// Synthetic field parameters (the generator re-creates the exact field
+	// from these, so data can be validated or regenerated anywhere).
+	Seed   int64
+	Plumes int
+	// Skewed selects the skewed variant of the field.
+	Skewed bool
+}
+
+// Dataset is the logical view: the chunk partition plus the Hilbert
+// declustering map.
+type Dataset struct {
+	Meta
+	blocks []volume.Block
+	fileOf []int   // chunk index -> file
+	curve  []int   // chunk indices in Hilbert order
+	inFile [][]int // file -> chunk indices, Hilbert order (memoized)
+}
+
+// New computes the chunk partition and declustering for a Meta.
+func New(m Meta) (*Dataset, error) {
+	if m.GX < 2 || m.GY < 2 || m.GZ < 2 {
+		return nil, fmt.Errorf("dataset: grid %dx%dx%d too small", m.GX, m.GY, m.GZ)
+	}
+	if m.BX < 1 || m.BY < 1 || m.BZ < 1 {
+		return nil, fmt.Errorf("dataset: invalid chunking %dx%dx%d", m.BX, m.BY, m.BZ)
+	}
+	if m.Files < 1 {
+		return nil, fmt.Errorf("dataset: need at least one file")
+	}
+	if m.Timesteps < 1 {
+		return nil, fmt.Errorf("dataset: need at least one timestep")
+	}
+	d := &Dataset{Meta: m, blocks: volume.Partition(m.GX, m.GY, m.GZ, m.BX, m.BY, m.BZ)}
+
+	// Hilbert-order the chunks by their position in the chunk grid, then
+	// stripe the curve across files: neighbors in space land in distinct
+	// files, so a spatial range query spreads its I/O over many files.
+	maxDim := m.BX
+	if m.BY > maxDim {
+		maxDim = m.BY
+	}
+	if m.BZ > maxDim {
+		maxDim = m.BZ
+	}
+	bits := hilbert.BitsFor(maxDim)
+	type keyed struct {
+		key uint64
+		idx int
+	}
+	keys := make([]keyed, len(d.blocks))
+	for i := range d.blocks {
+		bi := i % m.BX
+		bj := (i / m.BX) % m.BY
+		bk := i / (m.BX * m.BY)
+		keys[i] = keyed{hilbert.Index(uint32(bi), uint32(bj), uint32(bk), bits), i}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].key < keys[b].key })
+	d.curve = make([]int, len(keys))
+	d.fileOf = make([]int, len(keys))
+	d.inFile = make([][]int, m.Files)
+	for pos, k := range keys {
+		d.curve[pos] = k.idx
+		f := pos % m.Files
+		d.fileOf[k.idx] = f
+		d.inFile[f] = append(d.inFile[f], k.idx)
+	}
+	return d, nil
+}
+
+// Field reconstructs the synthetic field the dataset stores.
+func (d *Dataset) Field() volume.Field {
+	var f volume.Field = volume.NewPlumeField(d.Seed, d.Plumes)
+	if d.Skewed {
+		f = &volume.SkewedField{Inner: f}
+	}
+	return f
+}
+
+// Chunks returns the number of chunks.
+func (d *Dataset) Chunks() int { return len(d.blocks) }
+
+// Block returns chunk i's grid block.
+func (d *Dataset) Block(i int) volume.Block { return d.blocks[i] }
+
+// Blocks returns all chunk blocks in partition order.
+func (d *Dataset) Blocks() []volume.Block {
+	out := make([]volume.Block, len(d.blocks))
+	copy(out, d.blocks)
+	return out
+}
+
+// FileOf returns the file a chunk was declustered to.
+func (d *Dataset) FileOf(chunk int) int { return d.fileOf[chunk] }
+
+// ChunksInFile lists the chunks assigned to one file, in Hilbert order.
+func (d *Dataset) ChunksInFile(file int) []int {
+	if file < 0 || file >= len(d.inFile) {
+		return nil
+	}
+	out := make([]int, len(d.inFile[file]))
+	copy(out, d.inFile[file])
+	return out
+}
+
+// ChunkBytes returns the serialized size of chunk i's samples.
+func (d *Dataset) ChunkBytes(i int) int { return d.blocks[i].Bytes() }
+
+// TotalBytes returns the per-timestep dataset size.
+func (d *Dataset) TotalBytes() int64 {
+	var n int64
+	for i := range d.blocks {
+		n += int64(d.ChunkBytes(i))
+	}
+	return n
+}
+
+// RangeQuery returns the chunks whose blocks intersect the half-open
+// sample-coordinate box [x0,x1) x [y0,y1) x [z0,z1) — the paper's
+// multi-dimensional range query over the input space.
+func (d *Dataset) RangeQuery(x0, y0, z0, x1, y1, z1 int) []int {
+	var out []int
+	for i, b := range d.blocks {
+		if b.X0 < x1 && b.X0+b.NX > x0 &&
+			b.Y0 < y1 && b.Y0+b.NY > y0 &&
+			b.Z0 < z1 && b.Z0+b.NZ > z0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Distribution assigns dataset files to (host, disk) locations.
+type Distribution struct {
+	// Where maps file id -> placement.
+	Where []FilePlace
+}
+
+// FilePlace locates one file.
+type FilePlace struct {
+	Host string
+	Disk int
+}
+
+// DistributeEven assigns files round-robin across hosts, and round-robin
+// across each host's disks (diskCount entries per host name).
+func DistributeEven(files int, hosts []string, disksPerHost int) *Distribution {
+	if disksPerHost < 1 {
+		disksPerHost = 1
+	}
+	dist := &Distribution{Where: make([]FilePlace, files)}
+	perHost := make(map[string]int)
+	for f := 0; f < files; f++ {
+		h := hosts[f%len(hosts)]
+		dist.Where[f] = FilePlace{Host: h, Disk: perHost[h] % disksPerHost}
+		perHost[h]++
+	}
+	return dist
+}
+
+// Skew moves pct percent of the files currently on fromHosts onto toHosts
+// (distributed evenly), reproducing the paper's skewed-distribution
+// experiments (§4.5: move P% of the files from the Blue nodes to the Rogue
+// nodes).
+func (d *Distribution) Skew(fromHosts, toHosts []string, pct int, disksPerHost int) {
+	if disksPerHost < 1 {
+		disksPerHost = 1
+	}
+	from := make(map[string]bool)
+	for _, h := range fromHosts {
+		from[h] = true
+	}
+	var movable []int
+	for f, w := range d.Where {
+		if from[w.Host] {
+			movable = append(movable, f)
+		}
+	}
+	moveN := len(movable) * pct / 100
+	perHost := make(map[string]int)
+	for f, w := range d.Where {
+		if !from[w.Host] {
+			perHost[w.Host]++
+		}
+		_ = f
+	}
+	for i := 0; i < moveN; i++ {
+		f := movable[i]
+		h := toHosts[i%len(toHosts)]
+		d.Where[f] = FilePlace{Host: h, Disk: perHost[h] % disksPerHost}
+		perHost[h]++
+	}
+}
+
+// FilesOnHost lists the file ids stored on a host.
+func (d *Distribution) FilesOnHost(host string) []int {
+	var out []int
+	for f, w := range d.Where {
+		if w.Host == host {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ChunksOnHost lists the chunks of ds stored on a host (via its files), in
+// Hilbert order per file.
+func ChunksOnHost(ds *Dataset, dist *Distribution, host string) []int {
+	var out []int
+	for _, f := range dist.FilesOnHost(host) {
+		out = append(out, ds.ChunksInFile(f)...)
+	}
+	return out
+}
+
+// DiskOfChunk returns the host and disk holding a chunk.
+func DiskOfChunk(ds *Dataset, dist *Distribution, chunk int) FilePlace {
+	return dist.Where[ds.FileOf(chunk)]
+}

@@ -1,0 +1,291 @@
+package dataset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"datacutter/internal/volume"
+)
+
+func testMeta() Meta {
+	return Meta{
+		GX: 33, GY: 33, GZ: 17,
+		BX: 4, BY: 4, BZ: 2,
+		Timesteps: 3, Files: 8,
+		Seed: 42, Plumes: 4,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Meta{
+		{GX: 1, GY: 8, GZ: 8, BX: 1, BY: 1, BZ: 1, Files: 1, Timesteps: 1},
+		{GX: 8, GY: 8, GZ: 8, BX: 0, BY: 1, BZ: 1, Files: 1, Timesteps: 1},
+		{GX: 8, GY: 8, GZ: 8, BX: 1, BY: 1, BZ: 1, Files: 0, Timesteps: 1},
+		{GX: 8, GY: 8, GZ: 8, BX: 1, BY: 1, BZ: 1, Files: 1, Timesteps: 0},
+	}
+	for i, m := range bad {
+		if _, err := New(m); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDeclusteringCoversAllChunksOnce(t *testing.T) {
+	ds, err := New(testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Chunks() != 32 {
+		t.Fatalf("chunks = %d", ds.Chunks())
+	}
+	seen := make(map[int]bool)
+	for f := 0; f < ds.Files; f++ {
+		for _, c := range ds.ChunksInFile(f) {
+			if seen[c] {
+				t.Fatalf("chunk %d in multiple files", c)
+			}
+			seen[c] = true
+			if ds.FileOf(c) != f {
+				t.Fatalf("FileOf(%d) = %d, want %d", c, ds.FileOf(c), f)
+			}
+		}
+	}
+	if len(seen) != ds.Chunks() {
+		t.Fatalf("only %d chunks assigned", len(seen))
+	}
+}
+
+func TestDeclusteringIsBalanced(t *testing.T) {
+	ds, _ := New(testMeta())
+	min, max := ds.Chunks(), 0
+	for f := 0; f < ds.Files; f++ {
+		n := len(ds.ChunksInFile(f))
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("file loads unbalanced: min %d max %d", min, max)
+	}
+}
+
+// Hilbert declustering should spread a small spatial range query across
+// many files (that is its purpose).
+func TestRangeQuerySpreadsAcrossFiles(t *testing.T) {
+	m := Meta{GX: 65, GY: 65, GZ: 65, BX: 8, BY: 8, BZ: 8, Timesteps: 1, Files: 16, Seed: 1, Plumes: 3}
+	ds, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An octant query touches 4x4x4 = 64 chunks; with 16 files it should
+	// hit nearly all files.
+	chunks := ds.RangeQuery(0, 0, 0, 32, 32, 32)
+	if len(chunks) < 60 {
+		t.Fatalf("octant query returned %d chunks", len(chunks))
+	}
+	files := make(map[int]bool)
+	for _, c := range chunks {
+		files[ds.FileOf(c)] = true
+	}
+	if len(files) < 12 {
+		t.Fatalf("query spread over only %d of 16 files", len(files))
+	}
+}
+
+func TestRangeQueryFullAndEmpty(t *testing.T) {
+	ds, _ := New(testMeta())
+	all := ds.RangeQuery(0, 0, 0, 33, 33, 17)
+	if len(all) != ds.Chunks() {
+		t.Fatalf("full query returned %d of %d", len(all), ds.Chunks())
+	}
+	none := ds.RangeQuery(100, 100, 100, 200, 200, 200)
+	if len(none) != 0 {
+		t.Fatalf("empty query returned %d", len(none))
+	}
+}
+
+// Property: range queries return exactly the chunks whose blocks intersect
+// the box.
+func TestRangeQueryCorrectProperty(t *testing.T) {
+	ds, _ := New(testMeta())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x0, y0, z0 := rng.Intn(33), rng.Intn(33), rng.Intn(17)
+		x1, y1, z1 := x0+1+rng.Intn(20), y0+1+rng.Intn(20), z0+1+rng.Intn(10)
+		got := make(map[int]bool)
+		for _, c := range ds.RangeQuery(x0, y0, z0, x1, y1, z1) {
+			got[c] = true
+		}
+		for i := 0; i < ds.Chunks(); i++ {
+			b := ds.Block(i)
+			intersects := b.X0 < x1 && b.X0+b.NX > x0 &&
+				b.Y0 < y1 && b.Y0+b.NY > y0 &&
+				b.Z0 < z1 && b.Z0+b.NZ > z0
+			if intersects != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributeEven(t *testing.T) {
+	hosts := []string{"a", "b", "c"}
+	dist := DistributeEven(9, hosts, 2)
+	counts := map[string]int{}
+	for _, w := range dist.Where {
+		counts[w.Host]++
+		if w.Disk < 0 || w.Disk > 1 {
+			t.Fatalf("disk out of range: %+v", w)
+		}
+	}
+	for _, h := range hosts {
+		if counts[h] != 3 {
+			t.Fatalf("host %s holds %d files", h, counts[h])
+		}
+	}
+	// Disks within a host alternate.
+	a := dist.FilesOnHost("a")
+	if len(a) != 3 {
+		t.Fatalf("FilesOnHost = %v", a)
+	}
+}
+
+func TestSkewMovesFiles(t *testing.T) {
+	blue := []string{"blue0", "blue1"}
+	rogue := []string{"rogue0", "rogue1"}
+	dist := DistributeEven(64, append(append([]string{}, blue...), rogue...), 2)
+	before := len(dist.FilesOnHost("blue0")) + len(dist.FilesOnHost("blue1"))
+	dist.Skew(blue, rogue, 50, 2)
+	afterBlue := len(dist.FilesOnHost("blue0")) + len(dist.FilesOnHost("blue1"))
+	afterRogue := len(dist.FilesOnHost("rogue0")) + len(dist.FilesOnHost("rogue1"))
+	if afterBlue != before/2 {
+		t.Fatalf("blue files after 50%% skew: %d, want %d", afterBlue, before/2)
+	}
+	if afterBlue+afterRogue != 64 {
+		t.Fatalf("files lost: %d", afterBlue+afterRogue)
+	}
+}
+
+func TestSkewFullMove(t *testing.T) {
+	dist := DistributeEven(10, []string{"x", "y"}, 1)
+	dist.Skew([]string{"x"}, []string{"y"}, 100, 1)
+	if n := len(dist.FilesOnHost("x")); n != 0 {
+		t.Fatalf("x still holds %d files", n)
+	}
+}
+
+func TestChunksOnHost(t *testing.T) {
+	ds, _ := New(testMeta())
+	dist := DistributeEven(ds.Files, []string{"a", "b"}, 1)
+	na := len(ChunksOnHost(ds, dist, "a"))
+	nb := len(ChunksOnHost(ds, dist, "b"))
+	if na+nb != ds.Chunks() {
+		t.Fatalf("host chunks %d+%d != %d", na, nb, ds.Chunks())
+	}
+	place := DiskOfChunk(ds, dist, 0)
+	if place.Host != "a" && place.Host != "b" {
+		t.Fatalf("DiskOfChunk = %+v", place)
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := Meta{GX: 17, GY: 17, GZ: 9, BX: 2, BY: 2, BZ: 2, Timesteps: 2, Files: 4, Seed: 7, Plumes: 3}
+	st, err := Create(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reopen from disk and compare a few chunks against direct sampling.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fld := st.DS.Field()
+	for _, chunk := range []int{0, 3, st.DS.Chunks() - 1} {
+		for ts := 0; ts < m.Timesteps; ts++ {
+			got, err := st2.ReadChunk(chunk, ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := volume.NewBlockVolume(st.DS.Block(chunk))
+			volume.FillBlock(fld, want, float64(ts))
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("chunk %d ts %d sample %d: %v != %v", chunk, ts, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestStoreReadErrors(t *testing.T) {
+	dir := t.TempDir()
+	m := Meta{GX: 9, GY: 9, GZ: 9, BX: 2, BY: 2, BZ: 2, Timesteps: 1, Files: 2, Seed: 1, Plumes: 2}
+	st, err := Create(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ReadChunk(0, 5); err == nil {
+		t.Fatal("timestep out of range accepted")
+	}
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("open of empty dir succeeded")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	ds, _ := New(testMeta())
+	var want int64
+	for i := 0; i < ds.Chunks(); i++ {
+		want += int64(ds.ChunkBytes(i))
+	}
+	if got := ds.TotalBytes(); got != want {
+		t.Fatalf("TotalBytes = %d, want %d", got, want)
+	}
+	// Sanity: chunk overlap means total slightly exceeds raw grid bytes.
+	raw := int64(33*33*17) * 4
+	if got := ds.TotalBytes(); got < raw {
+		t.Fatalf("TotalBytes %d below raw %d", got, raw)
+	}
+}
+
+func TestStoreHandleReuseAndClose(t *testing.T) {
+	dir := t.TempDir()
+	m := Meta{GX: 9, GY: 9, GZ: 9, BX: 2, BY: 2, BZ: 2, Timesteps: 1, Files: 2, Seed: 1, Plumes: 2}
+	st, err := Create(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent reads share cached handles safely.
+	var wg sync.WaitGroup
+	for i := 0; i < st.DS.Chunks(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := st.ReadChunk(i, 0); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	// Reads after Close reopen lazily.
+	if _, err := st.ReadChunk(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = st.Close()
+}

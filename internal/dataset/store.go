@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"datacutter/internal/volume"
+)
+
+// Store is an on-disk chunked dataset: one binary file per declustering
+// file, holding each assigned chunk's raw samples for every timestep, plus
+// a meta.json. Record layout is fully determined by the Meta (chunks appear
+// in Hilbert order, grouped by timestep), so no per-record index is needed.
+type Store struct {
+	Dir string
+	DS  *Dataset
+	// offsets[file] maps (timestep, position-within-file) to byte offset.
+	offsets [][]int64
+	perFile [][]int // chunk ids per file, Hilbert order
+
+	// Open file handles, one per data file, opened lazily and kept for the
+	// store's lifetime (reads use ReadAt, so one handle serves concurrent
+	// readers).
+	mu      sync.Mutex
+	handles []*os.File
+}
+
+const metaFile = "meta.json"
+
+func fileName(f int) string { return fmt.Sprintf("chunks-%03d.dat", f) }
+
+// Create generates the dataset on disk by sampling its synthetic field.
+func Create(dir string, m Meta) (*Store, error) {
+	ds, err := New(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	mj, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFile), mj, 0o644); err != nil {
+		return nil, err
+	}
+	fld := ds.Field()
+	buf := make([]byte, 0)
+	for f := 0; f < m.Files; f++ {
+		chunks := ds.ChunksInFile(f)
+		out, err := os.Create(filepath.Join(dir, fileName(f)))
+		if err != nil {
+			return nil, err
+		}
+		for t := 0; t < m.Timesteps; t++ {
+			for _, c := range chunks {
+				v := volume.NewBlockVolume(ds.Block(c))
+				volume.FillBlock(fld, v, float64(t))
+				buf = buf[:0]
+				for _, s := range v.Data {
+					buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(s))
+				}
+				if _, err := out.Write(buf); err != nil {
+					out.Close()
+					return nil, err
+				}
+			}
+		}
+		if err := out.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return Open(dir)
+}
+
+// Open loads a store's metadata and builds its offset tables.
+func Open(dir string) (*Store, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, err
+	}
+	var m Meta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("dataset: bad %s: %w", metaFile, err)
+	}
+	ds, err := New(m)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{Dir: dir, DS: ds, handles: make([]*os.File, m.Files)}
+	s.perFile = make([][]int, m.Files)
+	s.offsets = make([][]int64, m.Files)
+	for f := 0; f < m.Files; f++ {
+		chunks := ds.ChunksInFile(f)
+		s.perFile[f] = chunks
+		offs := make([]int64, m.Timesteps*len(chunks)+1)
+		var off int64
+		i := 0
+		for t := 0; t < m.Timesteps; t++ {
+			for _, c := range chunks {
+				offs[i] = off
+				off += int64(ds.ChunkBytes(c))
+				i++
+			}
+		}
+		offs[i] = off
+		s.offsets[f] = offs
+	}
+	return s, nil
+}
+
+// handle returns the lazily opened file handle for data file f.
+func (s *Store) handle(f int) (*os.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.handles[f] != nil {
+		return s.handles[f], nil
+	}
+	fh, err := os.Open(filepath.Join(s.Dir, fileName(f)))
+	if err != nil {
+		return nil, err
+	}
+	s.handles[f] = fh
+	return fh, nil
+}
+
+// Close releases the store's open file handles.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for i, fh := range s.handles {
+		if fh != nil {
+			if err := fh.Close(); err != nil && first == nil {
+				first = err
+			}
+			s.handles[i] = nil
+		}
+	}
+	return first
+}
+
+// ReadChunk reads one chunk at one timestep from disk.
+func (s *Store) ReadChunk(chunk, timestep int) (*volume.Volume, error) {
+	if timestep < 0 || timestep >= s.DS.Timesteps {
+		return nil, fmt.Errorf("dataset: timestep %d out of range", timestep)
+	}
+	f := s.DS.FileOf(chunk)
+	pos := -1
+	for i, c := range s.perFile[f] {
+		if c == chunk {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("dataset: chunk %d not in file %d", chunk, f)
+	}
+	idx := timestep*len(s.perFile[f]) + pos
+	off := s.offsets[f][idx]
+	size := s.DS.ChunkBytes(chunk)
+
+	fh, err := s.handle(f)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, size)
+	if _, err := fh.ReadAt(raw, off); err != nil {
+		return nil, fmt.Errorf("dataset: reading chunk %d: %w", chunk, err)
+	}
+	v := volume.NewBlockVolume(s.DS.Block(chunk))
+	for i := range v.Data {
+		v.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return v, nil
+}

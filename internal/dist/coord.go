@@ -1,0 +1,210 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"datacutter/internal/core"
+)
+
+// Run executes a distributed session: it connects to the worker at each
+// host's address, ships the graph spec and placement, drives the
+// unit-of-work phases (init with buffer-size resolution, process,
+// finalize), and aggregates the workers' statistics.
+func Run(addrs map[string]string, spec GraphSpec, placement []PlacementEntry, opts Options, uows []any) (*core.Stats, error) {
+	if len(uows) == 0 {
+		uows = []any{nil}
+	}
+	if opts.Policy != "" && core.PolicyByName(opts.Policy) == nil {
+		return nil, fmt.Errorf("dist: unknown policy %q", opts.Policy)
+	}
+	for _, e := range placement {
+		if _, ok := addrs[e.Host]; !ok {
+			return nil, fmt.Errorf("dist: placement host %q has no worker address", e.Host)
+		}
+	}
+
+	// Connect and set up every worker.
+	ctrls := make(map[string]*conn, len(addrs))
+	defer func() {
+		for _, c := range ctrls {
+			c.c.Close()
+		}
+	}()
+	for host, addr := range addrs {
+		nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("dist: dialing worker %s (%s): %w", host, addr, err)
+		}
+		c := newConn(nc)
+		ctrls[host] = c
+		if err := c.send(&frame{Kind: kindSetup, Setup: &setupMsg{
+			Graph: spec, Placement: placement, Opts: opts, Addrs: addrs, Host: host,
+		}}); err != nil {
+			return nil, err
+		}
+	}
+	for host, c := range ctrls {
+		f, err := c.recv()
+		if err != nil {
+			return nil, fmt.Errorf("dist: worker %s setup: %w", host, err)
+		}
+		if f.Kind == kindFail {
+			return nil, fmt.Errorf("dist: worker %s: %s", host, f.Err)
+		}
+		if f.Kind != kindSetupOK {
+			return nil, fmt.Errorf("dist: worker %s: unexpected setup reply %d", host, f.Kind)
+		}
+	}
+
+	stats := newAggStats(spec)
+	start := time.Now()
+	for i, work := range uows {
+		t0 := time.Now()
+		if err := runUOW(ctrls, i, work, opts, stats); err != nil {
+			return stats.s, err
+		}
+		stats.s.PerUOWSeconds = append(stats.s.PerUOWSeconds, time.Since(t0).Seconds())
+	}
+	stats.s.WallSeconds = time.Since(start).Seconds()
+
+	for _, c := range ctrls {
+		_ = c.send(&frame{Kind: kindShutdown})
+	}
+	return stats.s, nil
+}
+
+func runUOW(ctrls map[string]*conn, idx int, work any, opts Options, agg *aggStats) error {
+	var raw []byte
+	if work != nil {
+		var err error
+		raw, err = encodeAny(work)
+		if err != nil {
+			return fmt.Errorf("dist: encoding unit of work: %w", err)
+		}
+	}
+
+	// Phase 1: Init everywhere; gather and resolve buffer declarations.
+	for _, c := range ctrls {
+		if err := c.send(&frame{Kind: kindInitUOW, UOW: &uowMsg{Index: idx, Work: raw}}); err != nil {
+			return err
+		}
+	}
+	decls := map[string][2]int{}
+	for host, c := range ctrls {
+		f, err := c.recv()
+		if err != nil {
+			return fmt.Errorf("dist: worker %s init: %w", host, err)
+		}
+		if f.Kind == kindFail {
+			return fmt.Errorf("dist: worker %s: %s", host, f.Err)
+		}
+		for stream, d := range f.Decls {
+			cur := decls[stream]
+			if d[0] > cur[0] {
+				cur[0] = d[0]
+			}
+			if d[1] > 0 && (cur[1] == 0 || d[1] < cur[1]) {
+				cur[1] = d[1]
+			}
+			decls[stream] = cur
+		}
+	}
+	def := opts.BufferBytes
+	if def <= 0 {
+		def = 256 << 10
+	}
+	sizes := map[string]int{}
+	for _, sp := range agg.streams {
+		b := def
+		d := decls[sp]
+		if d[0] > 0 && b < d[0] {
+			b = d[0]
+		}
+		if d[1] > 0 && b > d[1] {
+			b = d[1]
+		}
+		sizes[sp] = b
+	}
+
+	// Phase 2: Process everywhere.
+	for _, c := range ctrls {
+		if err := c.send(&frame{Kind: kindBeginProcess, Sizes: sizes}); err != nil {
+			return err
+		}
+	}
+	for host, c := range ctrls {
+		f, err := c.recv()
+		if err != nil {
+			return fmt.Errorf("dist: worker %s process: %w", host, err)
+		}
+		if f.Kind == kindFail {
+			return fmt.Errorf("dist: worker %s: %s", host, f.Err)
+		}
+	}
+
+	// Phase 3: Finalize everywhere; merge stats fragments.
+	for _, c := range ctrls {
+		if err := c.send(&frame{Kind: kindFinalize}); err != nil {
+			return err
+		}
+	}
+	for host, c := range ctrls {
+		f, err := c.recv()
+		if err != nil {
+			return fmt.Errorf("dist: worker %s finalize: %w", host, err)
+		}
+		if f.Kind == kindFail {
+			return fmt.Errorf("dist: worker %s: %s", host, f.Err)
+		}
+		agg.merge(f.Stats)
+	}
+	return nil
+}
+
+// aggStats accumulates workers' stats fragments into a core.Stats.
+type aggStats struct {
+	s       *core.Stats
+	streams []string
+}
+
+func newAggStats(spec GraphSpec) *aggStats {
+	g := core.NewGraph()
+	for _, f := range spec.Filters {
+		g.AddFilter(f.Name, func() core.Filter { return nil })
+	}
+	for _, sp := range spec.Streams {
+		g.Connect(sp.From, sp.To, sp.Name)
+	}
+	a := &aggStats{s: core.NewStats(g)}
+	for _, sp := range spec.Streams {
+		a.streams = append(a.streams, sp.Name)
+	}
+	return a
+}
+
+func (a *aggStats) merge(ws *wireStats) {
+	if ws == nil {
+		return
+	}
+	for stream, n := range ws.StreamBuffers {
+		a.s.Streams[stream].Buffers += n
+	}
+	for stream, n := range ws.StreamBytes {
+		a.s.Streams[stream].Bytes += n
+	}
+	for stream, n := range ws.StreamAcks {
+		a.s.Streams[stream].Acks += n
+	}
+	for stream, per := range ws.PerTarget {
+		for host, n := range per {
+			a.s.Streams[stream].PerTargetHost[host] += n
+		}
+	}
+	for filter, busy := range ws.FilterBusy {
+		fs := a.s.Filters[filter]
+		fs.BusySeconds = append(fs.BusySeconds, busy...)
+		fs.Copies = len(fs.BusySeconds)
+	}
+}

@@ -1,0 +1,215 @@
+package dist
+
+import (
+	"fmt"
+
+	"datacutter/internal/core"
+)
+
+// dctx implements core.Ctx for one local copy in a distributed session.
+type dctx struct {
+	s *session
+	u *uowState
+	c *dcopy
+
+	// ackPending coalesces acknowledgments per (producer copy, stream,
+	// target) for batched-ack policies.
+	ackPending map[ackPendKey]int
+}
+
+type ackPendKey struct {
+	stream       string
+	producerCopy int
+	targetIdx    int
+	fromHost     string
+	hasLocal     bool
+}
+
+func (s *session) ctxFor(c *dcopy, u *uowState) *dctx {
+	return &dctx{s: s, u: u, c: c}
+}
+
+var _ core.Ctx = (*dctx)(nil)
+
+func (d *dctx) Read(stream string) (core.Buffer, bool) {
+	q := d.u.queues[stream]
+	if q == nil {
+		panic(fmt.Sprintf("dist: filter %s reads unknown stream %q on host %s", d.c.name, stream, d.s.setup.Host))
+	}
+	select {
+	case dv, ok := <-q:
+		if !ok {
+			d.flushAcks()
+			return core.Buffer{}, false
+		}
+		if dv.ackEvery > 0 {
+			d.ack(dv)
+		}
+		return dv.buf, true
+	case <-d.s.failedCh:
+		return core.Buffer{}, false
+	}
+}
+
+// ack acknowledges one consumed buffer, locally or over the wire,
+// coalescing per the producer's batch factor.
+func (d *dctx) ack(dv delivery) {
+	key := ackPendKey{
+		stream: dv.stream, producerCopy: dv.producerCopy,
+		targetIdx: dv.targetIdx, fromHost: dv.fromHost, hasLocal: dv.localAck != nil,
+	}
+	n := 1
+	if dv.ackEvery > 1 {
+		if d.ackPending == nil {
+			d.ackPending = make(map[ackPendKey]int)
+		}
+		d.ackPending[key]++
+		if d.ackPending[key] < dv.ackEvery {
+			return
+		}
+		n = d.ackPending[key]
+		delete(d.ackPending, key)
+	}
+	d.sendAck(key, dv, n)
+}
+
+func (d *dctx) sendAck(key ackPendKey, dv delivery, n int) {
+	d.u.statMu.Lock()
+	d.u.ackCount[key.stream]++
+	d.u.statMu.Unlock()
+	if dv.localAck != nil {
+		select {
+		case dv.localAck <- [2]int{dv.targetIdx, n}:
+		default:
+		}
+		return
+	}
+	c, err := d.s.peer(dv.fromHost)
+	if err != nil {
+		return
+	}
+	_ = c.send(&frame{Kind: kindAck, UOWIdx: d.u.index, Stream: key.stream, Copy: dv.producerCopy, Target: dv.targetIdx, AckN: n})
+}
+
+func (d *dctx) flushAcks() {
+	for key, n := range d.ackPending {
+		delete(d.ackPending, key)
+		if key.hasLocal {
+			// Local acks need the channel; recover it from the writer map.
+			if ch, ok := d.u.acks[copyStream{key.producerCopy, key.stream}]; ok {
+				select {
+				case ch <- [2]int{key.targetIdx, n}:
+				default:
+				}
+			}
+			continue
+		}
+		if c, err := d.s.peer(key.fromHost); err == nil {
+			_ = c.send(&frame{Kind: kindAck, UOWIdx: d.u.index, Stream: key.stream, Copy: key.producerCopy, Target: key.targetIdx, AckN: n})
+		}
+	}
+}
+
+func (d *dctx) Write(stream string, b core.Buffer) error {
+	key := copyStream{d.c.globalIdx, stream}
+	dw := d.u.writers[key]
+	if dw == nil {
+		panic(fmt.Sprintf("dist: filter %s writes unknown stream %q", d.c.name, stream))
+	}
+	// Fold in pending acknowledgments.
+	if ch, ok := d.u.acks[key]; ok {
+	drain:
+		for {
+			select {
+			case a := <-ch:
+				dw.unacked[a[0]] -= a[1]
+			default:
+				break drain
+			}
+		}
+	}
+	idx := dw.writer.Pick(dw.unacked)
+	target := dw.targets[idx]
+	if dw.writer.WantsAcks() {
+		dw.unacked[idx]++
+	}
+
+	if target.Host == d.s.setup.Host {
+		// Same-host delivery: straight into the shared copy-set queue.
+		dv := delivery{
+			buf: b, fromHost: d.s.setup.Host, producerCopy: d.c.globalIdx,
+			targetIdx: idx, stream: stream,
+		}
+		if dw.writer.WantsAcks() {
+			dv.ackEvery = dw.ackEvery
+			dv.localAck = d.u.acks[key]
+		}
+		select {
+		case d.u.queues[stream] <- dv:
+		case <-d.s.failedCh:
+			return core.ErrCancelled
+		}
+	} else {
+		payload, err := encodeAny(b.Payload)
+		if err != nil {
+			return fmt.Errorf("dist: encoding buffer for %s: %w", stream, err)
+		}
+		c, err := d.s.peer(target.Host)
+		if err != nil {
+			d.s.fail(err)
+			return core.ErrCancelled
+		}
+		ackEvery := 0
+		if dw.writer.WantsAcks() {
+			ackEvery = dw.ackEvery
+		}
+		if err := c.send(&frame{
+			Kind: kindData, UOWIdx: d.u.index, Stream: stream, Copy: d.c.globalIdx, Target: idx,
+			AckN: ackEvery, Payload: payload, Size: b.Size,
+		}); err != nil {
+			d.s.fail(err)
+			return core.ErrCancelled
+		}
+	}
+
+	d.u.statMu.Lock()
+	d.u.buffers[stream]++
+	d.u.bytes[stream] += int64(b.Size)
+	per := d.u.perTarget[stream]
+	if per == nil {
+		per = make(map[string]int64)
+		d.u.perTarget[stream] = per
+	}
+	per[target.Host]++
+	d.u.statMu.Unlock()
+	return nil
+}
+
+func (d *dctx) Compute(float64)     {} // real work is real on this engine
+func (d *dctx) ChargeDisk(int, int) {}
+
+func (d *dctx) DeclareBuffer(stream string, minBytes, maxBytes int) {
+	d.u.declMu.Lock()
+	defer d.u.declMu.Unlock()
+	cur := d.u.decls[stream]
+	if minBytes > cur[0] {
+		cur[0] = minBytes
+	}
+	if maxBytes > 0 && (cur[1] == 0 || maxBytes < cur[1]) {
+		cur[1] = maxBytes
+	}
+	d.u.decls[stream] = cur
+}
+
+func (d *dctx) BufferBytes(stream string) int {
+	if v, ok := d.u.sizes[stream]; ok {
+		return v
+	}
+	return 0
+}
+
+func (d *dctx) Host() string     { return d.s.setup.Host }
+func (d *dctx) CopyIndex() int   { return d.c.globalIdx }
+func (d *dctx) TotalCopies() int { return d.c.total }
+func (d *dctx) UOW() int         { return d.u.index }
+func (d *dctx) Work() any        { return d.u.work }

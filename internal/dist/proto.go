@@ -1,0 +1,199 @@
+// Package dist executes a filter graph across multiple OS processes
+// connected by TCP — the deployment model of the original DataCutter
+// prototype ("the current prototype implementation uses TCP for stream
+// communication", paper §2). A coordinator distributes the graph spec and
+// placement to workers (one per named host); each worker runs its local
+// transparent copies as goroutines; stream buffers between copies on
+// different hosts travel as gob-encoded frames over per-host-pair TCP
+// connections, with TCP backpressure standing in for bounded queues across
+// the wire. The same core.Policy objects drive buffer distribution, and
+// demand-driven acknowledgments are real network messages.
+//
+// Filters are constructed worker-side from a registry of named builders
+// (the coordinator ships only the spec), so any process that imports the
+// application's filter package can serve as a worker.
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"datacutter/internal/core"
+)
+
+// FilterSpec names a registered filter builder plus its parameters.
+type FilterSpec struct {
+	Name   string // filter name in the graph
+	Kind   string // registered builder kind
+	Params []byte // builder-specific encoding (often gob or JSON)
+}
+
+// GraphSpec is a serializable filter graph.
+type GraphSpec struct {
+	Filters []FilterSpec
+	Streams []core.StreamSpec
+}
+
+// PlacementEntry assigns copies of a filter to a host.
+type PlacementEntry struct {
+	Filter string
+	Host   string
+	Copies int
+}
+
+// Options configures a distributed run.
+type Options struct {
+	Policy      string // policy name (core.PolicyByName); default RR
+	QueueCap    int    // per-copy-set queue capacity (default 8)
+	BufferBytes int    // default stream buffer size (default 256 KiB)
+}
+
+// Builder constructs a filter instance on a worker.
+type Builder func(params []byte) (core.Filter, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Builder{}
+)
+
+// RegisterFilter makes a filter kind constructible on workers. Typically
+// called from an init function in the application's filter package.
+func RegisterFilter(kind string, b Builder) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic("dist: duplicate filter kind " + kind)
+	}
+	registry[kind] = b
+}
+
+func builderFor(kind string) (Builder, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[kind]
+	if !ok {
+		return nil, fmt.Errorf("dist: filter kind %q not registered on this worker", kind)
+	}
+	return b, nil
+}
+
+// ---- Wire frames ----
+//
+// Control frames travel on the coordinator<->worker connection; data, ack,
+// and producer-done frames travel on worker->worker connections (one TCP
+// connection per ordered host pair, so FIFO ordering between a host's data
+// and its end-of-work markers is guaranteed by TCP).
+
+type frame struct {
+	Kind frameKind
+
+	// Control (coordinator -> worker).
+	Setup *setupMsg
+	UOW   *uowMsg
+	Sizes map[string]int // resolved stream buffer sizes
+
+	// Control (worker -> coordinator).
+	Decls map[string][2]int // stream -> {min,max} declared this UOW
+	Err   string
+	Stats *wireStats
+
+	// Peer traffic (worker -> worker).
+	UOWIdx  int // unit of work the frame belongs to (stale frames dropped)
+	Stream  string
+	Target  int    // consumer copy-set index (data) / producer target index (ack)
+	Copy    int    // producer global copy index (data: sender; ack: addressee)
+	AckN    int    // coalesced ack count
+	Payload []byte // gob-encoded core.Buffer payload
+	Size    int    // buffer's accounted size
+}
+
+type frameKind uint8
+
+const (
+	kindHello frameKind = iota + 1
+	kindSetup
+	kindSetupOK
+	kindInitUOW
+	kindDecls
+	kindBeginProcess
+	kindProcessDone
+	kindFinalize
+	kindFinalizeDone
+	kindShutdown
+	kindData
+	kindAck
+	kindProducerDone
+	kindFail
+)
+
+type setupMsg struct {
+	Graph     GraphSpec
+	Placement []PlacementEntry
+	Opts      Options
+	Addrs     map[string]string // host name -> worker address
+	Host      string            // the receiving worker's host name
+}
+
+type uowMsg struct {
+	Index int
+	Work  []byte // gob-encoded unit-of-work descriptor
+}
+
+// wireStats is the per-worker stats fragment returned at finalize.
+type wireStats struct {
+	StreamBuffers map[string]int64
+	StreamBytes   map[string]int64
+	StreamAcks    map[string]int64
+	PerTarget     map[string]map[string]int64 // stream -> host -> buffers
+	FilterBusy    map[string][]float64        // filter -> per-local-copy busy seconds
+}
+
+// RegisterPayload registers a buffer payload or unit-of-work type with gob
+// (convenience wrapper so applications don't import encoding/gob).
+func RegisterPayload(v any) { gob.Register(v) }
+
+// encodeAny gob-encodes a value (with its concrete type registered).
+func encodeAny(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeAny(raw []byte) (any, error) {
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// conn wraps a TCP connection with a locked gob encoder/decoder.
+type conn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	mu  sync.Mutex
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (c *conn) send(f *frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(f)
+}
+
+func (c *conn) recv() (*frame, error) {
+	var f frame
+	if err := c.dec.Decode(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}

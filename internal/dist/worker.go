@@ -1,0 +1,711 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datacutter/internal/core"
+)
+
+// Worker serves one named host of a distributed run: it builds the filter
+// copies placed on its host, executes them, and exchanges stream buffers
+// and acknowledgments with peer workers over TCP.
+type Worker struct {
+	ln     net.Listener
+	mu     sync.Mutex
+	sess   *session
+	closed atomic.Bool
+}
+
+// NewWorker starts a worker listening on addr ("127.0.0.1:0" for an
+// ephemeral test port). Call Serve (usually in a goroutine) to accept
+// connections.
+func NewWorker(addr string) (*Worker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{ln: ln}, nil
+}
+
+// Addr returns the listening address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Close stops the listener and tears down the current session.
+func (w *Worker) Close() {
+	w.closed.Store(true)
+	w.ln.Close()
+	w.mu.Lock()
+	s := w.sess
+	w.mu.Unlock()
+	if s != nil {
+		s.fail(fmt.Errorf("dist: worker closed"))
+	}
+}
+
+// Serve accepts coordinator and peer connections until Close.
+func (w *Worker) Serve() {
+	for {
+		c, err := w.ln.Accept()
+		if err != nil {
+			return
+		}
+		go w.handle(newConn(c))
+	}
+}
+
+// Instances returns the local filter instances for a filter name from the
+// current (or last) session — the distributed analogue of Runner.Instances
+// for retrieving results held by sink filters.
+func (w *Worker) Instances(name string) []core.Filter {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.sess == nil {
+		return nil
+	}
+	var out []core.Filter
+	for _, c := range w.sess.copies {
+		if c.name == name {
+			out = append(out, c.filter)
+		}
+	}
+	return out
+}
+
+// handle dispatches an incoming connection by its first frame: a Setup
+// frame makes it the coordinator control connection, a Hello frame a peer
+// data connection.
+func (w *Worker) handle(c *conn) {
+	f, err := c.recv()
+	if err != nil {
+		c.c.Close()
+		return
+	}
+	switch f.Kind {
+	case kindSetup:
+		w.runSession(c, f.Setup)
+	case kindHello:
+		w.servePeer(c)
+	default:
+		c.c.Close()
+	}
+}
+
+// servePeer pumps data/ack/producer-done frames into the session.
+func (w *Worker) servePeer(c *conn) {
+	defer c.c.Close()
+	for {
+		f, err := c.recv()
+		if err != nil {
+			return
+		}
+		w.mu.Lock()
+		s := w.sess
+		w.mu.Unlock()
+		if s == nil {
+			continue // stale frame after shutdown
+		}
+		s.dispatchPeer(f)
+	}
+}
+
+// runSession executes one coordinator-driven session on this worker. A
+// worker serves one coordinator at a time; a second Setup while a session
+// is active is refused rather than silently clobbering the running one.
+func (w *Worker) runSession(ctrl *conn, setup *setupMsg) {
+	defer ctrl.c.Close()
+	s, err := newSession(w, setup)
+	if err != nil {
+		_ = ctrl.send(&frame{Kind: kindFail, Err: err.Error()})
+		return
+	}
+	w.mu.Lock()
+	if w.sess != nil && !w.sess.ended {
+		w.mu.Unlock()
+		_ = ctrl.send(&frame{Kind: kindFail, Err: "dist: worker busy with another session"})
+		return
+	}
+	w.sess = s
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		s.ended = true
+		w.mu.Unlock()
+		s.closePeers()
+	}()
+	if err := ctrl.send(&frame{Kind: kindSetupOK}); err != nil {
+		return
+	}
+	for {
+		f, err := ctrl.recv()
+		if err != nil {
+			s.fail(fmt.Errorf("dist: coordinator connection lost: %w", err))
+			return
+		}
+		switch f.Kind {
+		case kindInitUOW:
+			decls, err := s.initUOW(f.UOW)
+			if err != nil {
+				_ = ctrl.send(&frame{Kind: kindFail, Err: err.Error()})
+				continue
+			}
+			_ = ctrl.send(&frame{Kind: kindDecls, Decls: decls})
+		case kindBeginProcess:
+			err := s.process(f.Sizes)
+			if err != nil {
+				_ = ctrl.send(&frame{Kind: kindFail, Err: err.Error()})
+				continue
+			}
+			_ = ctrl.send(&frame{Kind: kindProcessDone})
+		case kindFinalize:
+			st, err := s.finalize()
+			if err != nil {
+				_ = ctrl.send(&frame{Kind: kindFail, Err: err.Error()})
+				continue
+			}
+			_ = ctrl.send(&frame{Kind: kindFinalizeDone, Stats: st})
+		case kindShutdown:
+			return
+		}
+	}
+}
+
+// ---- Session ----
+
+type dcopy struct {
+	name      string
+	filter    core.Filter
+	globalIdx int
+	total     int
+}
+
+type copyStream struct {
+	copyIdx int
+	stream  string
+}
+
+type delivery struct {
+	buf          core.Buffer
+	stream       string
+	fromHost     string
+	producerCopy int
+	targetIdx    int
+	ackEvery     int
+	localAck     chan [2]int // non-nil for same-host deliveries
+}
+
+type session struct {
+	w     *Worker
+	setup *setupMsg
+
+	copies []*dcopy
+	// filterHosts caches placement order per filter (copy-set targets).
+	placeOf map[string][]PlacementEntry
+	totalOf map[string]int
+	// copyHost maps a filter's global copy index to its host.
+	copyHost map[string][]string
+
+	peersMu sync.Mutex
+	peers   map[string]*conn
+
+	failMu   sync.Mutex
+	failedCh chan struct{}
+	failErr  error
+	// ended marks the session finished (guarded by Worker.mu); the worker
+	// then accepts a new Setup while Instances still reads the old copies.
+	ended bool
+
+	uowMu sync.Mutex
+	uow   *uowState
+}
+
+type uowState struct {
+	index int
+	work  any
+
+	queues        map[string]chan delivery
+	producersLeft map[string]int
+	writers       map[copyStream]*dwriter
+	acks          map[copyStream]chan [2]int
+
+	declMu sync.Mutex
+	decls  map[string][2]int
+	sizes  map[string]int
+
+	// stats (atomics / mutex-guarded)
+	statMu    sync.Mutex
+	buffers   map[string]int64
+	bytes     map[string]int64
+	ackCount  map[string]int64
+	perTarget map[string]map[string]int64
+	busy      map[string][]float64
+	busyIdx   map[string]map[int]int // filter -> globalIdx -> slot
+}
+
+type dwriter struct {
+	stream   string
+	targets  []core.TargetInfo
+	writer   core.Writer
+	unacked  []int
+	ackEvery int
+}
+
+func newSession(w *Worker, setup *setupMsg) (*session, error) {
+	s := &session{
+		w: w, setup: setup,
+		placeOf:  make(map[string][]PlacementEntry),
+		totalOf:  make(map[string]int),
+		copyHost: make(map[string][]string),
+		peers:    make(map[string]*conn),
+		failedCh: make(chan struct{}),
+	}
+	for _, e := range setup.Placement {
+		s.placeOf[e.Filter] = append(s.placeOf[e.Filter], e)
+		s.totalOf[e.Filter] += e.Copies
+		for i := 0; i < e.Copies; i++ {
+			s.copyHost[e.Filter] = append(s.copyHost[e.Filter], e.Host)
+		}
+	}
+	// Build local copies, preserving global copy numbering.
+	for _, fs := range setup.Graph.Filters {
+		b, err := builderFor(fs.Kind)
+		if err != nil {
+			return nil, err
+		}
+		idx := 0
+		for _, e := range s.placeOf[fs.Name] {
+			for i := 0; i < e.Copies; i++ {
+				if e.Host == setup.Host {
+					filt, err := b(fs.Params)
+					if err != nil {
+						return nil, fmt.Errorf("dist: building %s: %w", fs.Name, err)
+					}
+					s.copies = append(s.copies, &dcopy{
+						name: fs.Name, filter: filt,
+						globalIdx: idx, total: s.totalOf[fs.Name],
+					})
+				}
+				idx++
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *session) fail(err error) {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	if s.failErr == nil {
+		s.failErr = err
+		close(s.failedCh)
+	}
+}
+
+func (s *session) failed() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failErr
+}
+
+func (s *session) closePeers() {
+	s.peersMu.Lock()
+	defer s.peersMu.Unlock()
+	for _, c := range s.peers {
+		c.c.Close()
+	}
+}
+
+// peer returns (dialing on demand) the outbound connection to a host.
+func (s *session) peer(host string) (*conn, error) {
+	s.peersMu.Lock()
+	defer s.peersMu.Unlock()
+	if c, ok := s.peers[host]; ok {
+		return c, nil
+	}
+	addr, ok := s.setup.Addrs[host]
+	if !ok {
+		return nil, fmt.Errorf("dist: no address for host %q", host)
+	}
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing %s (%s): %w", host, addr, err)
+	}
+	c := newConn(nc)
+	if err := c.send(&frame{Kind: kindHello}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	s.peers[host] = c
+	return c, nil
+}
+
+// inputsOf / outputsOf resolve stream specs by endpoint.
+func (s *session) inputsOf(filter string) []core.StreamSpec {
+	var out []core.StreamSpec
+	for _, sp := range s.setup.Graph.Streams {
+		if sp.To == filter {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+func (s *session) outputsOf(filter string) []core.StreamSpec {
+	var out []core.StreamSpec
+	for _, sp := range s.setup.Graph.Streams {
+		if sp.From == filter {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+func (s *session) streamByName(name string) (core.StreamSpec, bool) {
+	for _, sp := range s.setup.Graph.Streams {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return core.StreamSpec{}, false
+}
+
+// consumerTargets lists the consumer copy sets of a stream in placement
+// order.
+func (s *session) consumerTargets(sp core.StreamSpec, producerHost string) []core.TargetInfo {
+	var out []core.TargetInfo
+	for _, e := range s.placeOf[sp.To] {
+		out = append(out, core.TargetInfo{Host: e.Host, Copies: e.Copies, Local: e.Host == producerHost})
+	}
+	return out
+}
+
+func (s *session) qcap() int {
+	if s.setup.Opts.QueueCap > 0 {
+		return s.setup.Opts.QueueCap
+	}
+	return 8
+}
+
+func (s *session) policy() core.Policy {
+	if p := core.PolicyByName(s.setup.Opts.Policy); p != nil {
+		return p
+	}
+	return core.RoundRobin()
+}
+
+// initUOW builds per-UOW plumbing and runs every local copy's Init.
+func (s *session) initUOW(msg *uowMsg) (map[string][2]int, error) {
+	var work any
+	if len(msg.Work) > 0 {
+		var err error
+		work, err = decodeAny(msg.Work)
+		if err != nil {
+			return nil, fmt.Errorf("dist: decoding unit of work: %w", err)
+		}
+	}
+	u := &uowState{
+		index:         msg.Index,
+		work:          work,
+		queues:        make(map[string]chan delivery),
+		producersLeft: make(map[string]int),
+		writers:       make(map[copyStream]*dwriter),
+		acks:          make(map[copyStream]chan [2]int),
+		decls:         make(map[string][2]int),
+		sizes:         make(map[string]int),
+		buffers:       make(map[string]int64),
+		bytes:         make(map[string]int64),
+		ackCount:      make(map[string]int64),
+		perTarget:     make(map[string]map[string]int64),
+		busy:          make(map[string][]float64),
+		busyIdx:       make(map[string]map[int]int),
+	}
+	// Queues for streams consumed on this host.
+	for _, sp := range s.setup.Graph.Streams {
+		consumesHere := false
+		for _, e := range s.placeOf[sp.To] {
+			if e.Host == s.setup.Host {
+				consumesHere = true
+			}
+		}
+		if consumesHere {
+			u.queues[sp.Name] = make(chan delivery, s.qcap())
+			u.producersLeft[sp.Name] = s.totalOf[sp.From]
+		}
+	}
+	// Writers and ack channels for local producer copies.
+	pol := s.policy()
+	for _, c := range s.copies {
+		for _, sp := range s.outputsOf(c.name) {
+			targets := s.consumerTargets(sp, s.setup.Host)
+			wr := pol.NewWriter(targets)
+			dw := &dwriter{
+				stream: sp.Name, targets: targets, writer: wr,
+				unacked: make([]int, len(targets)), ackEvery: core.AckBatchOf(wr),
+			}
+			key := copyStream{c.globalIdx, sp.Name}
+			u.writers[key] = dw
+			if wr.WantsAcks() {
+				size := 8
+				for _, t := range targets {
+					size += s.qcap() + t.Copies
+				}
+				u.acks[key] = make(chan [2]int, size*4)
+			}
+		}
+	}
+	s.uowMu.Lock()
+	s.uow = u
+	s.uowMu.Unlock()
+
+	// Run Init on every local copy.
+	var wg sync.WaitGroup
+	var initErr error
+	var errMu sync.Mutex
+	for _, c := range s.copies {
+		wg.Add(1)
+		go func(c *dcopy) {
+			defer wg.Done()
+			ctx := s.ctxFor(c, u)
+			t0 := time.Now()
+			err := c.filter.Init(ctx)
+			u.addBusy(c, time.Since(t0).Seconds())
+			if err != nil {
+				errMu.Lock()
+				if initErr == nil {
+					initErr = fmt.Errorf("dist: %s copy %d init: %w", c.name, c.globalIdx, err)
+				}
+				errMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if initErr != nil {
+		return nil, initErr
+	}
+	u.declMu.Lock()
+	defer u.declMu.Unlock()
+	out := make(map[string][2]int, len(u.decls))
+	for k, v := range u.decls {
+		out[k] = v
+	}
+	return out, nil
+}
+
+func (u *uowState) addBusy(c *dcopy, seconds float64) {
+	u.statMu.Lock()
+	defer u.statMu.Unlock()
+	m := u.busyIdx[c.name]
+	if m == nil {
+		m = make(map[int]int)
+		u.busyIdx[c.name] = m
+	}
+	slot, ok := m[c.globalIdx]
+	if !ok {
+		slot = len(u.busy[c.name])
+		u.busy[c.name] = append(u.busy[c.name], 0)
+		m[c.globalIdx] = slot
+	}
+	u.busy[c.name][slot] += seconds
+}
+
+// process runs every local copy's Process and propagates end-of-work.
+func (s *session) process(sizes map[string]int) error {
+	s.uowMu.Lock()
+	u := s.uow
+	s.uowMu.Unlock()
+	if u == nil {
+		return fmt.Errorf("dist: BeginProcess before InitUOW")
+	}
+	u.sizes = sizes
+
+	var wg sync.WaitGroup
+	var procErr error
+	var errMu sync.Mutex
+	for _, c := range s.copies {
+		wg.Add(1)
+		go func(c *dcopy) {
+			defer wg.Done()
+			ctx := s.ctxFor(c, u)
+			t0 := time.Now()
+			err := safeProcess(c.filter, ctx)
+			u.addBusy(c, time.Since(t0).Seconds())
+			// End-of-work: tell every consuming host this producer copy is
+			// done (on the data connections, so markers trail the data).
+			for _, sp := range s.outputsOf(c.name) {
+				s.broadcastProducerDone(sp, u.index)
+			}
+			if err != nil {
+				errMu.Lock()
+				if procErr == nil {
+					procErr = fmt.Errorf("dist: %s copy %d: %w", c.name, c.globalIdx, err)
+				}
+				errMu.Unlock()
+				s.fail(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if procErr != nil {
+		return procErr
+	}
+	return s.failed()
+}
+
+func safeProcess(f core.Filter, ctx core.Ctx) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("filter panicked: %v", r)
+		}
+	}()
+	return f.Process(ctx)
+}
+
+// broadcastProducerDone notifies every host holding a consumer copy set of
+// sp (including this one) that one producer copy finished.
+func (s *session) broadcastProducerDone(sp core.StreamSpec, uowIdx int) {
+	seen := map[string]bool{}
+	for _, e := range s.placeOf[sp.To] {
+		if seen[e.Host] {
+			continue
+		}
+		seen[e.Host] = true
+		if e.Host == s.setup.Host {
+			s.producerDone(sp.Name, uowIdx)
+			continue
+		}
+		c, err := s.peer(e.Host)
+		if err != nil {
+			// A consumer host we cannot reach would wait for this marker
+			// forever; surface the failure instead of hanging the run.
+			s.fail(fmt.Errorf("dist: end-of-work for %s undeliverable: %w", sp.Name, err))
+			continue
+		}
+		if err := c.send(&frame{Kind: kindProducerDone, UOWIdx: uowIdx, Stream: sp.Name}); err != nil {
+			s.fail(fmt.Errorf("dist: end-of-work for %s undeliverable: %w", sp.Name, err))
+		}
+	}
+}
+
+// producerDone decrements a stream's live-producer count, closing the
+// local queue at zero.
+func (s *session) producerDone(stream string, uowIdx int) {
+	s.uowMu.Lock()
+	u := s.uow
+	s.uowMu.Unlock()
+	if u == nil || u.index != uowIdx {
+		return
+	}
+	u.statMu.Lock()
+	left, ok := u.producersLeft[stream]
+	if !ok {
+		u.statMu.Unlock()
+		return
+	}
+	left--
+	u.producersLeft[stream] = left
+	q := u.queues[stream]
+	u.statMu.Unlock()
+	if left == 0 && q != nil {
+		close(q)
+	}
+}
+
+// finalize runs Finalize on local copies and returns the stats fragment.
+func (s *session) finalize() (*wireStats, error) {
+	s.uowMu.Lock()
+	u := s.uow
+	s.uowMu.Unlock()
+	if u == nil {
+		return nil, fmt.Errorf("dist: Finalize before InitUOW")
+	}
+	var wg sync.WaitGroup
+	var finErr error
+	var errMu sync.Mutex
+	for _, c := range s.copies {
+		wg.Add(1)
+		go func(c *dcopy) {
+			defer wg.Done()
+			ctx := s.ctxFor(c, u)
+			t0 := time.Now()
+			err := c.filter.Finalize(ctx)
+			u.addBusy(c, time.Since(t0).Seconds())
+			if err != nil {
+				errMu.Lock()
+				if finErr == nil {
+					finErr = err
+				}
+				errMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if finErr != nil {
+		return nil, finErr
+	}
+	u.statMu.Lock()
+	defer u.statMu.Unlock()
+	ws := &wireStats{
+		StreamBuffers: u.buffers, StreamBytes: u.bytes, StreamAcks: u.ackCount,
+		PerTarget: u.perTarget, FilterBusy: u.busy,
+	}
+	return ws, nil
+}
+
+// dispatchPeer handles one inbound peer frame. Frames carry the unit of
+// work they belong to; anything from a stale unit (e.g. a trailing
+// acknowledgment that arrives after the next unit's state replaced the
+// writer counters) is dropped — stream names repeat every unit, so
+// without the check a late ack would corrupt the new unit's demand counts.
+func (s *session) dispatchPeer(f *frame) {
+	switch f.Kind {
+	case kindData:
+		s.uowMu.Lock()
+		u := s.uow
+		s.uowMu.Unlock()
+		if u == nil || u.index != f.UOWIdx {
+			return
+		}
+		q := u.queues[f.Stream]
+		if q == nil {
+			return
+		}
+		payload, err := decodeAny(f.Payload)
+		if err != nil {
+			s.fail(fmt.Errorf("dist: decoding buffer on %s: %w", f.Stream, err))
+			return
+		}
+		sp, _ := s.streamByName(f.Stream)
+		fromHost := s.copyHost[sp.From][f.Copy]
+		d := delivery{
+			buf:          core.Buffer{Payload: payload, Size: f.Size},
+			stream:       f.Stream,
+			fromHost:     fromHost,
+			producerCopy: f.Copy,
+			targetIdx:    f.Target,
+			ackEvery:     f.AckN,
+		}
+		select {
+		case q <- d: // blocking here exerts TCP backpressure upstream
+		case <-s.failedCh:
+		}
+	case kindAck:
+		s.uowMu.Lock()
+		u := s.uow
+		s.uowMu.Unlock()
+		if u == nil || u.index != f.UOWIdx {
+			return
+		}
+		key := copyStream{f.Copy, f.Stream}
+		if ch, ok := u.acks[key]; ok {
+			select {
+			case ch <- [2]int{f.Target, f.AckN}:
+			default: // counter channel overflow: drop (conservative)
+			}
+		}
+	case kindProducerDone:
+		s.producerDone(f.Stream, f.UOWIdx)
+	}
+}

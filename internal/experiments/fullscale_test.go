@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFullScaleAll runs every experiment at paper scale when
+// DATACUTTER_FULL=1 (slow; used to generate EXPERIMENTS.md data).
+func TestFullScaleAll(t *testing.T) {
+	if os.Getenv("DATACUTTER_FULL") == "" {
+		t.Skip("set DATACUTTER_FULL=1 for paper-scale runs")
+	}
+	for _, id := range IDs() {
+		res, err := Run(id, Full)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		t.Log("\n" + res.String())
+	}
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"datacutter/internal/tablefmt"
+)
+
+// The shape assertions below check, at quick scale, that each regenerated
+// artifact reproduces the paper's qualitative findings — who wins, in which
+// direction effects move — not absolute numbers.
+
+func cellF(t *testing.T, tb *tablefmt.Table, row, col int) float64 {
+	t.Helper()
+	s := tb.Cell(row, col)
+	// Strip annotations like "1.00 (123.45s)".
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tb.Cell(row, col), err)
+	}
+	return v
+}
+
+func cellI(t *testing.T, tb *tablefmt.Table, row, col int) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(tb.Cell(row, col), 10, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not integer: %v", row, col, tb.Cell(row, col), err)
+	}
+	return v
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Run("table1", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	// Row 2 is Ra->M: [stream, zbBufs, zbMB, apBufs, apMB].
+	zbBufs, apBufs := cellI(t, tb, 2, 1), cellI(t, tb, 2, 3)
+	zbMB, apMB := cellF(t, tb, 2, 2), cellF(t, tb, 2, 4)
+	if apBufs <= zbBufs {
+		t.Fatalf("active pixel should send more Ra->M buffers: ap=%d zb=%d", apBufs, zbBufs)
+	}
+	if apMB >= zbMB {
+		t.Fatalf("active pixel should move less Ra->M volume: ap=%.2f zb=%.2f", apMB, zbMB)
+	}
+	// E is data-reducing: E->Ra volume below R->E volume.
+	if cellF(t, tb, 1, 2) >= cellF(t, tb, 0, 2) {
+		t.Fatal("extract stage should reduce data volume")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Run("table2", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	for row := 0; row < 2; row++ {
+		r := cellF(t, tb, row, 1)
+		e := cellF(t, tb, row, 2)
+		ra := cellF(t, tb, row, 3)
+		if !(ra > e && ra > r) {
+			t.Fatalf("row %d: raster must dominate (R=%.2f E=%.2f Ra=%.2f)", row, r, e, ra)
+		}
+	}
+	// Active pixel merges cheaper than z-buffer at the merge filter.
+	if cellF(t, tb, 1, 4) > cellF(t, tb, 0, 4) {
+		t.Fatal("active-pixel merge should not cost more than z-buffer merge")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, err := Run("fig4", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	// Times fall as nodes grow (same image size: compare first and last
+	// rows of the same size).
+	firstADR := cellF(t, tb, 0, 2)
+	lastADR := cellF(t, tb, tb.Rows()-2, 2)
+	if lastADR >= firstADR {
+		t.Fatalf("ADR does not scale with nodes: %v -> %v", firstADR, lastADR)
+	}
+	// DataCutter stays within 35% of ADR everywhere at quick scale.
+	for row := 0; row < tb.Rows(); row++ {
+		adr := cellF(t, tb, row, 2)
+		for col := 3; col <= 4; col++ {
+			if v := cellF(t, tb, row, col); v > adr*1.35 {
+				t.Fatalf("row %d col %d: DC %.2f vs ADR %.2f — not competitive", row, col, v, adr)
+			}
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res, err := Run("fig5", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	// Columns: bg, image, ADR(=1.00), zb, ap. At the highest load the
+	// normalized DataCutter values must be clearly below 1.
+	last := tb.Rows() - 1
+	if zb, ap := cellF(t, tb, last, 3), cellF(t, tb, last, 4); zb >= 1 || ap >= 1 {
+		t.Fatalf("DataCutter should beat ADR under heavy load: zb=%.2f ap=%.2f", zb, ap)
+	}
+	// And the advantage must grow with load: normalized value at bg=16
+	// below value at bg=0 for active pixel.
+	if first, lastV := cellF(t, tb, 0, 4), cellF(t, tb, last, 4); lastV >= first {
+		t.Fatalf("DC advantage should grow with load: %.2f -> %.2f", first, lastV)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res, err := Run("table3", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	// Columns: bg, image, alg, rogue, blue. With no load the split is
+	// within 35%; at bg=16 blue must receive clearly more.
+	r0, b0 := cellI(t, tb, 0, 3), cellI(t, tb, 0, 4)
+	if r0 > b0*135/100 || b0 > r0*135/100 {
+		t.Fatalf("unloaded split should be near even: rogue=%d blue=%d", r0, b0)
+	}
+	last := tb.Rows() - 1
+	rN, bN := cellI(t, tb, last, 3), cellI(t, tb, last, 4)
+	if bN <= rN {
+		t.Fatalf("DD should shift buffers to blue under load: rogue=%d blue=%d", rN, bN)
+	}
+	// The shift at high load is stronger than at no load.
+	if float64(bN)/float64(rN+1) <= float64(b0)/float64(r0+1) {
+		t.Fatalf("shift should grow with load: %d/%d -> %d/%d", b0, r0, bN, rN)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	res, err := Run("table4", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range res.Tables {
+		for row := 0; row < tb.Rows(); row++ {
+			cfg := tb.Cell(row, 1)
+			apRR, apDD := cellF(t, tb, row, 2), cellF(t, tb, row, 3)
+			if cfg == "RERa-M" {
+				// Single combined filter: no demand-driven distribution
+				// possible; DD must not help materially.
+				if apDD < apRR*0.9 {
+					t.Fatalf("RERa-M should gain nothing from DD: RR=%.2f DD=%.2f", apRR, apDD)
+				}
+				continue
+			}
+			// Under load (rows with bg>0), DD should not lose to RR by
+			// more than noise.
+			if bg := tb.Cell(row, 0); bg != "0" && apDD > apRR*1.1 {
+				t.Fatalf("%s bg=%s: DD (%.2f) worse than RR (%.2f)", cfg, bg, apDD, apRR)
+			}
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	res, err := Run("table5", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	// Columns: nodes, config, RR, WRR, DD. WRR must beat plain RR (the
+	// 8-way node runs 7 copies and deserves proportional traffic).
+	for row := 0; row < tb.Rows(); row++ {
+		rr, wrr := cellF(t, tb, row, 2), cellF(t, tb, row, 3)
+		if wrr > rr*1.05 {
+			t.Fatalf("row %d: WRR (%.2f) should not lose to RR (%.2f)", row, wrr, rr)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res, err := Run("fig7", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tables are [balanced, skewed...]; rows: RERa-M, R-ERa-M, RE-Ra-M.
+	balanced, skewed := res.Tables[0], res.Tables[len(res.Tables)-1]
+	// RERa-M (row 0) degrades with skew under every policy.
+	for col := 1; col <= 3; col++ {
+		b, s := cellF(t, balanced, 0, col), cellF(t, skewed, 0, col)
+		if s <= b {
+			t.Fatalf("RERa-M should degrade with skew (col %d): %.2f -> %.2f", col, b, s)
+		}
+	}
+	// The decoupled RE-Ra-M with DD handles skew better than RERa-M.
+	if re := cellF(t, skewed, 2, 3); re >= cellF(t, skewed, 0, 3) {
+		t.Fatalf("RE-Ra-M+DD (%.2f) should beat RERa-M (%.2f) under skew", re, cellF(t, skewed, 0, 3))
+	}
+}

@@ -1,0 +1,16 @@
+package experiments
+
+import "testing"
+
+func TestQuickSmokeAll(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log("\n" + res.String())
+		})
+	}
+}

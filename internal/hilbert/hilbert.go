@@ -1,0 +1,125 @@
+// Package hilbert implements the 3-D Hilbert space-filling curve used for
+// declustering dataset chunks across files (Faloutsos & Bhagwat [14]):
+// chunks adjacent in space land near each other on the curve, so striping
+// the curve order across files spreads any range query's chunks evenly.
+//
+// The transformation is John Skilling's transpose algorithm, operating on
+// n-dimensional coordinates of b bits each.
+package hilbert
+
+// Dims is the dimensionality of the curve this package instantiates.
+const Dims = 3
+
+// axesToTranspose converts spatial coordinates into the "transposed"
+// Hilbert index representation, in place.
+func axesToTranspose(x []uint32, bits int) {
+	m := uint32(1) << (bits - 1)
+	// Inverse undo.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < len(x); i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < len(x); i++ {
+		x[i] ^= x[i-1]
+	}
+	t := uint32(0)
+	for q := m; q > 1; q >>= 1 {
+		if x[len(x)-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := range x {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes inverts axesToTranspose, in place.
+func transposeToAxes(x []uint32, bits int) {
+	n := uint32(2) << (bits - 1)
+	// Gray decode by H ^ (H/2).
+	t := x[len(x)-1] >> 1
+	for i := len(x) - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != n; q <<= 1 {
+		p := q - 1
+		for i := len(x) - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// pack interleaves the transposed representation into a linear index:
+// bit (bits-1-j) of x[i] becomes bit (3*bits - 1 - (j*3 + i)) of d.
+func pack(x []uint32, bits int) uint64 {
+	var d uint64
+	for j := 0; j < bits; j++ {
+		for i := 0; i < Dims; i++ {
+			bit := (x[i] >> (bits - 1 - j)) & 1
+			d = d<<1 | uint64(bit)
+		}
+	}
+	return d
+}
+
+func unpack(d uint64, bits int) [Dims]uint32 {
+	var x [Dims]uint32
+	for pos := 3*bits - 1; pos >= 0; pos-- {
+		bit := uint32(d>>pos) & 1
+		j := (3*bits - 1 - pos) / Dims
+		i := (3*bits - 1 - pos) % Dims
+		x[i] |= bit << (bits - 1 - j)
+	}
+	return x
+}
+
+// Index returns the position of cell (x,y,z) along the Hilbert curve of a
+// (2^bits)³ grid. bits must be in [1, 20]; coordinates must be < 2^bits.
+func Index(x, y, z uint32, bits int) uint64 {
+	checkBits(bits)
+	v := []uint32{x, y, z}
+	axesToTranspose(v, bits)
+	return pack(v, bits)
+}
+
+// Coords inverts Index.
+func Coords(d uint64, bits int) (x, y, z uint32) {
+	checkBits(bits)
+	v := unpack(d, bits)
+	s := v[:]
+	transposeToAxes(s, bits)
+	return s[0], s[1], s[2]
+}
+
+func checkBits(bits int) {
+	if bits < 1 || bits > 20 {
+		panic("hilbert: bits must be in [1,20]")
+	}
+}
+
+// BitsFor returns the smallest bit width whose 2^bits grid covers n cells
+// per axis.
+func BitsFor(n int) int {
+	b := 1
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10}
+	for n, want := range cases {
+		if got := BitsFor(n); got != want {
+			t.Fatalf("BitsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRoundTripExhaustiveSmall(t *testing.T) {
+	for _, bits := range []int{1, 2, 3} {
+		n := uint32(1) << bits
+		seen := make(map[uint64]bool)
+		for x := uint32(0); x < n; x++ {
+			for y := uint32(0); y < n; y++ {
+				for z := uint32(0); z < n; z++ {
+					d := Index(x, y, z, bits)
+					if d >= uint64(n)*uint64(n)*uint64(n) {
+						t.Fatalf("bits=%d: index %d out of range", bits, d)
+					}
+					if seen[d] {
+						t.Fatalf("bits=%d: duplicate index %d", bits, d)
+					}
+					seen[d] = true
+					rx, ry, rz := Coords(d, bits)
+					if rx != x || ry != y || rz != z {
+						t.Fatalf("bits=%d: roundtrip (%d,%d,%d) -> %d -> (%d,%d,%d)", bits, x, y, z, d, rx, ry, rz)
+					}
+				}
+			}
+		}
+		if len(seen) != 1<<(3*bits) {
+			t.Fatalf("bits=%d: not a bijection (%d cells)", bits, len(seen))
+		}
+	}
+}
+
+// The defining Hilbert property: consecutive curve positions are adjacent
+// grid cells (unit step along exactly one axis).
+func TestCurveContinuity(t *testing.T) {
+	for _, bits := range []int{1, 2, 3, 4} {
+		total := uint64(1) << (3 * bits)
+		px, py, pz := Coords(0, bits)
+		for d := uint64(1); d < total; d++ {
+			x, y, z := Coords(d, bits)
+			dx := absDiff(x, px)
+			dy := absDiff(y, py)
+			dz := absDiff(z, pz)
+			if dx+dy+dz != 1 {
+				t.Fatalf("bits=%d: step %d not unit: (%d,%d,%d)->(%d,%d,%d)", bits, d, px, py, pz, x, y, z)
+			}
+			px, py, pz = x, y, z
+		}
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Property: round trip at random larger bit widths.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 4 + rng.Intn(10)
+		n := uint32(1) << bits
+		for i := 0; i < 50; i++ {
+			x, y, z := rng.Uint32()%n, rng.Uint32()%n, rng.Uint32()%n
+			d := Index(x, y, z, bits)
+			rx, ry, rz := Coords(d, bits)
+			if rx != x || ry != y || rz != z {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Locality: points nearby on the curve should be nearby in space — the
+// property that makes Hilbert declustering spread range queries evenly.
+// Compare against a raster (row-major) order, which has terrible locality.
+func TestLocalityBeatsRasterOrder(t *testing.T) {
+	const bits = 4
+	n := uint32(1) << bits
+	total := uint64(n) * uint64(n) * uint64(n)
+	manhattan := func(x1, y1, z1, x2, y2, z2 uint32) int {
+		return int(absDiff(x1, x2) + absDiff(y1, y2) + absDiff(z1, z2))
+	}
+	const gap = 8 // curve distance to compare at
+	var hilbertSum, rasterSum int
+	for d := uint64(0); d+gap < total; d += 13 {
+		x1, y1, z1 := Coords(d, bits)
+		x2, y2, z2 := Coords(d+gap, bits)
+		hilbertSum += manhattan(x1, y1, z1, x2, y2, z2)
+		// Raster order: index -> (x,y,z) row-major.
+		r1 := d
+		r2 := d + gap
+		rasterSum += manhattan(
+			uint32(r1%uint64(n)), uint32((r1/uint64(n))%uint64(n)), uint32(r1/uint64(n*n)),
+			uint32(r2%uint64(n)), uint32((r2/uint64(n))%uint64(n)), uint32(r2/uint64(n*n)))
+	}
+	if hilbertSum >= rasterSum {
+		t.Fatalf("hilbert locality (%d) not better than raster (%d)", hilbertSum, rasterSum)
+	}
+}
+
+func TestBadBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Index(0, 0, 0, 0)
+}

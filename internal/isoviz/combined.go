@@ -1,0 +1,266 @@
+package isoviz
+
+import (
+	"fmt"
+
+	"datacutter/internal/core"
+	"datacutter/internal/geom"
+	"datacutter/internal/mcubes"
+	"datacutter/internal/render"
+)
+
+// The paper evaluates three decompositions of the application beyond the
+// fully split R–E–Ra–M (Figure 3): RERa–M, RE–Ra–M, and R–ERa–M. The
+// combined filters below fuse stages inside one filter, trading pipeline
+// decoupling for lower communication volume.
+
+// ReadExtractFilter (RE) fuses reading and extraction: chunks never cross
+// the network as voxels, only triangles leave the filter.
+type ReadExtractFilter struct {
+	core.BaseFilter
+	Source ChunkSource
+	Assign Assign
+	Out    string
+}
+
+// Process implements core.Filter.
+func (f *ReadExtractFilter) Process(ctx core.Ctx) error {
+	view, err := viewOf(ctx)
+	if err != nil {
+		return err
+	}
+	packer := newTriPacker(ctx, f.Out)
+	for _, chunk := range f.Assign(ctx) {
+		v, err := f.Source.Load(chunk, view.Timestep)
+		if err != nil {
+			return fmt.Errorf("isoviz: read chunk %d: %w", chunk, err)
+		}
+		if err := extractBlock(ctx, v, view.Iso, packer); err != nil {
+			return err
+		}
+		if err := packer.flush(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExtractRasterZFilter (ERa, z-buffer) fuses extraction and rasterization:
+// triangles are rendered where they are generated.
+type ExtractRasterZFilter struct {
+	In, Out string
+	st      *zbufState
+}
+
+// Init implements core.Filter.
+func (f *ExtractRasterZFilter) Init(ctx core.Ctx) error {
+	view, err := viewOf(ctx)
+	if err != nil {
+		return err
+	}
+	ctx.DeclareBuffer(f.Out, ZFrameBufferBytes, 0)
+	f.st = newZbufState(view)
+	return nil
+}
+
+// Process implements core.Filter.
+func (f *ExtractRasterZFilter) Process(ctx core.Ctx) error {
+	view, err := viewOf(ctx)
+	if err != nil {
+		return err
+	}
+	for {
+		b, ok := ctx.Read(f.In)
+		if !ok {
+			return sendZBuffer(ctx, f.st.z, f.Out)
+		}
+		vb, ok := b.Payload.(VoxelBlock)
+		if !ok {
+			return fmt.Errorf("isoviz: extract-raster got %T", b.Payload)
+		}
+		f.st.renderBlock(vb, view.Iso)
+	}
+}
+
+// Finalize implements core.Filter.
+func (f *ExtractRasterZFilter) Finalize(core.Ctx) error {
+	f.st = nil
+	return nil
+}
+
+// ExtractRasterAPFilter (ERa, active pixel).
+type ExtractRasterAPFilter struct {
+	In, Out string
+	ap      *apState
+}
+
+// Init implements core.Filter.
+func (f *ExtractRasterAPFilter) Init(ctx core.Ctx) error {
+	if _, err := viewOf(ctx); err != nil {
+		return err
+	}
+	ctx.DeclareBuffer(f.Out, 0, WPABufferBytes)
+	return nil
+}
+
+// Process implements core.Filter.
+func (f *ExtractRasterAPFilter) Process(ctx core.Ctx) error {
+	view, err := viewOf(ctx)
+	if err != nil {
+		return err
+	}
+	f.ap = newAPState(ctx, view, f.Out)
+	f.ap.ctx = ctx
+	defer func() { f.ap.ctx = nil }()
+	for {
+		b, ok := ctx.Read(f.In)
+		if !ok {
+			f.ap.ap.FlushRemaining()
+			return f.ap.werr
+		}
+		vb, ok := b.Payload.(VoxelBlock)
+		if !ok {
+			return fmt.Errorf("isoviz: extract-raster got %T", b.Payload)
+		}
+		f.ap.extractRenderBlock(vb, view.Iso)
+		f.ap.ap.FlushRemaining()
+		if f.ap.werr != nil {
+			return f.ap.werr
+		}
+	}
+}
+
+// Finalize implements core.Filter.
+func (f *ExtractRasterAPFilter) Finalize(core.Ctx) error {
+	f.ap = nil
+	return nil
+}
+
+// ReadExtractRasterZFilter (RERa, z-buffer) fuses the whole producer side:
+// the application degenerates to SPMD processing plus a final merge, the
+// configuration closest to ADR's model (paper §4.3: a single combined
+// filter allows no demand-driven distribution among copies).
+type ReadExtractRasterZFilter struct {
+	Source ChunkSource
+	Assign Assign
+	Out    string
+	st     *zbufState
+}
+
+// Init implements core.Filter.
+func (f *ReadExtractRasterZFilter) Init(ctx core.Ctx) error {
+	view, err := viewOf(ctx)
+	if err != nil {
+		return err
+	}
+	ctx.DeclareBuffer(f.Out, ZFrameBufferBytes, 0)
+	f.st = newZbufState(view)
+	return nil
+}
+
+// Process implements core.Filter.
+func (f *ReadExtractRasterZFilter) Process(ctx core.Ctx) error {
+	view, err := viewOf(ctx)
+	if err != nil {
+		return err
+	}
+	for _, chunk := range f.Assign(ctx) {
+		v, err := f.Source.Load(chunk, view.Timestep)
+		if err != nil {
+			return fmt.Errorf("isoviz: read chunk %d: %w", chunk, err)
+		}
+		f.st.renderBlock(VoxelBlock{V: v}, view.Iso)
+	}
+	return sendZBuffer(ctx, f.st.z, f.Out)
+}
+
+// Finalize implements core.Filter.
+func (f *ReadExtractRasterZFilter) Finalize(core.Ctx) error {
+	f.st = nil
+	return nil
+}
+
+// ReadExtractRasterAPFilter (RERa, active pixel).
+type ReadExtractRasterAPFilter struct {
+	Source ChunkSource
+	Assign Assign
+	Out    string
+	ap     *apState
+}
+
+// Init implements core.Filter.
+func (f *ReadExtractRasterAPFilter) Init(ctx core.Ctx) error {
+	if _, err := viewOf(ctx); err != nil {
+		return err
+	}
+	ctx.DeclareBuffer(f.Out, 0, WPABufferBytes)
+	return nil
+}
+
+// Process implements core.Filter.
+func (f *ReadExtractRasterAPFilter) Process(ctx core.Ctx) error {
+	view, err := viewOf(ctx)
+	if err != nil {
+		return err
+	}
+	f.ap = newAPState(ctx, view, f.Out)
+	f.ap.ctx = ctx
+	defer func() { f.ap.ctx = nil }()
+	for _, chunk := range f.Assign(ctx) {
+		v, err := f.Source.Load(chunk, view.Timestep)
+		if err != nil {
+			return fmt.Errorf("isoviz: read chunk %d: %w", chunk, err)
+		}
+		f.ap.extractRenderBlock(VoxelBlock{V: v}, view.Iso)
+		if f.ap.werr != nil {
+			return f.ap.werr
+		}
+	}
+	f.ap.ap.FlushRemaining()
+	return f.ap.werr
+}
+
+// Finalize implements core.Filter.
+func (f *ReadExtractRasterAPFilter) Finalize(core.Ctx) error {
+	f.ap = nil
+	return nil
+}
+
+// apState bundles an active-pixel rasterizer whose flushes write buffers.
+type apState struct {
+	rr   *render.Raster
+	ap   *render.ActivePixels
+	out  string
+	ctx  core.Ctx
+	werr error
+}
+
+// renderBlock extracts and immediately rasterizes one chunk into the
+// private z-buffer.
+func (s *zbufState) renderBlock(vb VoxelBlock, iso float32) {
+	mcubes.Walk(vb.V, iso, func(t geom.Triangle) { s.rr.Draw(t, s.z) })
+}
+
+// extractRenderBlock extracts and rasterizes one chunk through the
+// active-pixel target (flushes may fire mid-block when the WPA fills).
+func (s *apState) extractRenderBlock(vb VoxelBlock, iso float32) {
+	mcubes.Walk(vb.V, iso, func(t geom.Triangle) { s.rr.Draw(t, s.ap) })
+}
+
+// newAPState must run in Process (buffer sizes are resolved after Init).
+func newAPState(ctx core.Ctx, view View, out string) *apState {
+	s := &apState{out: out}
+	capPixels := ctx.BufferBytes(out) / render.PixelBytes
+	if capPixels < 1 {
+		capPixels = 1
+	}
+	s.rr = render.NewRaster(view.Camera, view.Width, view.Height)
+	s.ap = render.NewActivePixels(view.Width, view.Height, capPixels, func(px []render.Pixel) {
+		if s.werr != nil {
+			return
+		}
+		batch := PixBatch{Pixels: append([]render.Pixel(nil), px...)}
+		s.werr = s.ctx.Write(s.out, core.Buffer{Payload: batch, Size: batch.Bytes()})
+	})
+	return s
+}

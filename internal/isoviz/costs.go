@@ -1,0 +1,68 @@
+package isoviz
+
+// CostModel holds the calibration constants that translate workload counts
+// (cells scanned, triangles generated, pixels filled, bytes moved) into
+// reference-CPU seconds for the simulated engine. The reference core is the
+// cluster package's speed-1.0 host (a Pentium III 550 in the paper's
+// hardware). Defaults are calibrated so an isolated-filter run of the
+// paper's baseline workload (Tables 1 and 2) lands near the published
+// per-filter times; see EXPERIMENTS.md.
+type CostModel struct {
+	// Read filter: CPU per byte moved from disk (buffer management).
+	ReadCPUPerByte float64
+	// Extract filter: per marching cell scanned and per triangle built.
+	CellSeconds   float64
+	TriGenSeconds float64
+	// Raster filter: per triangle (transform/clip/setup) and per filled
+	// pixel (interpolation + depth test).
+	TriRasterSeconds float64
+	PixelSeconds     float64
+	// Merge filter: per pixel or winning-pixel entry merged, plus a
+	// per-frame cost to extract colors and generate the client image.
+	MergePixelSeconds float64
+	ImageGenSeconds   float64
+
+	// Coverage is the fraction of the output image covered by the
+	// projected surface, including depth overlap (filled pixels ≈
+	// Coverage × W × H).
+	Coverage float64
+	// APDedupFactor is the ratio of winning-pixel entries shipped by the
+	// active-pixel algorithm to raw filled pixels (the WPA dedupes
+	// same-column rewrites within a batch).
+	APDedupFactor float64
+}
+
+// DefaultCosts returns the 2002-reference calibration.
+func DefaultCosts() CostModel {
+	return CostModel{
+		ReadCPUPerByte:    6e-9,
+		CellSeconds:       0.8e-6,
+		TriGenSeconds:     7e-6,
+		TriRasterSeconds:  100e-6,
+		PixelSeconds:      15e-6,
+		MergePixelSeconds: 0.6e-6,
+		ImageGenSeconds:   1.2e-6,
+		Coverage:          0.75,
+		APDedupFactor:     0.55,
+	}
+}
+
+// ExtractSeconds returns the modeled extract cost of one chunk.
+func (c CostModel) ExtractSeconds(cells, tris int) float64 {
+	return float64(cells)*c.CellSeconds + float64(tris)*c.TriGenSeconds
+}
+
+// RasterSeconds returns the modeled raster cost of a triangle batch, given
+// the per-triangle projected pixel count for this view.
+func (c CostModel) RasterSeconds(tris int, pxPerTri float64) float64 {
+	return float64(tris) * (c.TriRasterSeconds + pxPerTri*c.PixelSeconds)
+}
+
+// PxPerTri returns the average filled pixels per triangle for a view with
+// the given total triangle count.
+func (c CostModel) PxPerTri(view View, totalTris int64) float64 {
+	if totalTris <= 0 {
+		return 0
+	}
+	return c.Coverage * float64(view.Width) * float64(view.Height) / float64(totalTris)
+}

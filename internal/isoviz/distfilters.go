@@ -1,0 +1,102 @@
+package isoviz
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"datacutter/internal/core"
+	"datacutter/internal/dataset"
+	"datacutter/internal/dist"
+	"datacutter/internal/volume"
+)
+
+// Distributed-worker registrations: these builders let any process that
+// imports isoviz serve as a dist worker for the isosurface application.
+// The coordinator ships only filter kinds and parameters; chunk sources
+// are reconstructed worker-side (a synthetic field from its seed, or an
+// on-disk store from its directory).
+
+// FieldREParams parameterizes a ReadExtractFilter over a synthetic field
+// source for distributed runs.
+type FieldREParams struct {
+	Seed       int64
+	Plumes     int
+	GX, GY, GZ int
+	BX, BY, BZ int
+}
+
+// StoreREParams parameterizes a ReadExtractFilter over an on-disk store.
+type StoreREParams struct {
+	Dir string
+}
+
+// Distributed filter kind names.
+const (
+	KindREField  = "isoviz.RE-field"
+	KindREStore  = "isoviz.RE-store"
+	KindRasterAP = "isoviz.Ra-ap"
+	KindRasterZB = "isoviz.Ra-zb"
+	KindMerge    = "isoviz.M"
+)
+
+func init() {
+	dist.RegisterPayload(View{})
+	dist.RegisterPayload(TriBatch{})
+	dist.RegisterPayload(PixBatch{})
+	dist.RegisterPayload(ZChunk{})
+	dist.RegisterPayload(VoxelBlock{})
+
+	dist.RegisterFilter(KindREField, func(params []byte) (core.Filter, error) {
+		var p FieldREParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("isoviz: bad RE-field params: %w", err)
+		}
+		src := NewFieldSource(volume.NewPlumeField(p.Seed, p.Plumes), p.GX, p.GY, p.GZ, p.BX, p.BY, p.BZ)
+		return &ReadExtractFilter{Source: src, Assign: AssignByCopy(src.Chunks()), Out: StreamTriangles}, nil
+	})
+	dist.RegisterFilter(KindREStore, func(params []byte) (core.Filter, error) {
+		var p StoreREParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("isoviz: bad RE-store params: %w", err)
+		}
+		st, err := dataset.Open(p.Dir)
+		if err != nil {
+			return nil, err
+		}
+		src := &StoreSource{St: st}
+		return &ReadExtractFilter{Source: src, Assign: AssignByCopy(src.Chunks()), Out: StreamTriangles}, nil
+	})
+	dist.RegisterFilter(KindRasterAP, func([]byte) (core.Filter, error) {
+		return &RasterAPFilter{In: StreamTriangles, Out: StreamPixels}, nil
+	})
+	dist.RegisterFilter(KindRasterZB, func([]byte) (core.Filter, error) {
+		return &RasterZFilter{In: StreamTriangles, Out: StreamPixels}, nil
+	})
+	dist.RegisterFilter(KindMerge, func([]byte) (core.Filter, error) {
+		return &MergeFilter{In: StreamPixels}, nil
+	})
+}
+
+// DistGraphField builds a GraphSpec for the RE–Ra–M pipeline over a
+// synthetic field source.
+func DistGraphField(p FieldREParams, alg Algorithm) (dist.GraphSpec, error) {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return dist.GraphSpec{}, err
+	}
+	raster := KindRasterAP
+	if alg == ZBuffer {
+		raster = KindRasterZB
+	}
+	return dist.GraphSpec{
+		Filters: []dist.FilterSpec{
+			{Name: "RE", Kind: KindREField, Params: raw},
+			{Name: "Ra", Kind: raster},
+			{Name: "M", Kind: KindMerge},
+		},
+		Streams: []core.StreamSpec{
+			{Name: StreamTriangles, From: "RE", To: "Ra"},
+			{Name: StreamPixels, From: "Ra", To: "M"},
+		},
+	}, nil
+}

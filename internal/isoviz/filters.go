@@ -1,0 +1,342 @@
+package isoviz
+
+import (
+	"fmt"
+
+	"datacutter/internal/core"
+	"datacutter/internal/geom"
+	"datacutter/internal/mcubes"
+	"datacutter/internal/render"
+	"datacutter/internal/volume"
+)
+
+// viewOf extracts the View descriptor from the unit of work.
+func viewOf(ctx core.Ctx) (View, error) {
+	v, ok := ctx.Work().(View)
+	if !ok {
+		return View{}, fmt.Errorf("isoviz: unit of work is %T, want isoviz.View", ctx.Work())
+	}
+	return v, nil
+}
+
+// ---- Read filter (R) ----
+
+// ReadFilter retrieves the chunks assigned to this copy and writes each as
+// one buffer on its output stream.
+type ReadFilter struct {
+	core.BaseFilter
+	Source ChunkSource
+	Assign Assign
+	Out    string // output stream (StreamVoxels in the standard graphs)
+}
+
+// Process implements core.Filter.
+func (f *ReadFilter) Process(ctx core.Ctx) error {
+	view, err := viewOf(ctx)
+	if err != nil {
+		return err
+	}
+	for _, chunk := range f.Assign(ctx) {
+		v, err := f.Source.Load(chunk, view.Timestep)
+		if err != nil {
+			return fmt.Errorf("isoviz: read chunk %d: %w", chunk, err)
+		}
+		if err := ctx.Write(f.Out, core.Buffer{Payload: VoxelBlock{V: v}, Size: v.Bytes()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- Extract filter (E) ----
+
+// triPacker accumulates extracted triangles and emits fixed-size buffers:
+// when the batch reaches the stream's buffer size or an input buffer has
+// been fully processed, the batch is sent (paper §3.1.1).
+type triPacker struct {
+	out   string
+	cap   int
+	batch []geom.Triangle
+}
+
+func newTriPacker(ctx core.Ctx, out string) *triPacker {
+	capTris := ctx.BufferBytes(out) / geom.TriangleBytes
+	if capTris < 1 {
+		capTris = 1
+	}
+	return &triPacker{out: out, cap: capTris, batch: make([]geom.Triangle, 0, capTris)}
+}
+
+func (p *triPacker) add(ctx core.Ctx, t geom.Triangle) error {
+	p.batch = append(p.batch, t)
+	if len(p.batch) >= p.cap {
+		return p.flush(ctx)
+	}
+	return nil
+}
+
+func (p *triPacker) flush(ctx core.Ctx) error {
+	if len(p.batch) == 0 {
+		return nil
+	}
+	tris := make([]geom.Triangle, len(p.batch))
+	copy(tris, p.batch)
+	p.batch = p.batch[:0]
+	b := TriBatch{Tris: tris}
+	return ctx.Write(p.out, core.Buffer{Payload: b, Size: b.Bytes()})
+}
+
+// extractBlock runs isosurface extraction on one chunk, feeding the packer.
+func extractBlock(ctx core.Ctx, v *volume.Volume, iso float32, p *triPacker) error {
+	var werr error
+	mcubes.Walk(v, iso, func(t geom.Triangle) {
+		if werr == nil {
+			werr = p.add(ctx, t)
+		}
+	})
+	return werr
+}
+
+// ExtractFilter turns voxel chunks into triangle batches via marching
+// cubes. Voxels are independent, so any number of transparent copies may
+// run (paper §3.1.1).
+type ExtractFilter struct {
+	core.BaseFilter
+	In, Out string
+}
+
+// Process implements core.Filter.
+func (f *ExtractFilter) Process(ctx core.Ctx) error {
+	view, err := viewOf(ctx)
+	if err != nil {
+		return err
+	}
+	packer := newTriPacker(ctx, f.Out)
+	for {
+		b, ok := ctx.Read(f.In)
+		if !ok {
+			return nil
+		}
+		vb, ok := b.Payload.(VoxelBlock)
+		if !ok {
+			return fmt.Errorf("isoviz: extract got %T", b.Payload)
+		}
+		if err := extractBlock(ctx, vb.V, view.Iso, packer); err != nil {
+			return err
+		}
+		// End of input buffer: send what we have (keeps the pipeline busy).
+		if err := packer.flush(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// ---- Raster filter (Ra), z-buffer variant ----
+
+// zbufState is the per-unit-of-work accumulator of a z-buffer raster copy.
+type zbufState struct {
+	z  *render.ZBuffer
+	rr *render.Raster
+}
+
+func newZbufState(view View) *zbufState {
+	return &zbufState{
+		z:  render.NewZBuffer(view.Width, view.Height),
+		rr: render.NewRaster(view.Camera, view.Width, view.Height),
+	}
+}
+
+// sendZBuffer ships the full z-buffer in fixed-size chunks on out. This is
+// the pixel-merging phase of the z-buffer algorithm: it happens only after
+// the end-of-work marker, the synchronization point that stalls the
+// pipeline (paper §3.1.2), and it transmits inactive pixels too.
+func sendZBuffer(ctx core.Ctx, z *render.ZBuffer, out string) error {
+	pxPerBuf := ctx.BufferBytes(out) / render.ZPixelBytes
+	if pxPerBuf < 1 {
+		pxPerBuf = 1
+	}
+	total := z.W * z.H
+	for off := 0; off < total; off += pxPerBuf {
+		end := off + pxPerBuf
+		if end > total {
+			end = total
+		}
+		chunk := ZChunk{
+			Off:   off,
+			Depth: append([]float32(nil), z.Depth[off:end]...),
+			Color: append([]render.RGB(nil), z.Color[off:end]...),
+		}
+		if err := ctx.Write(out, core.Buffer{Payload: chunk, Size: chunk.Bytes()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RasterZFilter renders triangle batches into a private full z-buffer and
+// transmits the whole buffer at end-of-work.
+type RasterZFilter struct {
+	In, Out string
+	st      *zbufState
+}
+
+// Init implements core.Filter: the z-buffer is allocated and initialized
+// per unit of work (paper §3.1.2). The filter discloses that it wants large
+// buffers for the frame dump; the WPA variant instead asks for small ones
+// (paper §2: filters disclose buffer bounds, the runtime picks the size).
+func (f *RasterZFilter) Init(ctx core.Ctx) error {
+	view, err := viewOf(ctx)
+	if err != nil {
+		return err
+	}
+	ctx.DeclareBuffer(f.Out, ZFrameBufferBytes, 0)
+	f.st = newZbufState(view)
+	return nil
+}
+
+// Process implements core.Filter.
+func (f *RasterZFilter) Process(ctx core.Ctx) error {
+	for {
+		b, ok := ctx.Read(f.In)
+		if !ok {
+			// End-of-work marker received: enter the pixel merging phase.
+			return sendZBuffer(ctx, f.st.z, f.Out)
+		}
+		tb, ok := b.Payload.(TriBatch)
+		if !ok {
+			return fmt.Errorf("isoviz: raster got %T", b.Payload)
+		}
+		f.st.rr.DrawAll(tb.Tris, f.st.z)
+	}
+}
+
+// Finalize implements core.Filter.
+func (f *RasterZFilter) Finalize(core.Ctx) error {
+	f.st = nil // release the frame (paper: finalize frees scratch space)
+	return nil
+}
+
+// ---- Raster filter (Ra), active pixel variant ----
+
+// RasterAPFilter renders triangle batches through the Active Pixel
+// algorithm: winning pixels stream to the merge filter in fixed-size
+// batches while rasterization continues, overlapping raster and merge with
+// no synchronization point (paper §3.1.2).
+type RasterAPFilter struct {
+	In, Out string
+
+	view View
+	st   *apState
+}
+
+// Init implements core.Filter. Buffer sizes resolve after the init phase,
+// so the WPA itself is sized lazily on the first Process call.
+func (f *RasterAPFilter) Init(ctx core.Ctx) error {
+	view, err := viewOf(ctx)
+	if err != nil {
+		return err
+	}
+	ctx.DeclareBuffer(f.Out, 0, WPABufferBytes)
+	f.view = view
+	return nil
+}
+
+// Process implements core.Filter.
+func (f *RasterAPFilter) Process(ctx core.Ctx) error {
+	f.st = newAPState(ctx, f.view, f.Out)
+	f.st.ctx = ctx
+	defer func() { f.st.ctx = nil }()
+	for {
+		b, ok := ctx.Read(f.In)
+		if !ok {
+			f.st.ap.FlushRemaining()
+			return f.st.werr
+		}
+		tb, ok := b.Payload.(TriBatch)
+		if !ok {
+			return fmt.Errorf("isoviz: raster got %T", b.Payload)
+		}
+		f.st.rr.DrawAll(tb.Tris, f.st.ap)
+		// All triangles of this input buffer processed: ship the WPA
+		// (paper §3.1.2).
+		f.st.ap.FlushRemaining()
+		if f.st.werr != nil {
+			return f.st.werr
+		}
+	}
+}
+
+// Finalize implements core.Filter.
+func (f *RasterAPFilter) Finalize(core.Ctx) error {
+	f.st = nil
+	return nil
+}
+
+// ---- Merge filter (M) ----
+
+// MergeFilter composites partial results (z-buffer chunks or winning-pixel
+// batches) into the final image. Exactly one copy runs (paper §4.1); it is
+// the combine filter required because raster copies hold accumulator
+// state.
+type MergeFilter struct {
+	// In is the single input stream of the standard pipelines. The
+	// partitioned pipeline instead sets Ins (one disjoint pixel stream per
+	// screen band); when Ins is non-empty it takes precedence.
+	In  string
+	Ins []string
+
+	z     *render.ZBuffer
+	final *render.ZBuffer
+	// Received counts buffers merged, for experiment accounting.
+	Received int64
+}
+
+func (f *MergeFilter) inputs() []string {
+	if len(f.Ins) > 0 {
+		return f.Ins
+	}
+	return []string{f.In}
+}
+
+// Init implements core.Filter.
+func (f *MergeFilter) Init(ctx core.Ctx) error {
+	view, err := viewOf(ctx)
+	if err != nil {
+		return err
+	}
+	f.z = render.NewZBuffer(view.Width, view.Height)
+	return nil
+}
+
+// Process implements core.Filter.
+func (f *MergeFilter) Process(ctx core.Ctx) error {
+	for _, in := range f.inputs() {
+		for {
+			b, ok := ctx.Read(in)
+			if !ok {
+				break
+			}
+			f.Received++
+			switch p := b.Payload.(type) {
+			case ZChunk:
+				f.z.MergeRange(p.Off, p.Depth, p.Color)
+			case PixBatch:
+				render.MergePixels(f.z, p.Pixels)
+			default:
+				return fmt.Errorf("isoviz: merge got %T", b.Payload)
+			}
+		}
+	}
+	return nil
+}
+
+// Finalize implements core.Filter: the merged frame becomes the result
+// delivered to the client.
+func (f *MergeFilter) Finalize(core.Ctx) error {
+	f.final = f.z
+	f.z = nil
+	return nil
+}
+
+// Result returns the image produced by the last completed unit of work.
+func (f *MergeFilter) Result() *render.ZBuffer { return f.final }

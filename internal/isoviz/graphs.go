@@ -1,0 +1,159 @@
+package isoviz
+
+import (
+	"fmt"
+
+	"datacutter/internal/core"
+)
+
+// Algorithm selects the hidden-surface removal scheme.
+type Algorithm int
+
+// The two rendering algorithms evaluated in the paper.
+const (
+	ZBuffer Algorithm = iota
+	ActivePixel
+)
+
+func (a Algorithm) String() string {
+	if a == ZBuffer {
+		return "Z-buffer"
+	}
+	return "Active Pixel"
+}
+
+// Config selects the filter decomposition (paper Figure 3 plus the fully
+// split baseline pipeline).
+type Config int
+
+// The evaluated configurations.
+const (
+	// FullPipeline is R–E–Ra–M: every stage its own filter.
+	FullPipeline Config = iota
+	// CombinedAll is RERa–M: read+extract+raster fused (SPMD-like).
+	CombinedAll
+	// ReadExtract is RE–Ra–M: read+extract fused, raster separate.
+	ReadExtract
+	// ExtractRaster is R–ERa–M: read separate, extract+raster fused.
+	ExtractRaster
+)
+
+func (c Config) String() string {
+	switch c {
+	case FullPipeline:
+		return "R-E-Ra-M"
+	case CombinedAll:
+		return "RERa-M"
+	case ReadExtract:
+		return "RE-Ra-M"
+	case ExtractRaster:
+		return "R-ERa-M"
+	}
+	return fmt.Sprintf("Config(%d)", int(c))
+}
+
+// SourceFilter returns the name of the filter that reads storage in this
+// configuration (the one whose placement should cover the data nodes).
+func (c Config) SourceFilter() string {
+	switch c {
+	case FullPipeline:
+		return "R"
+	case CombinedAll:
+		return "RERa"
+	case ReadExtract:
+		return "RE"
+	case ExtractRaster:
+		return "R"
+	}
+	return ""
+}
+
+// WorkerFilter returns the name of the compute-heavy filter whose copies
+// absorb raster load ("" when it is fused into the source filter).
+func (c Config) WorkerFilter() string {
+	switch c {
+	case FullPipeline, ReadExtract:
+		return "Ra"
+	case ExtractRaster:
+		return "ERa"
+	}
+	return ""
+}
+
+// PipelineSpec assembles an isosurface rendering graph.
+type PipelineSpec struct {
+	Config Config
+	Alg    Algorithm
+	Source ChunkSource
+	Assign Assign
+}
+
+// Build constructs the filter graph for the spec. The merge filter is
+// always named "M" and each graph's streams use the Stream* constants.
+func (s PipelineSpec) Build() *core.Graph {
+	g := core.NewGraph()
+	switch s.Config {
+	case FullPipeline:
+		g.AddFilter("R", func() core.Filter {
+			return &ReadFilter{Source: s.Source, Assign: s.Assign, Out: StreamVoxels}
+		})
+		g.AddFilter("E", func() core.Filter {
+			return &ExtractFilter{In: StreamVoxels, Out: StreamTriangles}
+		})
+		g.AddFilter("Ra", s.rasterFactory(StreamTriangles))
+		g.Connect("R", "E", StreamVoxels)
+		g.Connect("E", "Ra", StreamTriangles)
+		g.Connect("Ra", "M", StreamPixels)
+	case CombinedAll:
+		g.AddFilter("RERa", func() core.Filter {
+			if s.Alg == ZBuffer {
+				return &ReadExtractRasterZFilter{Source: s.Source, Assign: s.Assign, Out: StreamPixels}
+			}
+			return &ReadExtractRasterAPFilter{Source: s.Source, Assign: s.Assign, Out: StreamPixels}
+		})
+		g.Connect("RERa", "M", StreamPixels)
+	case ReadExtract:
+		g.AddFilter("RE", func() core.Filter {
+			return &ReadExtractFilter{Source: s.Source, Assign: s.Assign, Out: StreamTriangles}
+		})
+		g.AddFilter("Ra", s.rasterFactory(StreamTriangles))
+		g.Connect("RE", "Ra", StreamTriangles)
+		g.Connect("Ra", "M", StreamPixels)
+	case ExtractRaster:
+		g.AddFilter("R", func() core.Filter {
+			return &ReadFilter{Source: s.Source, Assign: s.Assign, Out: StreamVoxels}
+		})
+		g.AddFilter("ERa", func() core.Filter {
+			if s.Alg == ZBuffer {
+				return &ExtractRasterZFilter{In: StreamVoxels, Out: StreamPixels}
+			}
+			return &ExtractRasterAPFilter{In: StreamVoxels, Out: StreamPixels}
+		})
+		g.Connect("R", "ERa", StreamVoxels)
+		g.Connect("ERa", "M", StreamPixels)
+	default:
+		panic("isoviz: unknown config")
+	}
+	g.AddFilter("M", func() core.Filter { return &MergeFilter{In: StreamPixels} })
+	return g
+}
+
+func (s PipelineSpec) rasterFactory(in string) core.FilterFactory {
+	if s.Alg == ZBuffer {
+		return func() core.Filter { return &RasterZFilter{In: in, Out: StreamPixels} }
+	}
+	return func() core.Filter { return &RasterAPFilter{In: in, Out: StreamPixels} }
+}
+
+// MergeResult retrieves the merge filter (and so the final image) from a
+// runner after a run. Works with both engines' Instances method.
+func MergeResult(instances []core.Filter) (*MergeFilter, error) {
+	if len(instances) != 1 {
+		return nil, fmt.Errorf("isoviz: expected exactly one merge copy, got %d", len(instances))
+	}
+	m, ok := instances[0].(*MergeFilter)
+	if !ok {
+		return nil, fmt.Errorf("isoviz: filter M is %T", instances[0])
+	}
+	return m, nil
+}

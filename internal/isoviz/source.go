@@ -1,0 +1,115 @@
+package isoviz
+
+import (
+	"datacutter/internal/core"
+	"datacutter/internal/dataset"
+	"datacutter/internal/volume"
+)
+
+// ChunkSource supplies volume chunks to read filters. Implementations: a
+// field sampled on demand (in-memory synthetic storage) or an on-disk
+// chunk store.
+type ChunkSource interface {
+	Chunks() int
+	Block(i int) volume.Block
+	Load(i int, timestep int) (*volume.Volume, error)
+}
+
+// FieldSource samples a synthetic field on demand — the in-memory stand-in
+// for disk storage, used by tests and examples.
+type FieldSource struct {
+	Fld    volume.Field
+	Blocks []volume.Block
+}
+
+// NewFieldSource partitions a (gx,gy,gz) grid into bx*by*bz chunks backed
+// by field sampling.
+func NewFieldSource(f volume.Field, gx, gy, gz, bx, by, bz int) *FieldSource {
+	return &FieldSource{Fld: f, Blocks: volume.Partition(gx, gy, gz, bx, by, bz)}
+}
+
+// Chunks implements ChunkSource.
+func (s *FieldSource) Chunks() int { return len(s.Blocks) }
+
+// Block implements ChunkSource.
+func (s *FieldSource) Block(i int) volume.Block { return s.Blocks[i] }
+
+// Load implements ChunkSource.
+func (s *FieldSource) Load(i, timestep int) (*volume.Volume, error) {
+	v := volume.NewBlockVolume(s.Blocks[i])
+	volume.FillBlock(s.Fld, v, float64(timestep))
+	return v, nil
+}
+
+// StoreSource reads chunks from an on-disk dataset store.
+type StoreSource struct{ St *dataset.Store }
+
+// Chunks implements ChunkSource.
+func (s *StoreSource) Chunks() int { return s.St.DS.Chunks() }
+
+// Block implements ChunkSource.
+func (s *StoreSource) Block(i int) volume.Block { return s.St.DS.Block(i) }
+
+// Load implements ChunkSource.
+func (s *StoreSource) Load(i, timestep int) (*volume.Volume, error) {
+	return s.St.ReadChunk(i, timestep)
+}
+
+// Assign decides which chunks a given read-filter copy retrieves. The
+// paper's placement puts a read copy on each storage node to read the node's
+// local files; these helpers reproduce that and a simple modulo fallback.
+type Assign func(ctx core.Ctx) []int
+
+// AssignByCopy deals chunks round-robin over the copies of the read filter
+// (chunk i goes to copy i mod totalCopies).
+func AssignByCopy(nchunks int) Assign {
+	return func(ctx core.Ctx) []int {
+		var out []int
+		for i := ctx.CopyIndex(); i < nchunks; i += ctx.TotalCopies() {
+			out = append(out, i)
+		}
+		return out
+	}
+}
+
+// AssignByDistribution gives each read copy the chunks stored on its host
+// (per the dataset's file distribution). When several read copies share a
+// host, they deal the host's chunks round-robin using their rank among the
+// host's copies, derived from the placement.
+func AssignByDistribution(ds *dataset.Dataset, dist *dataset.Distribution, pl *core.Placement, filterName string) Assign {
+	// Precompute the global copy index ranges per host, mirroring the
+	// engines' copy numbering (placement order).
+	type hostRange struct {
+		host  string
+		first int
+		n     int
+	}
+	var ranges []hostRange
+	idx := 0
+	for _, e := range pl.Of(filterName) {
+		ranges = append(ranges, hostRange{e.Host, idx, e.Copies})
+		idx += e.Copies
+	}
+	return func(ctx core.Ctx) []int {
+		var rank, n int
+		for _, r := range ranges {
+			if ctx.CopyIndex() >= r.first && ctx.CopyIndex() < r.first+r.n {
+				rank = ctx.CopyIndex() - r.first
+				n = r.n
+				break
+			}
+		}
+		if n == 0 {
+			// The running placement does not match the one this assignment
+			// was built from; reading nothing is safer than guessing (and a
+			// zero stride would loop forever).
+			return nil
+		}
+		hostChunks := dataset.ChunksOnHost(ds, dist, ctx.Host())
+		var out []int
+		for i := rank; i < len(hostChunks); i += n {
+			out = append(out, hostChunks[i])
+		}
+		return out
+	}
+}

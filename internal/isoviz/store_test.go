@@ -1,0 +1,105 @@
+package isoviz
+
+import (
+	"testing"
+
+	"datacutter/internal/core"
+	"datacutter/internal/dataset"
+)
+
+// The real pipeline fed from an on-disk store must produce the same image
+// as the in-memory field source (the store holds exact sampled data).
+func TestStoreSourceMatchesFieldSource(t *testing.T) {
+	dir := t.TempDir()
+	m := dataset.Meta{
+		GX: 33, GY: 33, GZ: 33, BX: 3, BY: 3, BZ: 3,
+		Timesteps: 2, Files: 8, Seed: 17, Plumes: 4,
+	}
+	st, err := dataset.Create(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := testView(64)
+	run := func(src ChunkSource) [32]byte {
+		spec := PipelineSpec{Config: ReadExtract, Alg: ActivePixel, Source: src, Assign: AssignByCopy(src.Chunks())}
+		pl := core.NewPlacement().Place("RE", "h0", 1).Place("Ra", "h0", 2).Place("M", "h0", 1)
+		img, _ := runPipeline(t, spec, pl, core.Options{UOWs: []any{view}})
+		var sum [32]byte
+		for i, c := range img.Color {
+			sum[i%32] ^= c.R + c.G<<1 + c.B<<2
+			_ = i
+		}
+		return sum
+	}
+	disk := run(&StoreSource{St: st})
+	mem := run(NewFieldSource(st.DS.Field(), 33, 33, 33, 3, 3, 3))
+	if disk != mem {
+		t.Fatal("disk-backed pipeline renders differently from in-memory pipeline")
+	}
+}
+
+// AssignByDistribution must split a host's chunks disjointly among the
+// copies placed on that host.
+func TestAssignByDistributionSplitsWithinHost(t *testing.T) {
+	ds, err := dataset.New(dataset.Meta{
+		GX: 17, GY: 17, GZ: 17, BX: 4, BY: 4, BZ: 4,
+		Timesteps: 1, Files: 8, Seed: 3, Plumes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := dataset.DistributeEven(ds.Files, []string{"a", "b"}, 1)
+	pl := core.NewPlacement().Place("R", "a", 2).Place("R", "b", 1)
+	assign := AssignByDistribution(ds, dist, pl, "R")
+
+	seen := map[int]int{}
+	ctxs := []fakeCtx{
+		{idx: 0, total: 3, host: "a"},
+		{idx: 1, total: 3, host: "a"},
+		{idx: 2, total: 3, host: "b"},
+	}
+	for _, c := range ctxs {
+		for _, chunk := range assign(c) {
+			seen[chunk]++
+		}
+	}
+	if len(seen) != ds.Chunks() {
+		t.Fatalf("assignment covered %d of %d chunks", len(seen), ds.Chunks())
+	}
+	for chunk, n := range seen {
+		if n != 1 {
+			t.Fatalf("chunk %d assigned %d times", chunk, n)
+		}
+	}
+	// The two copies on host a share that host's chunks roughly evenly.
+	a0 := len(assign(ctxs[0]))
+	a1 := len(assign(ctxs[1]))
+	if a0 == 0 || a1 == 0 {
+		t.Fatalf("intra-host split degenerate: %d/%d", a0, a1)
+	}
+	if diff := a0 - a1; diff < -1 || diff > 1 {
+		t.Fatalf("intra-host split uneven: %d vs %d", a0, a1)
+	}
+}
+
+// sendZBuffer must cover every pixel exactly once across its chunks.
+func TestZBufferChunkingCoversFrame(t *testing.T) {
+	src := testSource()
+	view := testView(96)
+	spec := PipelineSpec{Config: ReadExtract, Alg: ZBuffer, Source: src, Assign: AssignByCopy(src.Chunks())}
+	pl := core.NewPlacement().Place("RE", "h0", 1).Place("Ra", "h0", 1).Place("M", "h0", 1)
+	g := spec.Build()
+	r, err := core.NewRunner(g, pl, core.Options{UOWs: []any{view}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total Ra->M bytes = frame size exactly (one raster copy).
+	want := int64(view.Width * view.Height * 7)
+	if got := st.Streams[StreamPixels].Bytes; got != want {
+		t.Fatalf("z-buffer transport %d bytes, want %d", got, want)
+	}
+}

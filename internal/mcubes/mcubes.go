@@ -1,0 +1,215 @@
+// Package mcubes implements isosurface extraction on rectilinear grids, the
+// transformation step of the paper's isosurface rendering application
+// (Lorensen & Cline's marching cubes [23]).
+//
+// Cells are polygonized through the Freudenthal decomposition of each cube
+// into six tetrahedra sharing the main diagonal — the standard crack-free
+// marching-cubes variant. The decomposition is translation-invariant, so
+// neighboring cells (and neighboring *blocks* processed by different
+// transparent copies of the extract filter) generate bit-identical vertices
+// on their shared faces: block-parallel extraction is seamless, which the
+// package's watertightness property tests verify.
+//
+// Each voxel is processed independently, so extraction pipelines buffer by
+// buffer and parallelizes across transparent filter copies (paper §3.1.1).
+package mcubes
+
+import (
+	"datacutter/internal/geom"
+	"datacutter/internal/volume"
+)
+
+// corner is one cell corner with everything interpolation needs. The id is
+// the corner's global sample index, used to orient edge interpolation
+// deterministically so shared edges produce bit-identical vertices no
+// matter which cell or tetrahedron generates them.
+type corner struct {
+	p  geom.Vec3
+	g  geom.Vec3
+	v  float32
+	id int64
+}
+
+// The six tetrahedra of the Freudenthal decomposition, as cube-corner
+// indices (corner c = dx + 2*dy + 4*dz). Each is a monotone path
+// (0,0,0) -> (1,1,1).
+var tets = [6][4]int{
+	{0, 1, 3, 7}, // +x +y +z
+	{0, 1, 5, 7}, // +x +z +y
+	{0, 2, 3, 7}, // +y +x +z
+	{0, 2, 6, 7}, // +y +z +x
+	{0, 4, 5, 7}, // +z +x +y
+	{0, 4, 6, 7}, // +z +y +x
+}
+
+var cornerOffset = [8][3]int{
+	{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0},
+	{0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
+}
+
+// Stats reports work done by one extraction pass.
+type Stats struct {
+	Cells       int // marching cells visited
+	ActiveCells int // cells intersected by the isosurface
+	Triangles   int
+}
+
+// Walk extracts the isosurface of v at isovalue iso, invoking emit for
+// every triangle. Triangle vertices are in the global normalized
+// coordinates of v's block; normals derive from the sampled field's
+// gradient and point toward decreasing values.
+func Walk(v *volume.Volume, iso float32, emit func(geom.Triangle)) Stats {
+	var st Stats
+	if v.NX < 2 || v.NY < 2 || v.NZ < 2 {
+		return st
+	}
+	gx := int64(v.Block.GX)
+	gxy := gx * int64(v.Block.GY)
+	if gx == 0 {
+		gx = int64(v.NX)
+		gxy = gx * int64(v.NY)
+	}
+
+	var cs [8]corner
+	for z := 0; z < v.NZ-1; z++ {
+		for y := 0; y < v.NY-1; y++ {
+			for x := 0; x < v.NX-1; x++ {
+				st.Cells++
+				// Classify quickly on the 8 corner samples.
+				inside := 0
+				for c := 0; c < 8; c++ {
+					o := cornerOffset[c]
+					if v.At(x+o[0], y+o[1], z+o[2]) > iso {
+						inside++
+					}
+				}
+				if inside == 0 || inside == 8 {
+					continue
+				}
+				st.ActiveCells++
+				for c := 0; c < 8; c++ {
+					o := cornerOffset[c]
+					cx, cy, cz := x+o[0], y+o[1], z+o[2]
+					px, py, pz := v.PosOf(cx, cy, cz)
+					cs[c] = corner{
+						p:  geom.V(px, py, pz),
+						g:  gradient(v, cx, cy, cz),
+						v:  v.At(cx, cy, cz),
+						id: int64(v.Block.X0+cx) + int64(v.Block.Y0+cy)*gx + int64(v.Block.Z0+cz)*gxy,
+					}
+				}
+				for _, t := range tets {
+					st.Triangles += tetra(cs[t[0]], cs[t[1]], cs[t[2]], cs[t[3]], iso, emit)
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Extract appends the isosurface triangles of v at iso to out.
+func Extract(v *volume.Volume, iso float32, out []geom.Triangle) ([]geom.Triangle, Stats) {
+	st := Walk(v, iso, func(t geom.Triangle) { out = append(out, t) })
+	return out, st
+}
+
+// gradient computes the sampled field's gradient at a sample point via
+// central differences, falling back to one-sided differences at block
+// borders. The per-axis step is the grid spacing in normalized coordinates.
+func gradient(v *volume.Volume, x, y, z int) geom.Vec3 {
+	diff := func(get func(int) float32, i, n int) float32 {
+		switch {
+		case n < 2:
+			return 0
+		case i == 0:
+			return get(1) - get(0)
+		case i == n-1:
+			return get(n-1) - get(n-2)
+		default:
+			return (get(i+1) - get(i-1)) / 2
+		}
+	}
+	gxv := diff(func(i int) float32 { return v.At(i, y, z) }, x, v.NX)
+	gyv := diff(func(j int) float32 { return v.At(x, j, z) }, y, v.NY)
+	gzv := diff(func(k int) float32 { return v.At(x, y, k) }, z, v.NZ)
+	return geom.V(gxv, gyv, gzv)
+}
+
+// interp returns the isosurface crossing on edge (a,b) with deterministic
+// endpoint orientation: the corner with the smaller global sample id is
+// always the interpolation origin, so every cell that shares the edge
+// produces the identical vertex.
+func interp(a, b corner, iso float32) (geom.Vec3, geom.Vec3) {
+	if a.id > b.id {
+		a, b = b, a
+	}
+	d := b.v - a.v
+	t := float32(0.5)
+	if d != 0 {
+		t = (iso - a.v) / d
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	p := geom.Lerp(a.p, b.p, t)
+	n := geom.Lerp(a.g, b.g, t).Scale(-1).Normalize()
+	return p, n
+}
+
+// tetra polygonizes one tetrahedron, returning the triangle count emitted.
+func tetra(a, b, c, d corner, iso float32, emit func(geom.Triangle)) int {
+	vs := [4]corner{a, b, c, d}
+	mask := 0
+	for i := 0; i < 4; i++ {
+		if vs[i].v > iso {
+			mask |= 1 << i
+		}
+	}
+	if mask == 0 || mask == 0xF {
+		return 0
+	}
+	if mask > 7 {
+		mask ^= 0xF // complement: same crossing edges
+	}
+	n := 0
+	tri := func(e0a, e0b, e1a, e1b, e2a, e2b int) {
+		var t geom.Triangle
+		t.P[0], t.N[0] = interp(vs[e0a], vs[e0b], iso)
+		t.P[1], t.N[1] = interp(vs[e1a], vs[e1b], iso)
+		t.P[2], t.N[2] = interp(vs[e2a], vs[e2b], iso)
+		if degenerate(t) {
+			return
+		}
+		emit(t)
+		n++
+	}
+	switch mask {
+	case 0x1: // vertex 0 inside
+		tri(0, 1, 0, 2, 0, 3)
+	case 0x2: // vertex 1 inside
+		tri(1, 0, 1, 3, 1, 2)
+	case 0x4: // vertex 2 inside
+		tri(2, 0, 2, 1, 2, 3)
+	case 0x3: // vertices 0,1 inside: quad on edges 02,03,13,12
+		tri(0, 2, 0, 3, 1, 3)
+		tri(0, 2, 1, 3, 1, 2)
+	case 0x5: // vertices 0,2: quad on edges 01,21,23,03
+		tri(0, 1, 2, 1, 2, 3)
+		tri(0, 1, 2, 3, 0, 3)
+	case 0x6: // vertices 1,2: quad on edges 10,20,23,13
+		tri(1, 0, 2, 0, 2, 3)
+		tri(1, 0, 2, 3, 1, 3)
+	case 0x7: // vertices 0,1,2 inside == vertex 3 outside
+		tri(3, 0, 3, 2, 3, 1)
+	}
+	return n
+}
+
+// degenerate reports a zero-area triangle (coincident vertices), which can
+// arise when the isovalue grazes a sample exactly.
+func degenerate(t geom.Triangle) bool {
+	return t.P[0] == t.P[1] || t.P[1] == t.P[2] || t.P[0] == t.P[2]
+}

@@ -1,0 +1,171 @@
+// Package plan automates the placement decisions the paper leaves to the
+// application developer (§2, footnote 1: "We are in the process of
+// examining various mechanisms to automate some of these steps"): given a
+// cluster description and a filter configuration, it chooses how many
+// transparent copies of each filter to run where, which host merges, and
+// which writer policy to use.
+//
+// The heuristics encode the paper's experimental findings:
+//
+//   - source filters run on every data host (reads must be local);
+//   - worker copies scale with a host's compute capacity (cores x relative
+//     speed), which reproduces the paper's hand placement of seven raster
+//     copies on the 8-way Deathstar node;
+//   - the merge filter runs on the best-connected host (fast NIC first,
+//     capacity second) since everything funnels into it;
+//   - the writer policy is WRR when the slowest NIC is below the fast-path
+//     threshold (§4.4: DD acknowledgments are too expensive on Fast
+//     Ethernet), DD when host capacities differ or copy counts vary
+//     (§4.2-4.3), and RR for uniform dedicated hosts (zero overhead).
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"datacutter/internal/cluster"
+	"datacutter/internal/core"
+	"datacutter/internal/isoviz"
+)
+
+// Plan is a placement proposal.
+type Plan struct {
+	Placement *core.Placement
+	Policy    core.Policy
+	MergeHost string
+	// Reasons lists human-readable justifications, one per decision.
+	Reasons []string
+}
+
+// Options tunes the planner.
+type Options struct {
+	// DataHosts are the hosts holding the dataset (source copies go here).
+	// Required.
+	DataHosts []string
+	// ComputeHosts may additionally run worker copies (defaults to
+	// DataHosts).
+	ComputeHosts []string
+	// SlowNICBandwidth is the threshold (bytes/s) below which demand-driven
+	// acknowledgments are considered too expensive (default 20 MB/s —
+	// between Fast and Gigabit Ethernet).
+	SlowNICBandwidth float64
+	// MaxCopiesPerHost caps worker copies on one host (default: cores).
+	MaxCopiesPerHost int
+}
+
+// capacity is a host's relative compute throughput.
+func capacity(h *cluster.Host) float64 {
+	return float64(h.Spec.Cores) * h.Spec.Speed
+}
+
+// Suggest builds a placement for the given pipeline configuration on the
+// cluster.
+func Suggest(cl *cluster.Cluster, cfg isoviz.Config, opts Options) (*Plan, error) {
+	if len(opts.DataHosts) == 0 {
+		return nil, fmt.Errorf("plan: DataHosts required")
+	}
+	for _, h := range opts.DataHosts {
+		if cl.Host(h) == nil {
+			return nil, fmt.Errorf("plan: unknown data host %q", h)
+		}
+	}
+	computeHosts := opts.ComputeHosts
+	if len(computeHosts) == 0 {
+		computeHosts = opts.DataHosts
+	}
+	for _, h := range computeHosts {
+		if cl.Host(h) == nil {
+			return nil, fmt.Errorf("plan: unknown compute host %q", h)
+		}
+	}
+	slowNIC := opts.SlowNICBandwidth
+	if slowNIC == 0 {
+		slowNIC = 20e6
+	}
+
+	p := &Plan{Placement: core.NewPlacement()}
+
+	// Source copies: one per data host (reads stay local to the data).
+	src := cfg.SourceFilter()
+	for _, h := range opts.DataHosts {
+		p.Placement.Place(src, h, 1)
+	}
+	p.Reasons = append(p.Reasons, fmt.Sprintf("%s on every data host (local reads)", src))
+	if cfg == isoviz.FullPipeline {
+		for _, h := range opts.DataHosts {
+			p.Placement.Place("E", h, 1)
+		}
+		p.Reasons = append(p.Reasons, "E colocated with R (voxels stay local)")
+	}
+
+	// Merge host: best NIC, then capacity.
+	merge := computeHosts[0]
+	for _, h := range computeHosts[1:] {
+		a, b := cl.Host(h), cl.Host(merge)
+		if a.Spec.NICBandwidth > b.Spec.NICBandwidth ||
+			(a.Spec.NICBandwidth == b.Spec.NICBandwidth && capacity(a) > capacity(b)) {
+			merge = h
+		}
+	}
+	p.MergeHost = merge
+	p.Placement.Place("M", merge, 1)
+	p.Reasons = append(p.Reasons, fmt.Sprintf("M on %s (best connected)", merge))
+
+	// Worker copies proportional to capacity, reserving headroom on the
+	// merge host.
+	copyCounts := make(map[string]int)
+	if wk := cfg.WorkerFilter(); wk != "" {
+		for _, h := range computeHosts {
+			host := cl.Host(h)
+			copies := host.Spec.Cores
+			if opts.MaxCopiesPerHost > 0 && copies > opts.MaxCopiesPerHost {
+				copies = opts.MaxCopiesPerHost
+			}
+			if h == merge && copies > 1 {
+				copies-- // leave a core for the merge filter
+			}
+			if copies < 1 {
+				copies = 1
+			}
+			copyCounts[h] = copies
+			p.Placement.Place(wk, h, copies)
+		}
+		p.Reasons = append(p.Reasons, fmt.Sprintf("%s copies scale with cores (merge host keeps one core free)", wk))
+	}
+
+	p.Policy = choosePolicy(cl, computeHosts, copyCounts, slowNIC, &p.Reasons)
+	return p, nil
+}
+
+func choosePolicy(cl *cluster.Cluster, hosts []string, copies map[string]int, slowNIC float64, reasons *[]string) core.Policy {
+	minNIC := cl.Host(hosts[0]).Spec.NICBandwidth
+	caps := make([]float64, 0, len(hosts))
+	copySet := make(map[int]struct{})
+	for _, h := range hosts {
+		host := cl.Host(h)
+		if host.Spec.NICBandwidth < minNIC {
+			minNIC = host.Spec.NICBandwidth
+		}
+		caps = append(caps, capacity(host))
+		c := copies[h]
+		if c == 0 {
+			c = 1
+		}
+		copySet[c] = struct{}{}
+	}
+	sort.Float64s(caps)
+	uniformCapacity := caps[len(caps)-1]-caps[0] < 1e-9
+	uniformCopies := len(copySet) <= 1
+
+	switch {
+	case minNIC < slowNIC && !uniformCopies:
+		*reasons = append(*reasons, "WRR: asymmetric copy counts over a slow network (DD acks too costly, paper §4.4)")
+		return core.WeightedRoundRobin()
+	case !uniformCapacity || !uniformCopies:
+		*reasons = append(*reasons, "DD: heterogeneous capacity (paper §4.2-4.3)")
+		return core.DemandDriven()
+	default:
+		*reasons = append(*reasons, "RR: uniform dedicated hosts (zero-overhead policy)")
+		return core.RoundRobin()
+	}
+}

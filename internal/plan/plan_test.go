@@ -1,0 +1,165 @@
+package plan
+
+import (
+	"testing"
+
+	"datacutter/internal/cluster"
+	"datacutter/internal/core"
+	"datacutter/internal/dataset"
+	"datacutter/internal/isoviz"
+	"datacutter/internal/sim"
+	"datacutter/internal/simrt"
+)
+
+func table5Cluster() (*cluster.Cluster, []string, string) {
+	cl := cluster.New(sim.NewKernel())
+	reds := cluster.AddRed(cl, 4)
+	ds := cluster.AddDeathstar(cl)
+	return cl, reds, ds
+}
+
+func TestSuggestReproducesPaperPlacement(t *testing.T) {
+	// On the Table-5 cluster (Red data nodes + 8-way Deathstar via Fast
+	// Ethernet) the planner should reproduce the paper's hand placement:
+	// seven raster copies on Deathstar (one core reserved for merge, which
+	// lands there too... unless NIC decides otherwise) and WRR.
+	cl, reds, dsHost := table5Cluster()
+	p, err := Suggest(cl, isoviz.ReadExtract, Options{
+		DataHosts:    reds,
+		ComputeHosts: append(append([]string{}, reds...), dsHost),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merge goes to a Red node: Gigabit beats Deathstar's Fast Ethernet.
+	if cl.Host(p.MergeHost).Spec.NICBandwidth < cl.Host(dsHost).Spec.NICBandwidth {
+		t.Fatalf("merge host %s has the slower NIC", p.MergeHost)
+	}
+	// Deathstar runs ~8 worker copies (its core count).
+	var dsCopies int
+	for _, e := range p.Placement.Of("Ra") {
+		if e.Host == dsHost {
+			dsCopies = e.Copies
+		}
+	}
+	if dsCopies < 7 {
+		t.Fatalf("deathstar got %d raster copies, want >= 7", dsCopies)
+	}
+	// Asymmetric copies over a Fast Ethernet hop: WRR (paper §4.4).
+	if p.Policy.Name() != "WRR" {
+		t.Fatalf("policy = %s, want WRR", p.Policy.Name())
+	}
+	if len(p.Reasons) == 0 {
+		t.Fatal("no reasons recorded")
+	}
+}
+
+func TestSuggestUniformClusterUsesRR(t *testing.T) {
+	cl := cluster.New(sim.NewKernel())
+	hosts := cluster.AddRogue(cl, 4)
+	p, err := Suggest(cl, isoviz.ReadExtract, Options{DataHosts: hosts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Policy.Name() != "RR" {
+		t.Fatalf("policy = %s, want RR for uniform single-copy hosts", p.Policy.Name())
+	}
+}
+
+func TestSuggestHeterogeneousUsesDD(t *testing.T) {
+	cl := cluster.New(sim.NewKernel())
+	rogues := cluster.AddRogue(cl, 2)
+	blues := cluster.AddBlue(cl, 2)
+	hosts := append(append([]string{}, rogues...), blues...)
+	p, err := Suggest(cl, isoviz.ReadExtract, Options{DataHosts: hosts, MaxCopiesPerHost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Policy.Name() != "DD" {
+		t.Fatalf("policy = %s, want DD for mixed capacities", p.Policy.Name())
+	}
+}
+
+func TestSuggestValidation(t *testing.T) {
+	cl := cluster.New(sim.NewKernel())
+	cluster.AddRogue(cl, 1)
+	if _, err := Suggest(cl, isoviz.ReadExtract, Options{}); err == nil {
+		t.Fatal("empty data hosts accepted")
+	}
+	if _, err := Suggest(cl, isoviz.ReadExtract, Options{DataHosts: []string{"ghost"}}); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+func TestSuggestFullPipelinePlacesExtract(t *testing.T) {
+	cl := cluster.New(sim.NewKernel())
+	hosts := cluster.AddBlue(cl, 2)
+	p, err := Suggest(cl, isoviz.FullPipeline, Options{DataHosts: hosts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Placement.TotalCopies("E") != 2 {
+		t.Fatalf("E copies = %d", p.Placement.TotalCopies("E"))
+	}
+	if p.Placement.TotalCopies("R") != 2 {
+		t.Fatalf("R copies = %d", p.Placement.TotalCopies("R"))
+	}
+}
+
+// The planner's placement must beat the naive one (one copy per host,
+// merge on the first host, RR) on the heterogeneous compute-node cluster.
+func TestPlannedBeatsNaive(t *testing.T) {
+	ds, err := dataset.New(dataset.Meta{
+		GX: 65, GY: 65, GZ: 65, BX: 4, BY: 4, BZ: 4,
+		Timesteps: 1, Files: 16, Seed: 23, Plumes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := isoviz.DefaultView(0.6)
+	view.Width, view.Height = 1024, 1024
+
+	run := func(pl *core.Placement, pol core.Policy) float64 {
+		cl, reds, dsHost := table5Cluster()
+		_ = dsHost
+		w := isoviz.NewWorkload(ds, 0.6)
+		dist := dataset.DistributeEven(ds.Files, reds, 1)
+		spec := isoviz.ModelSpec{
+			Config: isoviz.ReadExtract, Alg: isoviz.ActivePixel, W: w, Dist: dist,
+			Assign: isoviz.AssignByDistribution(ds, dist, pl, "RE"),
+			Costs:  isoviz.DefaultCosts(),
+		}
+		r, err := simrt.NewRunner(spec.Build(), pl, cl, simrt.Options{Policy: pol, UOWs: []any{view}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.WallSeconds
+	}
+
+	// Planner.
+	clPlan, reds, dsHost := table5Cluster()
+	plan, err := Suggest(clPlan, isoviz.ReadExtract, Options{
+		DataHosts:    reds,
+		ComputeHosts: append(append([]string{}, reds...), dsHost),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned := run(plan.Placement, plan.Policy)
+
+	// Naive: one worker copy per data host only, merge on reds[0], RR.
+	naive := core.NewPlacement()
+	for _, h := range reds {
+		naive.Place("RE", h, 1).Place("Ra", h, 1)
+	}
+	naive.Place("M", reds[0], 1)
+	naiveT := run(naive, core.RoundRobin())
+
+	if planned >= naiveT {
+		t.Fatalf("planned placement (%.2fs) not faster than naive (%.2fs)", planned, naiveT)
+	}
+}

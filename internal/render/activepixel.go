@@ -1,0 +1,104 @@
+package render
+
+// Pixel is one winning (foremost) pixel sample: screen position, depth, and
+// shaded color. It is the unit of the Active Pixel algorithm's Winning
+// Pixel Array.
+type Pixel struct {
+	X, Y  int32
+	Depth float32
+	C     RGB
+}
+
+// PixelBytes is the serialized size of one Pixel for stream accounting.
+const PixelBytes = 4 + 4 + 4 + 3
+
+// ActivePixels is the Active Pixel renderer's sparse z-buffer: a Winning
+// Pixel Array (WPA) holding foremost pixels in consecutive memory, indexed
+// by a Modified Scanline Array (MSA) of one entry per screen column. An MSA
+// entry points at the WPA slot that most recently won its column; staleness
+// is detected by comparing the stored position, so the structure needs no
+// per-frame clearing. When the WPA reaches capacity it is flushed — in the
+// filter pipeline, flushed arrays become fixed-size stream buffers sent to
+// the merge filter while rasterization continues (no end-of-work barrier,
+// unlike the z-buffer algorithm).
+type ActivePixels struct {
+	W, H  int
+	cap   int
+	msa   []int32
+	wpa   []Pixel
+	flush func([]Pixel)
+
+	// Flushes counts how many times the WPA filled.
+	Flushes int
+}
+
+// NewActivePixels creates a renderer target for a w×h screen whose WPA
+// holds capacity pixels; flush is invoked with the full WPA content each
+// time it fills (and by FlushRemaining). The slice passed to flush is only
+// valid during the call.
+func NewActivePixels(w, h, capacity int, flush func([]Pixel)) *ActivePixels {
+	if capacity < 1 {
+		capacity = 1
+	}
+	a := &ActivePixels{
+		W: w, H: h, cap: capacity,
+		msa:   make([]int32, w),
+		wpa:   make([]Pixel, 0, capacity),
+		flush: flush,
+	}
+	for i := range a.msa {
+		a.msa[i] = -1
+	}
+	return a
+}
+
+// Len returns the current WPA occupancy.
+func (a *ActivePixels) Len() int { return len(a.wpa) }
+
+// Put deposits a shaded sample. Within the current WPA, a column's latest
+// scanline entry is updated in place under the standard depth/color order;
+// other samples append.
+func (a *ActivePixels) Put(x, y int, depth float32, c RGB) {
+	if x < 0 || y < 0 || x >= a.W || y >= a.H {
+		return
+	}
+	if i := a.msa[x]; i >= 0 && int(i) < len(a.wpa) {
+		e := &a.wpa[i]
+		if int(e.X) == x && int(e.Y) == y {
+			if depth < e.Depth || (depth == e.Depth && c.Less(e.C)) {
+				e.Depth = depth
+				e.C = c
+			}
+			return
+		}
+	}
+	a.wpa = append(a.wpa, Pixel{X: int32(x), Y: int32(y), Depth: depth, C: c})
+	a.msa[x] = int32(len(a.wpa) - 1)
+	if len(a.wpa) >= a.cap {
+		a.doFlush()
+	}
+}
+
+func (a *ActivePixels) doFlush() {
+	if len(a.wpa) == 0 {
+		return
+	}
+	a.Flushes++
+	a.flush(a.wpa)
+	a.wpa = a.wpa[:0]
+	for i := range a.msa {
+		a.msa[i] = -1
+	}
+}
+
+// FlushRemaining emits any buffered pixels (call when all triangles of the
+// current input buffer — or unit of work — are rasterized).
+func (a *ActivePixels) FlushRemaining() { a.doFlush() }
+
+// MergePixels folds a batch of winning pixels into a full z-buffer (the
+// merge filter's operation for the Active Pixel algorithm).
+func MergePixels(z *ZBuffer, px []Pixel) {
+	for _, p := range px {
+		z.Put(int(p.X), int(p.Y), p.Depth, p.C)
+	}
+}

@@ -1,0 +1,148 @@
+package sim
+
+import "fmt"
+
+// CPU models a multi-core processor with egalitarian processor sharing, the
+// classic model for equal-priority timeshared jobs. A job never runs faster
+// than one core; when more jobs than cores are runnable, every job receives
+// an equal share of the machine. Background "hog" jobs (see SetHogs) consume
+// shares without ever completing, reproducing the paper's "user level job
+// that consumes CPU time, at the same priority" load generator.
+//
+// Work is expressed in reference seconds: seconds the job would take on one
+// core of a machine with Speed == 1.
+type CPU struct {
+	k     *Kernel
+	name  string
+	cores int
+	speed float64
+	hogs  int
+
+	jobs  map[*cpuJob]struct{}
+	lastT Time
+	gen   uint64 // invalidates stale completion events
+
+	// BusySeconds accumulates core-seconds of real work delivered to
+	// completing jobs (excluding hogs), for utilization accounting.
+	BusySeconds float64
+}
+
+type cpuJob struct {
+	remaining float64 // reference seconds
+	p         *Proc
+}
+
+// NewCPU creates a processor-sharing CPU with the given core count and
+// relative speed (1.0 = reference core).
+func NewCPU(k *Kernel, name string, cores int, speed float64) *CPU {
+	if cores < 1 {
+		panic("sim: CPU needs at least one core")
+	}
+	if speed <= 0 {
+		panic("sim: CPU speed must be positive")
+	}
+	return &CPU{k: k, name: name, cores: cores, speed: speed, jobs: make(map[*cpuJob]struct{})}
+}
+
+// Cores returns the core count.
+func (c *CPU) Cores() int { return c.cores }
+
+// Speed returns the relative per-core speed.
+func (c *CPU) Speed() float64 { return c.speed }
+
+// Hogs returns the current number of background hog jobs.
+func (c *CPU) Hogs() int { return c.hogs }
+
+// Load returns the number of runnable jobs, including hogs.
+func (c *CPU) Load() int { return len(c.jobs) + c.hogs }
+
+// perJobRate is the speed each runnable job currently receives.
+func (c *CPU) perJobRate() float64 {
+	n := len(c.jobs) + c.hogs
+	if n == 0 {
+		return 0
+	}
+	share := float64(c.cores) / float64(n)
+	if share > 1 {
+		share = 1
+	}
+	return c.speed * share
+}
+
+// advance charges elapsed virtual time against every runnable job.
+func (c *CPU) advance() {
+	now := c.k.Now()
+	dt := float64(now - c.lastT)
+	c.lastT = now
+	if dt <= 0 || len(c.jobs) == 0 {
+		return
+	}
+	done := float64(len(c.jobs)) * c.perJobRate() * dt
+	c.BusySeconds += done
+	dec := c.perJobRate() * dt
+	for j := range c.jobs {
+		j.remaining -= dec
+	}
+}
+
+// reschedule cancels any pending completion event and schedules the next
+// one based on current membership.
+func (c *CPU) reschedule() {
+	c.gen++
+	if len(c.jobs) == 0 {
+		return
+	}
+	rate := c.perJobRate()
+	min := Infinity
+	for j := range c.jobs {
+		if j.remaining < min {
+			min = j.remaining
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	g := c.gen
+	c.k.After(min/rate, func() {
+		if g != c.gen {
+			return
+		}
+		c.onTick()
+	})
+}
+
+func (c *CPU) onTick() {
+	c.advance()
+	const eps = 1e-9
+	for j := range c.jobs {
+		if j.remaining <= eps {
+			delete(c.jobs, j)
+			c.k.Unpark(j.p)
+		}
+	}
+	c.reschedule()
+}
+
+// Compute blocks the calling process until `work` reference seconds of CPU
+// time have been delivered under processor sharing.
+func (c *CPU) Compute(p *Proc, work float64) {
+	if work <= 0 {
+		return
+	}
+	c.advance()
+	j := &cpuJob{remaining: work, p: p}
+	c.jobs[j] = struct{}{}
+	c.reschedule()
+	p.Park(fmt.Sprintf("cpu %s", c.name))
+}
+
+// SetHogs changes the number of permanent background jobs competing for the
+// CPU. It may be called from a kernel callback or a running process.
+func (c *CPU) SetHogs(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.advance()
+	c.hogs = n
+	c.reschedule()
+}

@@ -1,0 +1,253 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// Simulated processes are ordinary goroutines, but the kernel enforces
+// strictly cooperative execution: exactly one process runs at a time, and
+// control returns to the scheduler whenever a process blocks on a simulated
+// primitive (Sleep, channel operations, CPU compute, server queues). Virtual
+// time advances only between process steps, through a central event heap, so
+// runs are fully deterministic for a given program.
+//
+// The kernel is the substrate for the simulated DataCutter engine
+// (internal/simrt) and the cluster resource models (internal/cluster).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is a point in virtual time, in seconds since the start of the run.
+type Time float64
+
+// Infinity is a virtual-time duration longer than any run.
+const Infinity = math.MaxFloat64 / 4
+
+type event struct {
+	t   Time
+	seq uint64 // tie-break: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+// Kernel is a discrete-event scheduler. Create one with NewKernel, spawn
+// processes, then call Run (or RunUntil). A Kernel is not safe for use from
+// multiple goroutines other than through the cooperative process mechanism.
+type Kernel struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{} // processes signal the scheduler here when parking
+	live    int           // spawned but unfinished processes
+	parked  map[*Proc]struct{}
+	current *Proc
+	nevents uint64
+	failure error // first process panic, if any
+}
+
+// NewKernel returns an empty simulation at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Events returns the number of events dispatched so far.
+func (k *Kernel) Events() uint64 { return k.nevents }
+
+// After schedules fn to run as a kernel callback d seconds from now.
+// Callbacks run in the scheduler context and must not block on simulated
+// primitives; they may Unpark processes or schedule further events.
+func (k *Kernel) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(k.now+Time(d), fn)
+}
+
+func (k *Kernel) schedule(t Time, fn func()) {
+	k.seq++
+	heap.Push(&k.events, &event{t: t, seq: k.seq, fn: fn})
+}
+
+// Proc is a simulated process. All blocking methods must be called from the
+// process's own goroutine while it is the running process.
+type Proc struct {
+	k        *Kernel
+	name     string
+	resume   chan struct{}
+	finished bool
+	// blockedOn describes what the process is waiting for, for deadlock
+	// reports.
+	blockedOn string
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process that starts running fn at the current virtual
+// time (after already-scheduled events at this time).
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnAt creates a process that starts running fn at virtual time t.
+func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
+	if t < k.now {
+		t = k.now
+	}
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if k.failure == nil {
+					k.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				}
+			}
+			p.finished = true
+			k.live--
+			k.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.schedule(t, func() { k.resumeProc(p) })
+	return p
+}
+
+// resumeProc transfers control to p and blocks the scheduler until p parks
+// or finishes.
+func (k *Kernel) resumeProc(p *Proc) {
+	if p.finished {
+		return
+	}
+	delete(k.parked, p)
+	prev := k.current
+	k.current = p
+	p.resume <- struct{}{}
+	<-k.yield
+	k.current = prev
+}
+
+// Park suspends the calling process until another process or a kernel
+// callback calls Unpark on it. reason is used in deadlock reports.
+// Park is a low-level primitive; prefer Sleep, Chan, CPU and Server.
+func (p *Proc) Park(reason string) {
+	p.blockedOn = reason
+	p.k.parked[p] = struct{}{}
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.blockedOn = ""
+}
+
+// Unpark schedules p to resume at the current virtual time. It is a no-op
+// if p already finished. Unpark must only be called for a process that is
+// parked or about to park (the resume event fires after the caller yields,
+// so a process may Unpark another and then Park itself).
+func (k *Kernel) Unpark(p *Proc) {
+	k.schedule(k.now, func() { k.resumeProc(p) })
+}
+
+// UnparkAfter schedules p to resume d seconds from now.
+func (k *Kernel) UnparkAfter(p *Proc, d float64) {
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(k.now+Time(d), func() { k.resumeProc(p) })
+}
+
+// Sleep suspends the calling process for d seconds of virtual time.
+func (p *Proc) Sleep(d float64) {
+	if d <= 0 {
+		// Still yield, preserving FIFO fairness among same-time events.
+		d = 0
+	}
+	p.k.UnparkAfter(p, d)
+	p.blockedOn = "sleep"
+	p.k.parked[p] = struct{}{}
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.blockedOn = ""
+}
+
+// DeadlockError reports that live processes remain but no events are
+// scheduled to wake any of them.
+type DeadlockError struct {
+	At     Time
+	Parked []string // names and wait reasons of the stuck processes
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%.6f: %d process(es) parked: %v", float64(e.At), len(e.Parked), e.Parked)
+}
+
+// Run dispatches events until none remain. It returns an error if a process
+// panicked or if live processes remain parked with no pending events
+// (deadlock).
+func (k *Kernel) Run() error { return k.RunUntil(Time(Infinity)) }
+
+// RunUntil dispatches events with time <= t, then sets the clock to t if
+// the run drained early. Processes still parked at a later wake time simply
+// remain suspended; a subsequent RunUntil continues them.
+func (k *Kernel) RunUntil(t Time) error {
+	for len(k.events) > 0 && k.failure == nil {
+		if k.events.peek().t > t {
+			k.now = t
+			return nil
+		}
+		ev := heap.Pop(&k.events).(*event)
+		if ev.t > k.now {
+			k.now = ev.t
+		}
+		k.nevents++
+		ev.fn()
+	}
+	if k.failure != nil {
+		return k.failure
+	}
+	if k.live > 0 {
+		names := make([]string, 0, len(k.parked))
+		for p := range k.parked {
+			names = append(names, p.name+" ("+p.blockedOn+")")
+		}
+		sort.Strings(names)
+		return &DeadlockError{At: k.now, Parked: names}
+	}
+	if t < Time(Infinity) {
+		k.now = t
+	}
+	return nil
+}

@@ -1,0 +1,516 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSleepAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	var seen []float64
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(1.5)
+		seen = append(seen, float64(p.Now()))
+		p.Sleep(2.5)
+		seen = append(seen, float64(p.Now()))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || !almostEq(seen[0], 1.5, 1e-12) || !almostEq(seen[1], 4.0, 1e-12) {
+		t.Fatalf("clock progression wrong: %v", seen)
+	}
+	if float64(k.Now()) != 4.0 {
+		t.Fatalf("final time = %v, want 4", k.Now())
+	}
+}
+
+func TestEventOrderingIsFIFOAtSameTime(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.After(1.0, func() { order = append(order, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events reordered: %v", order)
+		}
+	}
+}
+
+func TestInterleavingIsDeterministic(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var trace []string
+		for _, name := range []string{"x", "y", "z"} {
+			name := name
+			k.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(0.5)
+					trace = append(trace, name)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != 9 {
+		t.Fatalf("trace length %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic traces:\n%v\n%v", a, b)
+		}
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	k := NewKernel()
+	var at float64
+	k.SpawnAt(7, "late", func(p *Proc) { at = float64(p.Now()) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 7 {
+		t.Fatalf("spawned at %v, want 7", at)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("stuck", func(p *Proc) { p.Park("never") })
+	err := k.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(de.Parked) != 1 || de.Parked[0] != "stuck (never)" {
+		t.Fatalf("bad deadlock report: %+v", de)
+	}
+}
+
+func TestRunUntilStopsAndResumes(t *testing.T) {
+	k := NewKernel()
+	var hits []float64
+	k.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(1)
+			hits = append(hits, float64(p.Now()))
+		}
+	})
+	if err := k.RunUntil(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || float64(k.Now()) != 2.5 {
+		t.Fatalf("after RunUntil(2.5): hits=%v now=%v", hits, k.Now())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 5 || hits[4] != 5 {
+		t.Fatalf("after Run: hits=%v", hits)
+	}
+}
+
+func TestProcPanicSurfacesAsError(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("boom", func(p *Proc) { p.Sleep(1); panic("kapow") })
+	err := k.Run()
+	if err == nil || err.Error() != `sim: process "boom" panicked: kapow` {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestUnparkFromCallback(t *testing.T) {
+	k := NewKernel()
+	done := false
+	var p1 *Proc
+	p1 = k.Spawn("waiter", func(p *Proc) {
+		p.Park("signal")
+		done = true
+	})
+	k.After(3, func() { k.Unpark(p1) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done || float64(k.Now()) != 3 {
+		t.Fatalf("done=%v now=%v", done, k.Now())
+	}
+}
+
+func TestChanBuffered(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c", 2)
+	var got []int
+	k.Spawn("producer", func(p *Proc) {
+		for i := 1; i <= 5; i++ {
+			c.Send(p, i)
+		}
+		c.Close()
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := c.Recv(p)
+			if !ok {
+				return
+			}
+			p.Sleep(1) // slower than producer: forces sender blocking
+			got = append(got, v)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestChanRendezvous(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[string](k, "r", 0)
+	var recvAt, sendDone float64
+	k.Spawn("sender", func(p *Proc) {
+		c.Send(p, "hello")
+		sendDone = float64(p.Now())
+	})
+	k.Spawn("receiver", func(p *Proc) {
+		p.Sleep(10)
+		v, ok := c.Recv(p)
+		if !ok || v != "hello" {
+			t.Errorf("recv got %q %v", v, ok)
+		}
+		recvAt = float64(p.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvAt != 10 || sendDone != 10 {
+		t.Fatalf("rendezvous times recv=%v send=%v", recvAt, sendDone)
+	}
+}
+
+func TestChanCloseWakesReceivers(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c", 0)
+	okAfterClose := true
+	k.Spawn("rx", func(p *Proc) {
+		_, okAfterClose = c.Recv(p)
+	})
+	k.Spawn("closer", func(p *Proc) {
+		p.Sleep(1)
+		c.Close()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if okAfterClose {
+		t.Fatal("Recv on closed chan returned ok=true")
+	}
+}
+
+func TestChanTryRecv(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c", 4)
+	k.Spawn("p", func(p *Proc) {
+		if _, ok := c.TryRecv(); ok {
+			t.Error("TryRecv on empty chan succeeded")
+		}
+		c.Send(p, 42)
+		v, ok := c.TryRecv()
+		if !ok || v != 42 {
+			t.Errorf("TryRecv = %v %v", v, ok)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUSingleJobRunsAtSpeed(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, "c", 2, 2.0) // 2 cores, 2x speed
+	var done float64
+	k.Spawn("j", func(p *Proc) {
+		cpu.Compute(p, 10) // 10 reference seconds at 2x => 5s
+		done = float64(p.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(done, 5, 1e-9) {
+		t.Fatalf("done at %v, want 5", done)
+	}
+}
+
+func TestCPUProcessorSharingTwoJobsOneCore(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, "c", 1, 1.0)
+	var d1, d2 float64
+	k.Spawn("a", func(p *Proc) { cpu.Compute(p, 1); d1 = float64(p.Now()) })
+	k.Spawn("b", func(p *Proc) { cpu.Compute(p, 1); d2 = float64(p.Now()) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Equal shares: both finish at t=2.
+	if !almostEq(d1, 2, 1e-9) || !almostEq(d2, 2, 1e-9) {
+		t.Fatalf("completions %v %v, want 2 2", d1, d2)
+	}
+}
+
+func TestCPUMoreCoresThanJobs(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, "c", 8, 1.0)
+	var d1, d2 float64
+	k.Spawn("a", func(p *Proc) { cpu.Compute(p, 3); d1 = float64(p.Now()) })
+	k.Spawn("b", func(p *Proc) { cpu.Compute(p, 5); d2 = float64(p.Now()) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Each job gets a full core: no slowdown.
+	if !almostEq(d1, 3, 1e-9) || !almostEq(d2, 5, 1e-9) {
+		t.Fatalf("completions %v %v, want 3 5", d1, d2)
+	}
+}
+
+func TestCPUHogsSlowJobsDown(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, "c", 1, 1.0)
+	cpu.SetHogs(1)
+	var done float64
+	k.Spawn("j", func(p *Proc) { cpu.Compute(p, 2); done = float64(p.Now()) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Job shares the core with one hog: half speed => 4s.
+	if !almostEq(done, 4, 1e-9) {
+		t.Fatalf("done at %v, want 4", done)
+	}
+}
+
+func TestCPUStaggeredArrivals(t *testing.T) {
+	// Job A (work 2) starts at t=0 on a 1-core CPU. Job B (work 2) arrives
+	// at t=1. A runs alone [0,1) completing 1 unit; then both share, each
+	// at 0.5/s. A finishes its remaining 1 unit at t=3. B then runs alone
+	// with 1 unit left at full speed, finishing at t=4.
+	k := NewKernel()
+	cpu := NewCPU(k, "c", 1, 1.0)
+	var da, db float64
+	k.Spawn("a", func(p *Proc) { cpu.Compute(p, 2); da = float64(p.Now()) })
+	k.SpawnAt(1, "b", func(p *Proc) { cpu.Compute(p, 2); db = float64(p.Now()) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(da, 3, 1e-9) || !almostEq(db, 4, 1e-9) {
+		t.Fatalf("completions a=%v b=%v, want 3 4", da, db)
+	}
+}
+
+// Property: processor sharing is work-conserving — with a single core and
+// jobs all present from t=0, the last completion equals total work / speed.
+func TestCPUWorkConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		speed := 0.5 + rng.Float64()*3
+		k := NewKernel()
+		cpu := NewCPU(k, "c", 1, speed)
+		total := 0.0
+		var last float64
+		for i := 0; i < n; i++ {
+			w := 0.1 + rng.Float64()*5
+			total += w
+			k.Spawn("j", func(p *Proc) {
+				cpu.Compute(p, w)
+				if f := float64(p.Now()); f > last {
+					last = f
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return almostEq(last, total/speed, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shorter jobs never finish after longer jobs when all arrive
+// together (processor sharing preserves SJF completion order).
+func TestCPUCompletionOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		k := NewKernel()
+		cpu := NewCPU(k, "c", 2, 1.0)
+		type res struct{ work, done float64 }
+		results := make([]res, n)
+		for i := 0; i < n; i++ {
+			i := i
+			w := 0.1 + rng.Float64()*10
+			results[i].work = w
+			k.Spawn("j", func(p *Proc) {
+				cpu.Compute(p, w)
+				results[i].done = float64(p.Now())
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if results[i].work < results[j].work && results[i].done > results[j].done+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerFIFOAndStats(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, "disk", 1)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn("req", func(p *Proc) {
+			s.Serve(p, 2)
+			order = append(order, i)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+	if s.Served != 4 || !almostEq(s.BusySeconds, 8, 1e-9) {
+		t.Fatalf("stats served=%d busy=%v", s.Served, s.BusySeconds)
+	}
+	// Waits: 0 + 2 + 4 + 6 = 12.
+	if !almostEq(s.WaitSeconds, 12, 1e-9) {
+		t.Fatalf("wait seconds %v, want 12", s.WaitSeconds)
+	}
+	if float64(k.Now()) != 8 {
+		t.Fatalf("end time %v, want 8", k.Now())
+	}
+}
+
+func TestServerParallelSlots(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, "nic", 2)
+	var finish []float64
+	for i := 0; i < 4; i++ {
+		k.Spawn("req", func(p *Proc) {
+			s.Serve(p, 3)
+			finish = append(finish, float64(p.Now()))
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two at a time: finishes at 3,3,6,6.
+	want := []float64{3, 3, 6, 6}
+	for i := range want {
+		if !almostEq(finish[i], want[i], 1e-9) {
+			t.Fatalf("finish times %v", finish)
+		}
+	}
+}
+
+func TestChanSendOnClosedPanics(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c", 1)
+	k.Spawn("p", func(p *Proc) {
+		c.Close()
+		c.Send(p, 1)
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected panic error from send on closed chan")
+	}
+}
+
+func TestKernelEventCount(t *testing.T) {
+	k := NewKernel()
+	k.After(1, func() {})
+	k.After(2, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Events() != 2 {
+		t.Fatalf("events = %d, want 2", k.Events())
+	}
+}
+
+func TestCPUHogsChangeMidRun(t *testing.T) {
+	// A job of 2 reference-seconds starts alone; at t=1 two hogs arrive.
+	// [0,1): full speed, 1 unit done. After: 1/3 speed, 3 more seconds.
+	k := NewKernel()
+	cpu := NewCPU(k, "c", 1, 1.0)
+	var done float64
+	k.Spawn("j", func(p *Proc) { cpu.Compute(p, 2); done = float64(p.Now()) })
+	k.After(1, func() { cpu.SetHogs(2) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(done, 4, 1e-9) {
+		t.Fatalf("done at %v, want 4", done)
+	}
+}
+
+func TestCPUHogsRemovedMidRun(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, "c", 1, 1.0)
+	cpu.SetHogs(1)
+	var done float64
+	k.Spawn("j", func(p *Proc) { cpu.Compute(p, 2); done = float64(p.Now()) })
+	// At t=2 (1 unit done at half speed) the hog leaves: 1 unit at full
+	// speed remains, finishing at t=3.
+	k.After(2, func() { cpu.SetHogs(0) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(done, 3, 1e-9) {
+		t.Fatalf("done at %v, want 3", done)
+	}
+}
+
+func TestServerMaxQueueHighWater(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, "d", 1)
+	for i := 0; i < 5; i++ {
+		k.Spawn("r", func(p *Proc) { s.Serve(p, 1) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxQueue != 4 {
+		t.Fatalf("MaxQueue = %d, want 4", s.MaxQueue)
+	}
+}

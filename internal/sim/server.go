@@ -1,0 +1,75 @@
+package sim
+
+// Server is a FIFO queueing station with a fixed number of service slots,
+// used to model disks and network interfaces: a process acquires a slot
+// (queueing in arrival order if all are busy), holds it for the service
+// time, and releases it.
+type Server struct {
+	k     *Kernel
+	name  string
+	slots int
+	busy  int
+	q     []*Proc
+
+	// Stats
+	Served      uint64  // completed Serve calls
+	BusySeconds float64 // total slot-seconds of service delivered
+	WaitSeconds float64 // total queueing delay experienced
+	MaxQueue    int     // high-water mark of the wait queue
+}
+
+// NewServer creates a FIFO server with the given number of parallel slots.
+func NewServer(k *Kernel, name string, slots int) *Server {
+	if slots < 1 {
+		panic("sim: Server needs at least one slot")
+	}
+	return &Server{k: k, name: name, slots: slots}
+}
+
+// QueueLen returns the number of processes waiting for a slot.
+func (s *Server) QueueLen() int { return len(s.q) }
+
+// Busy returns the number of occupied slots.
+func (s *Server) Busy() int { return s.busy }
+
+// Acquire obtains a service slot, blocking FIFO while all are busy.
+func (s *Server) Acquire(p *Proc) {
+	if s.busy < s.slots {
+		s.busy++
+		return
+	}
+	s.q = append(s.q, p)
+	if len(s.q) > s.MaxQueue {
+		s.MaxQueue = len(s.q)
+	}
+	p.Park("queue " + s.name)
+}
+
+// Release frees a slot, handing it to the oldest waiter if any.
+func (s *Server) Release() {
+	if len(s.q) > 0 {
+		next := s.q[0]
+		s.q = s.q[1:]
+		s.k.Unpark(next)
+		return
+	}
+	s.busy--
+	if s.busy < 0 {
+		panic("sim: Server.Release without Acquire on " + s.name)
+	}
+}
+
+// Serve occupies a slot for d seconds of virtual time (queueing first if
+// necessary) and records statistics.
+func (s *Server) Serve(p *Proc, d float64) {
+	t0 := p.Now()
+	s.Acquire(p)
+	s.WaitSeconds += float64(p.Now() - t0)
+	if d < 0 {
+		d = 0
+	}
+	p.Sleep(d)
+	s.BusySeconds += d
+	s.Served++
+	s.Release()
+}

@@ -1,0 +1,176 @@
+package simrt
+
+import (
+	"testing"
+
+	"datacutter/internal/cluster"
+	"datacutter/internal/core"
+	"datacutter/internal/sim"
+)
+
+// diskHeavy reads n chunks from disk and computes per chunk.
+type diskHeavy struct {
+	core.BaseFilter
+	n         int
+	diskBytes int
+	cost      float64
+}
+
+func (f *diskHeavy) Process(ctx core.Ctx) error {
+	for i := 0; i < f.n; i++ {
+		ctx.ChargeDisk(0, f.diskBytes)
+		ctx.Compute(f.cost)
+	}
+	return nil
+}
+
+func prefetchRun(t *testing.T, depth int) float64 {
+	t.Helper()
+	k := sim.NewKernel()
+	cl := cluster.New(k)
+	cl.AddHost(cluster.HostSpec{
+		Name: "h", Cores: 1, Speed: 1, NICBandwidth: 1e9,
+		Disks: []cluster.DiskSpec{{SeekSeconds: 0, Bandwidth: 10e6}},
+	})
+	g := core.NewGraph()
+	// 20 chunks: 1 MB disk (0.1 s) + 0.1 s compute each.
+	g.AddFilter("F", func() core.Filter { return &diskHeavy{n: 20, diskBytes: 1e6, cost: 0.1} })
+	pl := core.NewPlacement().Place("F", "h", 1)
+	r, err := NewRunner(g, pl, cl, Options{PrefetchDepth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.WallSeconds
+}
+
+func TestPrefetchOverlapsDiskAndCompute(t *testing.T) {
+	sync := prefetchRun(t, 1)  // serial: ~20*(0.1+0.1) = 4.0 s
+	async := prefetchRun(t, 4) // overlapped: ~max(2.0, 2.0) + ramp ≈ 2.1 s
+	if !(sync > 3.9 && sync < 4.1) {
+		t.Fatalf("synchronous run took %v, want ~4.0", sync)
+	}
+	if async > 2.3 {
+		t.Fatalf("prefetch run took %v, want ~2.1 (overlapped)", async)
+	}
+}
+
+func TestPrefetchDrainsBeforeEndOfWork(t *testing.T) {
+	// The filter finishes its compute instantly; the disk still owes time.
+	// The copy's end-of-work must wait for the reads, so downstream sees
+	// the full disk latency in the makespan.
+	k := sim.NewKernel()
+	cl := cluster.New(k)
+	cl.AddHost(cluster.HostSpec{
+		Name: "h", Cores: 1, Speed: 1, NICBandwidth: 1e9,
+		Disks: []cluster.DiskSpec{{SeekSeconds: 0, Bandwidth: 1e6}},
+	})
+	g := core.NewGraph()
+	g.AddFilter("F", func() core.Filter { return &diskHeavy{n: 3, diskBytes: 1e6, cost: 0} })
+	pl := core.NewPlacement().Place("F", "h", 1)
+	r, _ := NewRunner(g, pl, cl, Options{PrefetchDepth: 8})
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WallSeconds < 2.99 {
+		t.Fatalf("run finished before disk reads completed: %v", st.WallSeconds)
+	}
+}
+
+func TestInitFinalizeTimeCountsAsBusy(t *testing.T) {
+	k := sim.NewKernel()
+	cl := cluster.New(k)
+	cl.AddHost(cluster.HostSpec{Name: "h", Cores: 1, Speed: 1, NICBandwidth: 1e9})
+	g := core.NewGraph()
+	g.AddFilter("F", func() core.Filter { return &finalizeHeavy{} })
+	pl := core.NewPlacement().Place("F", "h", 1)
+	r, _ := NewRunner(g, pl, cl, Options{})
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy := st.Filters["F"].BusySeconds[0]; busy < 1.99 {
+		t.Fatalf("finalize compute missing from busy time: %v", busy)
+	}
+}
+
+type finalizeHeavy struct{ core.BaseFilter }
+
+func (f *finalizeHeavy) Process(core.Ctx) error { return nil }
+func (f *finalizeHeavy) Finalize(ctx core.Ctx) error {
+	ctx.Compute(2)
+	return nil
+}
+
+// Batched-ack DD on the simulated cluster: same deliveries, fewer ack
+// messages through the NICs.
+func TestSimBatchedAcksReduceMessages(t *testing.T) {
+	run := func(pol core.Policy) (int64, int64) {
+		k := sim.NewKernel()
+		cl := cluster.New(k)
+		for i := 0; i < 3; i++ {
+			cl.AddHost(cluster.HostSpec{
+				Name: string(rune('a' + i)), Cores: 1, Speed: 1, NICBandwidth: 20e6,
+				Disks: []cluster.DiskSpec{{SeekSeconds: 0.001, Bandwidth: 50e6}},
+			})
+		}
+		// A simple produce/consume graph with 200 buffers.
+		g2 := core.NewGraph()
+		g2.AddFilter("P", func() core.Filter { return &bulkSource{n: 200} })
+		g2.AddFilter("W", func() core.Filter { return &bulkSink{} })
+		g2.Connect("P", "W", "work")
+		pl := core.NewPlacement().
+			Place("P", "a", 1).
+			Place("W", "b", 1).Place("W", "c", 1)
+		r, err := NewRunner(g2, pl, cl, Options{Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Streams["work"].Acks, cl.MessagesMoved
+	}
+	plainAcks, plainMsgs := run(core.DemandDriven())
+	batchAcks, batchMsgs := run(core.DemandDrivenBatched(10))
+	if plainAcks != 200 {
+		t.Fatalf("plain DD acks = %d, want 200", plainAcks)
+	}
+	if batchAcks > 25 {
+		t.Fatalf("batched acks = %d, want ~20", batchAcks)
+	}
+	if batchMsgs >= plainMsgs {
+		t.Fatalf("batched messages (%d) should be below plain (%d)", batchMsgs, plainMsgs)
+	}
+}
+
+type bulkSource struct {
+	core.BaseFilter
+	n int
+}
+
+func (s *bulkSource) Process(ctx core.Ctx) error {
+	for i := 0; i < s.n; i++ {
+		ctx.Compute(0.001)
+		if err := ctx.Write("work", core.Buffer{Payload: i, Size: 4096}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type bulkSink struct{ core.BaseFilter }
+
+func (s *bulkSink) Process(ctx core.Ctx) error {
+	for {
+		if _, ok := ctx.Read("work"); !ok {
+			return nil
+		}
+		ctx.Compute(0.002)
+	}
+}

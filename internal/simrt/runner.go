@@ -1,0 +1,527 @@
+// Package simrt executes a core filter graph on a simulated heterogeneous
+// cluster in virtual time. It is the second engine for internal/core: the
+// same Graph, Placement, Filter implementations, and — crucially — the very
+// same Policy objects (RR, WRR, DD) drive buffer distribution, so scheduling
+// behaviour measured here is the behaviour of the production code, not a
+// re-implementation.
+//
+// Filters run as simulated processes. Ctx.Compute charges the host's
+// processor-sharing CPU (where background jobs compete at equal priority),
+// Ctx.ChargeDisk charges the host's disks, buffer writes occupy sender and
+// receiver NICs for their wire time, and demand-driven acknowledgments are
+// real small messages that queue on the same NICs — reproducing the paper's
+// observation that DD ack traffic is costly on slow networks.
+package simrt
+
+import (
+	"fmt"
+
+	"datacutter/internal/cluster"
+	"datacutter/internal/core"
+	"datacutter/internal/sim"
+)
+
+// Options configures a simulated run.
+type Options struct {
+	// Policy is the default writer policy (RoundRobin if nil);
+	// StreamPolicy overrides per stream.
+	Policy       core.Policy
+	StreamPolicy map[string]core.Policy
+	// QueueCap is the per-copy-set queue capacity in buffers (default 8).
+	QueueCap int
+	// BufferBytes is the default stream buffer size (default 256 KiB),
+	// clamped by DeclareBuffer bounds.
+	BufferBytes int
+	// AckBytes is the size of a DD acknowledgment message (default 64).
+	AckBytes int
+	// PrefetchDepth is the number of disk reads a filter copy keeps in
+	// flight (modeling asynchronous I/O and OS readahead): ChargeDisk
+	// returns once the read is issued and only blocks when the disk falls
+	// `PrefetchDepth` requests behind. 1 makes reads fully synchronous.
+	// Default 4.
+	PrefetchDepth int
+	// UOWs lists the unit-of-work descriptors (one nil UOW if empty).
+	UOWs []any
+}
+
+func (o *Options) policyFor(stream string) core.Policy {
+	if p, ok := o.StreamPolicy[stream]; ok && p != nil {
+		return p
+	}
+	if o.Policy != nil {
+		return o.Policy
+	}
+	return core.RoundRobin()
+}
+
+func (o *Options) queueCap() int {
+	if o.QueueCap > 0 {
+		return o.QueueCap
+	}
+	return 8
+}
+
+func (o *Options) bufferBytes() int {
+	if o.BufferBytes > 0 {
+		return o.BufferBytes
+	}
+	return 256 << 10
+}
+
+func (o *Options) ackBytes() int {
+	if o.AckBytes > 0 {
+		return o.AckBytes
+	}
+	return 64
+}
+
+func (o *Options) prefetchDepth() int {
+	if o.PrefetchDepth > 0 {
+		return o.PrefetchDepth
+	}
+	return 4
+}
+
+// Runner executes a graph on a cluster in virtual time.
+type Runner struct {
+	g    *core.Graph
+	pl   *core.Placement
+	cl   *cluster.Cluster
+	opts Options
+
+	copies map[string][]*copyInst
+	stats  *core.Stats
+	// firstErr is the first filter error; the run is reported failed.
+	firstErr error
+}
+
+type copyInst struct {
+	filter    core.Filter
+	name      string
+	host      string
+	globalIdx int
+	total     int
+}
+
+// NewRunner validates the graph/placement (every placed host must exist in
+// the cluster) and instantiates filter copies.
+func NewRunner(g *core.Graph, pl *core.Placement, cl *cluster.Cluster, opts Options) (*Runner, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(g); err != nil {
+		return nil, err
+	}
+	for _, h := range pl.Hosts() {
+		if cl.Host(h) == nil {
+			return nil, fmt.Errorf("simrt: placement uses host %q not present in cluster", h)
+		}
+	}
+	r := &Runner{g: g, pl: pl, cl: cl, opts: opts, copies: make(map[string][]*copyInst), stats: core.NewStats(g)}
+	for _, name := range g.Filters() {
+		total := pl.TotalCopies(name)
+		idx := 0
+		for _, e := range pl.Of(name) {
+			for c := 0; c < e.Copies; c++ {
+				r.copies[name] = append(r.copies[name], &copyInst{
+					filter: g.Factory(name)(), name: name, host: e.Host, globalIdx: idx, total: total,
+				})
+				idx++
+			}
+		}
+		fs := r.stats.Filters[name]
+		fs.Copies = total
+		fs.BusySeconds = make([]float64, total)
+		fs.WallSeconds = make([]float64, total)
+		fs.ReadBlockedSeconds = make([]float64, total)
+		fs.WriteBlockedSeconds = make([]float64, total)
+	}
+	return r, nil
+}
+
+// Instances returns the filter instances for a filter in global copy order.
+func (r *Runner) Instances(name string) []core.Filter {
+	out := make([]core.Filter, len(r.copies[name]))
+	for i, c := range r.copies[name] {
+		out[i] = c.filter
+	}
+	return out
+}
+
+// Stats returns accumulated statistics (virtual-time seconds).
+func (r *Runner) Stats() *core.Stats { return r.stats }
+
+// Run executes all units of work sequentially in virtual time.
+func (r *Runner) Run() (*core.Stats, error) {
+	k := r.cl.Kernel()
+	uows := r.opts.UOWs
+	if len(uows) == 0 {
+		uows = []any{nil}
+	}
+	start := k.Now()
+	for i, work := range uows {
+		t0 := k.Now()
+		if err := r.runUOW(i, work); err != nil {
+			return r.stats, err
+		}
+		r.stats.PerUOWSeconds = append(r.stats.PerUOWSeconds, float64(k.Now()-t0))
+	}
+	r.stats.WallSeconds += float64(k.Now() - start)
+	return r.stats, nil
+}
+
+type delivery struct {
+	buf    core.Buffer
+	sender *writerState
+	target int
+}
+
+type streamRT struct {
+	spec   core.StreamSpec
+	hosts  []string
+	copies []int
+	chans  []*sim.Chan[delivery]
+	alive  int // unfinished producer copies
+
+	declMin, declMax int
+	bufBytes         int
+}
+
+func (s *streamRT) resolve(def int) {
+	b := def
+	if s.declMin > 0 && b < s.declMin {
+		b = s.declMin
+	}
+	if s.declMax > 0 && b > s.declMax {
+		b = s.declMax
+	}
+	s.bufBytes = b
+}
+
+type writerState struct {
+	st      *streamRT
+	w       core.Writer
+	unacked []int
+	host    string // producer copy's host
+}
+
+func (r *Runner) runUOW(uow int, work any) error {
+	k := r.cl.Kernel()
+	streams := make(map[string]*streamRT)
+	for _, sp := range r.g.Streams() {
+		st := &streamRT{spec: sp, alive: r.pl.TotalCopies(sp.From)}
+		for _, e := range r.pl.Of(sp.To) {
+			st.hosts = append(st.hosts, e.Host)
+			st.copies = append(st.copies, e.Copies)
+			st.chans = append(st.chans, sim.NewChan[delivery](k, sp.Name+"@"+e.Host, r.opts.queueCap()))
+		}
+		streams[sp.Name] = st
+	}
+
+	var ctxs []*simCtx
+	for _, name := range r.g.Filters() {
+		for _, ci := range r.copies[name] {
+			c := &simCtx{r: r, ci: ci, uow: uow, work: work,
+				inputs:  make(map[string]*sim.Chan[delivery]),
+				inputRT: make(map[string]*streamRT),
+				writers: make(map[string]*writerState)}
+			for _, sp := range r.g.Inputs(name) {
+				st := streams[sp.Name]
+				for i, h := range st.hosts {
+					if h == ci.host {
+						c.inputs[sp.Name] = st.chans[i]
+						break
+					}
+				}
+				if c.inputs[sp.Name] == nil {
+					return fmt.Errorf("simrt: stream %s: consumer copy of %q on host %q has no queue", sp.Name, name, ci.host)
+				}
+				c.inputRT[sp.Name] = st
+			}
+			for _, sp := range r.g.Outputs(name) {
+				st := streams[sp.Name]
+				infos := make([]core.TargetInfo, len(st.hosts))
+				for i, h := range st.hosts {
+					infos[i] = core.TargetInfo{Host: h, Copies: st.copies[i], Local: h == ci.host}
+				}
+				c.writers[sp.Name] = &writerState{
+					st:      st,
+					w:       r.opts.policyFor(sp.Name).NewWriter(infos),
+					unacked: make([]int, len(st.hosts)),
+					host:    ci.host,
+				}
+			}
+			ctxs = append(ctxs, c)
+		}
+	}
+
+	// Phase 1: Init.
+	if err := r.phase(ctxs, "init", func(c *simCtx) error { return c.ci.filter.Init(c) }); err != nil {
+		return err
+	}
+	for _, st := range streams {
+		st.resolve(r.opts.bufferBytes())
+	}
+
+	// Phase 2: Process with end-of-work propagation.
+	for _, c := range ctxs {
+		c := c
+		k.Spawn(fmt.Sprintf("%s#%d@%s", c.ci.name, c.ci.globalIdx, c.ci.host), func(p *sim.Proc) {
+			c.p = p
+			t0 := p.Now()
+			err := c.ci.filter.Process(c)
+			c.drainDisk()
+			fs := r.stats.Filters[c.ci.name]
+			wall := float64(p.Now() - t0)
+			fs.WallSeconds[c.ci.globalIdx] += wall
+			fs.BusySeconds[c.ci.globalIdx] += wall - c.readBlocked - c.writeBlocked - c.netSeconds
+			fs.ReadBlockedSeconds[c.ci.globalIdx] += c.readBlocked
+			fs.WriteBlockedSeconds[c.ci.globalIdx] += c.writeBlocked + c.netSeconds
+			c.readBlocked, c.writeBlocked, c.netSeconds = 0, 0, 0
+			for _, sp := range r.g.Outputs(c.ci.name) {
+				st := streams[sp.Name]
+				st.alive--
+				if st.alive == 0 {
+					for _, ch := range st.chans {
+						ch.Close()
+					}
+				}
+			}
+			if err != nil && r.firstErr == nil {
+				r.firstErr = fmt.Errorf("simrt: filter %s copy %d: %w", c.ci.name, c.ci.globalIdx, err)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		if r.firstErr != nil {
+			return r.firstErr
+		}
+		return err
+	}
+	if r.firstErr != nil {
+		return r.firstErr
+	}
+
+	// Phase 3: Finalize.
+	return r.phase(ctxs, "finalize", func(c *simCtx) error { return c.ci.filter.Finalize(c) })
+}
+
+func (r *Runner) phase(ctxs []*simCtx, label string, f func(*simCtx) error) error {
+	k := r.cl.Kernel()
+	for _, c := range ctxs {
+		c := c
+		k.Spawn(fmt.Sprintf("%s-%s#%d", label, c.ci.name, c.ci.globalIdx), func(p *sim.Proc) {
+			c.p = p
+			t0 := p.Now()
+			err := f(c)
+			// Init/Finalize work (accumulator allocation, final image
+			// generation) counts toward the filter's busy time.
+			dt := float64(p.Now() - t0)
+			fs := r.stats.Filters[c.ci.name]
+			fs.BusySeconds[c.ci.globalIdx] += dt
+			fs.WallSeconds[c.ci.globalIdx] += dt
+			if err != nil && r.firstErr == nil {
+				r.firstErr = fmt.Errorf("simrt: filter %s copy %d (%s): %w", c.ci.name, c.ci.globalIdx, label, err)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		if r.firstErr != nil {
+			return r.firstErr
+		}
+		return err
+	}
+	return r.firstErr
+}
+
+// simCtx implements core.Ctx on the simulated engine.
+type simCtx struct {
+	r    *Runner
+	ci   *copyInst
+	p    *sim.Proc
+	uow  int
+	work any
+
+	inputs  map[string]*sim.Chan[delivery]
+	inputRT map[string]*streamRT
+	writers map[string]*writerState
+
+	readBlocked  float64
+	writeBlocked float64
+	netSeconds   float64
+
+	diskPending     *sim.Chan[struct{}]
+	diskOutstanding int
+
+	// ackPending coalesces acknowledgments per (producer writer, target)
+	// when the policy batches them (core.AckBatcher).
+	ackPending map[ackKey]int
+}
+
+type ackKey struct {
+	ws     *writerState
+	target int
+}
+
+var _ core.Ctx = (*simCtx)(nil)
+
+func (c *simCtx) Read(stream string) (core.Buffer, bool) {
+	ch, ok := c.inputs[stream]
+	if !ok {
+		panic(fmt.Sprintf("simrt: filter %s reads unknown input stream %q", c.ci.name, stream))
+	}
+	t0 := c.p.Now()
+	d, ok := ch.Recv(c.p)
+	c.readBlocked += float64(c.p.Now() - t0)
+	if !ok {
+		c.flushAcks(stream)
+		return core.Buffer{}, false
+	}
+	if d.sender != nil && d.sender.w.WantsAcks() {
+		c.ack(stream, d.sender, d.target)
+	}
+	c.r.stats.Filters[c.ci.name].BuffersIn++
+	return d.buf, true
+}
+
+// ack sends (or coalesces) the acknowledgment for one consumed buffer: a
+// real small message that occupies consumer and producer NICs before the
+// producer's counter drops (paper §2: the ack indicates the buffer is
+// being processed). Batched-ack policies coalesce k buffers into one
+// message (the paper's §6 follow-up for reducing DD overhead).
+func (c *simCtx) ack(stream string, ws *writerState, target int) {
+	k := core.AckBatchOf(ws.w)
+	n := 1
+	if k > 1 {
+		if c.ackPending == nil {
+			c.ackPending = make(map[ackKey]int)
+		}
+		key := ackKey{ws, target}
+		c.ackPending[key]++
+		if c.ackPending[key] < k {
+			return
+		}
+		n = c.ackPending[key]
+		delete(c.ackPending, key)
+	}
+	c.sendAck(stream, ws, target, n)
+}
+
+func (c *simCtx) sendAck(stream string, ws *writerState, target, n int) {
+	from, to := c.ci.host, ws.host
+	ab := c.r.opts.ackBytes()
+	c.p.Kernel().Spawn("ack", func(p *sim.Proc) {
+		c.r.cl.Transfer(p, from, to, ab)
+		ws.unacked[target] -= n
+	})
+	c.r.stats.Streams[stream].Acks++
+}
+
+// flushAcks releases coalesced acknowledgments (called at end-of-work so
+// producers' counters settle even when a batch is incomplete).
+func (c *simCtx) flushAcks(stream string) {
+	for key, n := range c.ackPending {
+		delete(c.ackPending, key)
+		c.sendAck(stream, key.ws, key.target, n)
+	}
+}
+
+func (c *simCtx) Write(stream string, b core.Buffer) error {
+	ws, ok := c.writers[stream]
+	if !ok {
+		panic(fmt.Sprintf("simrt: filter %s writes unknown output stream %q", c.ci.name, stream))
+	}
+	idx := ws.w.Pick(ws.unacked)
+	if ws.w.WantsAcks() {
+		ws.unacked[idx]++
+	}
+	// Wire time: occupy the NICs for the buffer's transfer.
+	t0 := c.p.Now()
+	c.r.cl.Transfer(c.p, c.ci.host, ws.st.hosts[idx], b.Size)
+	c.netSeconds += float64(c.p.Now() - t0)
+	// Enqueue; blocking here is backpressure from a full consumer queue.
+	t0 = c.p.Now()
+	ws.st.chans[idx].Send(c.p, delivery{buf: b, sender: ws, target: idx})
+	c.writeBlocked += float64(c.p.Now() - t0)
+
+	ss := c.r.stats.Streams[stream]
+	ss.Buffers++
+	ss.Bytes += int64(b.Size)
+	ss.PerTargetHost[ws.st.hosts[idx]]++
+	c.r.stats.Filters[c.ci.name].BuffersOut++
+	return nil
+}
+
+func (c *simCtx) Compute(refSeconds float64) {
+	if refSeconds <= 0 {
+		return
+	}
+	c.r.cl.Host(c.ci.host).CPU.Compute(c.p, refSeconds)
+}
+
+// ChargeDisk issues a disk read with asynchronous prefetch: up to
+// Options.PrefetchDepth reads stay in flight while the filter computes,
+// modeling the overlapped I/O both real systems rely on. Waiting for a
+// slot counts as read-blocked time. All reads drain before the copy
+// reaches end-of-work.
+func (c *simCtx) ChargeDisk(disk int, bytes int) {
+	depth := c.r.opts.prefetchDepth()
+	host := c.r.cl.Host(c.ci.host)
+	if depth <= 1 {
+		host.ReadDisk(c.p, disk, bytes)
+		return
+	}
+	if c.diskPending == nil {
+		c.diskPending = sim.NewChan[struct{}](c.p.Kernel(), "prefetch@"+c.ci.host, depth)
+	}
+	for c.diskOutstanding >= depth {
+		t0 := c.p.Now()
+		c.diskPending.Recv(c.p)
+		c.diskOutstanding--
+		c.readBlocked += float64(c.p.Now() - t0)
+	}
+	done := c.diskPending
+	c.p.Kernel().Spawn("prefetch-io", func(p *sim.Proc) {
+		host.ReadDisk(p, disk, bytes)
+		done.Send(p, struct{}{})
+	})
+	c.diskOutstanding++
+}
+
+// drainDisk waits for in-flight prefetch reads (end of Process).
+func (c *simCtx) drainDisk() {
+	for c.diskOutstanding > 0 {
+		t0 := c.p.Now()
+		c.diskPending.Recv(c.p)
+		c.diskOutstanding--
+		c.readBlocked += float64(c.p.Now() - t0)
+	}
+}
+
+func (c *simCtx) DeclareBuffer(stream string, minBytes, maxBytes int) {
+	st := c.streamRTFor(stream)
+	if minBytes > st.declMin {
+		st.declMin = minBytes
+	}
+	if maxBytes > 0 && (st.declMax == 0 || maxBytes < st.declMax) {
+		st.declMax = maxBytes
+	}
+}
+
+func (c *simCtx) BufferBytes(stream string) int { return c.streamRTFor(stream).bufBytes }
+
+func (c *simCtx) streamRTFor(stream string) *streamRT {
+	if ws, ok := c.writers[stream]; ok {
+		return ws.st
+	}
+	if st, ok := c.inputRT[stream]; ok {
+		return st
+	}
+	panic(fmt.Sprintf("simrt: filter %s references unknown stream %q", c.ci.name, stream))
+}
+
+func (c *simCtx) Host() string     { return c.ci.host }
+func (c *simCtx) CopyIndex() int   { return c.ci.globalIdx }
+func (c *simCtx) TotalCopies() int { return c.ci.total }
+func (c *simCtx) UOW() int         { return c.uow }
+func (c *simCtx) Work() any        { return c.work }

@@ -1,0 +1,377 @@
+package simrt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"datacutter/internal/cluster"
+	"datacutter/internal/core"
+	"datacutter/internal/sim"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// modelSource emits n buffers of fixed size, charging diskSeconds-worth of
+// disk reads per buffer.
+type modelSource struct {
+	core.BaseFilter
+	n, size   int
+	diskBytes int
+	stream    string
+}
+
+func (s *modelSource) Process(ctx core.Ctx) error {
+	for i := 0; i < s.n; i++ {
+		if s.diskBytes > 0 {
+			ctx.ChargeDisk(0, s.diskBytes)
+		}
+		if err := ctx.Write(s.stream, core.Buffer{Payload: i, Size: s.size}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// modelWorker charges a fixed compute cost per buffer then forwards it.
+type modelWorker struct {
+	core.BaseFilter
+	in, out string
+	cost    float64
+	seen    int
+}
+
+func (w *modelWorker) Process(ctx core.Ctx) error {
+	for {
+		b, ok := ctx.Read(w.in)
+		if !ok {
+			return nil
+		}
+		ctx.Compute(w.cost)
+		w.seen++
+		if err := ctx.Write(w.out, b); err != nil {
+			return err
+		}
+	}
+}
+
+// modelSink counts buffers.
+type modelSink struct {
+	core.BaseFilter
+	in   string
+	seen int
+}
+
+func (s *modelSink) Process(ctx core.Ctx) error {
+	for {
+		_, ok := ctx.Read(s.in)
+		if !ok {
+			return nil
+		}
+		s.seen++
+	}
+}
+
+func uniformCluster(k *sim.Kernel, hosts ...string) *cluster.Cluster {
+	cl := cluster.New(k)
+	for _, h := range hosts {
+		cl.AddHost(cluster.HostSpec{
+			Name: h, Cores: 1, Speed: 1, NICBandwidth: 100e6,
+			Disks: []cluster.DiskSpec{{SeekSeconds: 0.001, Bandwidth: 50e6}},
+		})
+	}
+	return cl
+}
+
+func buildPipeline(n, size int, cost float64) (*core.Graph, *modelSink) {
+	sink := &modelSink{in: "out"}
+	g := core.NewGraph()
+	g.AddFilter("S", func() core.Filter { return &modelSource{n: n, size: size, stream: "in"} })
+	g.AddFilter("W", func() core.Filter { return &modelWorker{in: "in", out: "out", cost: cost} })
+	g.AddFilter("K", func() core.Filter { return sink })
+	g.Connect("S", "W", "in")
+	g.Connect("W", "K", "out")
+	return g, sink
+}
+
+func TestSimPipelineDeliversEverything(t *testing.T) {
+	k := sim.NewKernel()
+	cl := uniformCluster(k, "h0", "h1", "h2")
+	g, sink := buildPipeline(100, 1000, 0.01)
+	pl := core.NewPlacement().
+		Place("S", "h0", 1).
+		Place("W", "h1", 1).Place("W", "h2", 1).
+		Place("K", "h0", 1)
+	r, err := NewRunner(g, pl, cl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.seen != 100 {
+		t.Fatalf("sink saw %d buffers, want 100", sink.seen)
+	}
+	if st.Streams["in"].Buffers != 100 || st.Streams["out"].Buffers != 100 {
+		t.Fatalf("stream counts: %+v", st.Streams)
+	}
+	if st.WallSeconds <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestSimComputeDominatedMakespan(t *testing.T) {
+	// 100 buffers, 0.05 ref-seconds each, one worker on a speed-2 host:
+	// compute time = 100*0.05/2 = 2.5 s, transfers negligible. The pipeline
+	// overlaps, so total should be close to 2.5 s.
+	k := sim.NewKernel()
+	cl := cluster.New(k)
+	cl.AddHost(cluster.HostSpec{Name: "src", Cores: 1, Speed: 1, NICBandwidth: 1e9,
+		Disks: []cluster.DiskSpec{{SeekSeconds: 0, Bandwidth: 1e12}}})
+	cl.AddHost(cluster.HostSpec{Name: "w", Cores: 1, Speed: 2, NICBandwidth: 1e9})
+	g, _ := buildPipeline(100, 10, 0.05)
+	pl := core.NewPlacement().
+		Place("S", "src", 1).Place("W", "w", 1).Place("K", "src", 1)
+	r, _ := NewRunner(g, pl, cl, Options{})
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(st.WallSeconds, 2.5, 0.1) {
+		t.Fatalf("makespan %v, want ~2.5", st.WallSeconds)
+	}
+}
+
+func TestSimNetworkDominatedMakespan(t *testing.T) {
+	// 10 buffers of 10 MB over a 10 MB/s bottleneck: >= 10 s of wire time
+	// serialized on the source egress NIC.
+	k := sim.NewKernel()
+	cl := cluster.New(k)
+	cl.Latency = 0
+	cl.AddHost(cluster.HostSpec{Name: "a", Cores: 1, Speed: 1, NICBandwidth: 10e6,
+		Disks: []cluster.DiskSpec{{SeekSeconds: 0, Bandwidth: 1e12}}})
+	cl.AddHost(cluster.HostSpec{Name: "b", Cores: 1, Speed: 1, NICBandwidth: 10e6})
+	g, _ := buildPipeline(10, 10e6, 0)
+	pl := core.NewPlacement().
+		Place("S", "a", 1).Place("W", "b", 1).Place("K", "b", 1)
+	r, _ := NewRunner(g, pl, cl, Options{})
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WallSeconds < 10.0 || st.WallSeconds > 11.0 {
+		t.Fatalf("makespan %v, want ~10", st.WallSeconds)
+	}
+}
+
+func TestSimDDShiftsLoadToFastHost(t *testing.T) {
+	// Worker copies on a fast host and a 4x-loaded host. DD must deliver
+	// clearly more buffers to the fast host; RR stays even.
+	run := func(pol core.Policy) map[string]int64 {
+		k := sim.NewKernel()
+		cl := uniformCluster(k, "src", "fast", "slow")
+		cl.Host("slow").SetBackgroundJobs(4)
+		g, sink := buildPipeline(200, 1000, 0.01)
+		pl := core.NewPlacement().
+			Place("S", "src", 1).
+			Place("W", "fast", 1).Place("W", "slow", 1).
+			Place("K", "src", 1)
+		r, _ := NewRunner(g, pl, cl, Options{Policy: pol, QueueCap: 4})
+		st, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sink.seen != 200 {
+			t.Fatalf("%s: sink saw %d", pol.Name(), sink.seen)
+		}
+		return st.Streams["in"].PerTargetHost
+	}
+	dd := run(core.DemandDriven())
+	if dd["fast"] < 2*dd["slow"] {
+		t.Fatalf("DD did not shift load: %v", dd)
+	}
+	rr := run(core.RoundRobin())
+	if rr["fast"] != rr["slow"] {
+		t.Fatalf("RR should split evenly: %v", rr)
+	}
+}
+
+func TestSimDDFasterThanRRUnderImbalance(t *testing.T) {
+	run := func(pol core.Policy) float64 {
+		k := sim.NewKernel()
+		cl := uniformCluster(k, "src", "fast", "slow")
+		cl.Host("slow").SetBackgroundJobs(8)
+		g, _ := buildPipeline(200, 1000, 0.01)
+		pl := core.NewPlacement().
+			Place("S", "src", 1).
+			Place("W", "fast", 1).Place("W", "slow", 1).
+			Place("K", "src", 1)
+		r, _ := NewRunner(g, pl, cl, Options{Policy: pol, QueueCap: 4})
+		st, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.WallSeconds
+	}
+	dd, rr := run(core.DemandDriven()), run(core.RoundRobin())
+	if dd >= rr {
+		t.Fatalf("DD (%v) not faster than RR (%v) under load imbalance", dd, rr)
+	}
+}
+
+func TestSimWRRProportions(t *testing.T) {
+	k := sim.NewKernel()
+	cl := uniformCluster(k, "src", "h1", "h2")
+	g, _ := buildPipeline(300, 100, 0.001)
+	pl := core.NewPlacement().
+		Place("S", "src", 1).
+		Place("W", "h1", 1).Place("W", "h2", 2).
+		Place("K", "src", 1)
+	r, _ := NewRunner(g, pl, cl, Options{Policy: core.WeightedRoundRobin()})
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := st.Streams["in"].PerTargetHost
+	if per["h1"] != 100 || per["h2"] != 200 {
+		t.Fatalf("WRR distribution: %v", per)
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() (float64, map[string]int64) {
+		k := sim.NewKernel()
+		cl := uniformCluster(k, "src", "a", "b")
+		cl.Host("b").SetBackgroundJobs(2)
+		g, _ := buildPipeline(150, 512, 0.004)
+		pl := core.NewPlacement().
+			Place("S", "src", 1).
+			Place("W", "a", 1).Place("W", "b", 1).
+			Place("K", "src", 1)
+		r, _ := NewRunner(g, pl, cl, Options{Policy: core.DemandDriven()})
+		st, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.WallSeconds, st.Streams["in"].PerTargetHost
+	}
+	w1, p1 := run()
+	w2, p2 := run()
+	if w1 != w2 {
+		t.Fatalf("nondeterministic makespan: %v vs %v", w1, w2)
+	}
+	for h, n := range p1 {
+		if p2[h] != n {
+			t.Fatalf("nondeterministic distribution: %v vs %v", p1, p2)
+		}
+	}
+}
+
+func TestSimAcksConsumeNetwork(t *testing.T) {
+	// Same workload, DD vs RR: DD must move strictly more messages (the
+	// acks) through the cluster.
+	run := func(pol core.Policy) int64 {
+		k := sim.NewKernel()
+		cl := uniformCluster(k, "src", "a", "b")
+		g, _ := buildPipeline(100, 1000, 0.002)
+		pl := core.NewPlacement().
+			Place("S", "src", 1).
+			Place("W", "a", 1).Place("W", "b", 1).
+			Place("K", "src", 1)
+		r, _ := NewRunner(g, pl, cl, Options{Policy: pol})
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return cl.MessagesMoved
+	}
+	dd, rr := run(core.DemandDriven()), run(core.RoundRobin())
+	if dd <= rr {
+		t.Fatalf("DD messages (%d) should exceed RR messages (%d)", dd, rr)
+	}
+}
+
+func TestSimMultiUOW(t *testing.T) {
+	k := sim.NewKernel()
+	cl := uniformCluster(k, "h0")
+	g, sink := buildPipeline(20, 100, 0.001)
+	pl := core.NewPlacement().
+		Place("S", "h0", 1).Place("W", "h0", 1).Place("K", "h0", 1)
+	r, _ := NewRunner(g, pl, cl, Options{UOWs: []any{0, 1, 2, 3}})
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.seen != 80 {
+		t.Fatalf("sink saw %d, want 80", sink.seen)
+	}
+	if len(st.PerUOWSeconds) != 4 {
+		t.Fatalf("per-UOW count %d", len(st.PerUOWSeconds))
+	}
+	for _, d := range st.PerUOWSeconds {
+		if d <= 0 {
+			t.Fatalf("non-positive UOW duration: %v", st.PerUOWSeconds)
+		}
+	}
+}
+
+// errFilter fails immediately in Process.
+type errFilter struct {
+	core.BaseFilter
+	in string
+}
+
+func (e *errFilter) Process(ctx core.Ctx) error {
+	ctx.Read(e.in)
+	return errors.New("boom")
+}
+
+func TestSimFilterErrorSurfaces(t *testing.T) {
+	k := sim.NewKernel()
+	cl := uniformCluster(k, "h0")
+	g := core.NewGraph()
+	g.AddFilter("S", func() core.Filter { return &modelSource{n: 5, size: 10, stream: "s"} })
+	g.AddFilter("E", func() core.Filter { return &errFilter{in: "s"} })
+	g.Connect("S", "E", "s")
+	pl := core.NewPlacement().Place("S", "h0", 1).Place("E", "h0", 1)
+	r, _ := NewRunner(g, pl, cl, Options{})
+	_, err := r.Run()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSimPlacementOnUnknownHostRejected(t *testing.T) {
+	k := sim.NewKernel()
+	cl := uniformCluster(k, "h0")
+	g, _ := buildPipeline(1, 1, 0)
+	pl := core.NewPlacement().
+		Place("S", "h0", 1).Place("W", "ghost", 1).Place("K", "h0", 1)
+	if _, err := NewRunner(g, pl, cl, Options{}); err == nil {
+		t.Fatal("expected error for unknown host")
+	}
+}
+
+func TestSimBackgroundJobsDegradeStatically(t *testing.T) {
+	// RR with bg jobs on one worker host: makespan grows with load because
+	// RR keeps sending half the work there.
+	run := func(bg int) float64 {
+		k := sim.NewKernel()
+		cl := uniformCluster(k, "src", "a", "b")
+		cl.Host("b").SetBackgroundJobs(bg)
+		g, _ := buildPipeline(100, 1000, 0.01)
+		pl := core.NewPlacement().
+			Place("S", "src", 1).
+			Place("W", "a", 1).Place("W", "b", 1).
+			Place("K", "src", 1)
+		r, _ := NewRunner(g, pl, cl, Options{Policy: core.RoundRobin()})
+		st, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.WallSeconds
+	}
+	if t0, t4 := run(0), run(4); t4 < t0*2 {
+		t.Fatalf("RR under 4 bg jobs: %v vs unloaded %v — should degrade >= 2x", t4, t0)
+	}
+}

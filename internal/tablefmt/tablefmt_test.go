@@ -1,0 +1,70 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBasicRendering(t *testing.T) {
+	tb := New("Title", "name", "value")
+	tb.Row("alpha", 42)
+	tb.Row("b", 3.14159)
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha  42") {
+		t.Fatalf("row not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") || strings.Contains(out, "3.14159") {
+		t.Fatalf("floats should render with 2 decimals:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestColumnsAlign(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Row("short", 1)
+	tb.Row("muchlongervalue", 2)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Column b should start at the same offset on both data rows.
+	r1, r2 := lines[len(lines)-2], lines[len(lines)-1]
+	if strings.IndexByte(r1, '1') == -1 || strings.Index(r2, "2") == -1 {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	if strings.Index(r1, "1") != strings.Index(r2, "2") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestCellAccess(t *testing.T) {
+	tb := New("", "x")
+	tb.Row("v0").Row("v1")
+	if tb.Rows() != 2 || tb.Cell(1, 0) != "v1" {
+		t.Fatalf("Rows/Cell wrong: %d %q", tb.Rows(), tb.Cell(1, 0))
+	}
+	if tb.Cell(5, 5) != "" {
+		t.Fatal("out-of-range Cell should be empty")
+	}
+}
+
+func TestExtraCellsBeyondHeaders(t *testing.T) {
+	tb := New("", "only")
+	tb.Row("a", "b", "c")
+	out := tb.String()
+	if !strings.Contains(out, "b") || !strings.Contains(out, "c") {
+		t.Fatalf("extra cells dropped:\n%s", out)
+	}
+}
+
+func TestFloat32Formatting(t *testing.T) {
+	tb := New("", "v")
+	tb.Row(float32(1.5))
+	if tb.Cell(0, 0) != "1.50" {
+		t.Fatalf("float32 cell = %q", tb.Cell(0, 0))
+	}
+}

@@ -1,0 +1,164 @@
+// Package volume provides rectilinear scalar grids, sub-volume
+// partitioning, and synthetic time-evolving reactive-transport fields that
+// stand in for the paper's ParSSim simulation datasets. The experiments in
+// the paper depend on data volume, chunking, placement, and the
+// voxel-to-triangle expansion of the isosurface — not on the PDE physics —
+// so a smooth multi-species plume field with realistic spatial skew is an
+// adequate substitute (see DESIGN.md §3).
+package volume
+
+import "fmt"
+
+// Volume is a rectilinear grid of scalar samples over the unit cube.
+// Samples are indexed [x + y*NX + z*NX*NY]; sample (i,j,k) sits at
+// normalized position (i/(NX-1), j/(NY-1), k/(NZ-1)).
+type Volume struct {
+	NX, NY, NZ int
+	Data       []float32
+	// Block records which region of a larger grid this volume covers when
+	// it was cut out by ExtractBlock; a full volume covers itself.
+	Block Block
+}
+
+// New allocates a zeroed volume.
+func New(nx, ny, nz int) *Volume {
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic("volume: dimensions must be >= 1")
+	}
+	return &Volume{
+		NX: nx, NY: ny, NZ: nz,
+		Data:  make([]float32, nx*ny*nz),
+		Block: Block{NX: nx, NY: ny, NZ: nz},
+	}
+}
+
+// At returns the sample at (x,y,z). No bounds checks beyond the slice's.
+func (v *Volume) At(x, y, z int) float32 { return v.Data[x+y*v.NX+z*v.NX*v.NY] }
+
+// Set stores a sample at (x,y,z).
+func (v *Volume) Set(x, y, z int, val float32) { v.Data[x+y*v.NX+z*v.NX*v.NY] = val }
+
+// Samples returns the total sample count.
+func (v *Volume) Samples() int { return v.NX * v.NY * v.NZ }
+
+// Bytes returns the in-memory payload size of the samples.
+func (v *Volume) Bytes() int { return 4 * v.Samples() }
+
+// Cells returns the number of marching cells (one less than samples per
+// axis).
+func (v *Volume) Cells() int {
+	if v.NX < 2 || v.NY < 2 || v.NZ < 2 {
+		return 0
+	}
+	return (v.NX - 1) * (v.NY - 1) * (v.NZ - 1)
+}
+
+// MinMax returns the sample range.
+func (v *Volume) MinMax() (min, max float32) {
+	if len(v.Data) == 0 {
+		return 0, 0
+	}
+	min, max = v.Data[0], v.Data[0]
+	for _, s := range v.Data {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return min, max
+}
+
+// Block identifies a rectangular sub-grid of a larger volume: sample
+// offsets (X0,Y0,Z0) and sample counts (NX,NY,NZ) within a full grid of
+// (GX,GY,GZ) samples.
+type Block struct {
+	X0, Y0, Z0 int
+	NX, NY, NZ int
+	GX, GY, GZ int
+	// Index is the block's position in the partition enumeration order.
+	Index int
+}
+
+// Samples returns the sample count of the block.
+func (b Block) Samples() int { return b.NX * b.NY * b.NZ }
+
+// Bytes returns the serialized size of the block's samples.
+func (b Block) Bytes() int { return 4 * b.Samples() }
+
+func (b Block) String() string {
+	return fmt.Sprintf("block[%d](%d,%d,%d)+(%d,%d,%d)", b.Index, b.X0, b.Y0, b.Z0, b.NX, b.NY, b.NZ)
+}
+
+// Partition cuts a (gx,gy,gz)-sample grid into bx*by*bz blocks. Blocks
+// share one sample plane with their +axis neighbors (marching cells sit
+// between samples, so overlap keeps block-wise isosurface extraction
+// seamless: every cell belongs to exactly one block).
+func Partition(gx, gy, gz, bx, by, bz int) []Block {
+	if bx < 1 || by < 1 || bz < 1 {
+		panic("volume: block counts must be >= 1")
+	}
+	// Cut on cells: cellsPerAxis = samples-1 split into b parts; each block
+	// then owns its cells plus the closing sample plane.
+	cuts := func(samples, parts int) []int {
+		cells := samples - 1
+		edges := make([]int, parts+1)
+		for i := 0; i <= parts; i++ {
+			edges[i] = i * cells / parts
+		}
+		return edges
+	}
+	ex, ey, ez := cuts(gx, bx), cuts(gy, by), cuts(gz, bz)
+	blocks := make([]Block, 0, bx*by*bz)
+	idx := 0
+	for k := 0; k < bz; k++ {
+		for j := 0; j < by; j++ {
+			for i := 0; i < bx; i++ {
+				b := Block{
+					X0: ex[i], Y0: ey[j], Z0: ez[k],
+					NX: ex[i+1] - ex[i] + 1,
+					NY: ey[j+1] - ey[j] + 1,
+					NZ: ez[k+1] - ez[k] + 1,
+					GX: gx, GY: gy, GZ: gz,
+					Index: idx,
+				}
+				blocks = append(blocks, b)
+				idx++
+			}
+		}
+	}
+	return blocks
+}
+
+// ExtractBlock copies a block's samples out of a full volume.
+func (v *Volume) ExtractBlock(b Block) *Volume {
+	out := New(b.NX, b.NY, b.NZ)
+	out.Block = b
+	for z := 0; z < b.NZ; z++ {
+		for y := 0; y < b.NY; y++ {
+			src := (b.X0) + (b.Y0+y)*v.NX + (b.Z0+z)*v.NX*v.NY
+			dst := y*b.NX + z*b.NX*b.NY
+			copy(out.Data[dst:dst+b.NX], v.Data[src:src+b.NX])
+		}
+	}
+	return out
+}
+
+// PosOf returns the normalized world position of local sample (x,y,z) in a
+// block-extracted volume (using the global grid dims recorded in Block).
+func (v *Volume) PosOf(x, y, z int) (fx, fy, fz float32) {
+	gx, gy, gz := v.Block.GX, v.Block.GY, v.Block.GZ
+	if gx == 0 {
+		gx, gy, gz = v.NX, v.NY, v.NZ
+	}
+	den := func(n int) float32 {
+		if n <= 1 {
+			return 1
+		}
+		return float32(n - 1)
+	}
+	return float32(v.Block.X0+x) / den(gx),
+		float32(v.Block.Y0+y) / den(gy),
+		float32(v.Block.Z0+z) / den(gz)
+}

@@ -1,0 +1,197 @@
+package volume
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtSetRoundTrip(t *testing.T) {
+	v := New(3, 4, 5)
+	v.Set(2, 3, 4, 7.5)
+	if got := v.At(2, 3, 4); got != 7.5 {
+		t.Fatalf("At = %v", got)
+	}
+	if v.Samples() != 60 || v.Bytes() != 240 {
+		t.Fatalf("Samples/Bytes = %d/%d", v.Samples(), v.Bytes())
+	}
+	if v.Cells() != 2*3*4 {
+		t.Fatalf("Cells = %d", v.Cells())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	v := New(2, 2, 1)
+	v.Data = []float32{3, -1, 4, 1.5}
+	min, max := v.MinMax()
+	if min != -1 || max != 4 {
+		t.Fatalf("MinMax = %v %v", min, max)
+	}
+}
+
+// Property: a partition covers every marching cell exactly once.
+func TestPartitionCoversCellsExactlyOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gx, gy, gz := 2+rng.Intn(20), 2+rng.Intn(20), 2+rng.Intn(20)
+		bx, by, bz := 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(4)
+		blocks := Partition(gx, gy, gz, bx, by, bz)
+		if len(blocks) != bx*by*bz {
+			return false
+		}
+		covered := make(map[[3]int]int)
+		for _, b := range blocks {
+			if b.NX < 1 || b.NY < 1 || b.NZ < 1 {
+				return false
+			}
+			for z := b.Z0; z < b.Z0+b.NZ-1; z++ {
+				for y := b.Y0; y < b.Y0+b.NY-1; y++ {
+					for x := b.X0; x < b.X0+b.NX-1; x++ {
+						covered[[3]int{x, y, z}]++
+					}
+				}
+			}
+		}
+		want := (gx - 1) * (gy - 1) * (gz - 1)
+		if len(covered) != want {
+			return false
+		}
+		for _, n := range covered {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionIndicesSequential(t *testing.T) {
+	blocks := Partition(9, 9, 9, 2, 2, 2)
+	for i, b := range blocks {
+		if b.Index != i {
+			t.Fatalf("block %d has index %d", i, b.Index)
+		}
+	}
+}
+
+func TestExtractBlockMatchesSource(t *testing.T) {
+	f := NewPlumeField(42, 3)
+	full := Rasterize(f, 17, 13, 11, 0)
+	for _, b := range Partition(17, 13, 11, 3, 2, 2) {
+		sub := full.ExtractBlock(b)
+		for z := 0; z < b.NZ; z++ {
+			for y := 0; y < b.NY; y++ {
+				for x := 0; x < b.NX; x++ {
+					if sub.At(x, y, z) != full.At(b.X0+x, b.Y0+y, b.Z0+z) {
+						t.Fatalf("block %v sample (%d,%d,%d) mismatch", b, x, y, z)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: sampling a field block-by-block produces bit-identical values
+// to whole-grid sampling (needed for seamless distributed extraction).
+func TestFillBlockAgreesWithRasterize(t *testing.T) {
+	f := NewPlumeField(7, 4)
+	full := Rasterize(f, 21, 19, 15, 2.0)
+	for _, b := range Partition(21, 19, 15, 2, 3, 2) {
+		blockVol := NewBlockVolume(b)
+		FillBlock(f, blockVol, 2.0)
+		for z := 0; z < b.NZ; z++ {
+			for y := 0; y < b.NY; y++ {
+				for x := 0; x < b.NX; x++ {
+					if blockVol.At(x, y, z) != full.At(b.X0+x, b.Y0+y, b.Z0+z) {
+						t.Fatalf("block sampling differs at (%d,%d,%d)", x, y, z)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPlumeFieldDeterministic(t *testing.T) {
+	a := NewPlumeField(99, 5)
+	b := NewPlumeField(99, 5)
+	for i := 0; i < 50; i++ {
+		x, y, z, tt := rand.Float64(), rand.Float64(), rand.Float64(), rand.Float64()*10
+		if a.Sample(x, y, z, tt) != b.Sample(x, y, z, tt) {
+			t.Fatal("same seed, different field")
+		}
+	}
+	c := NewPlumeField(100, 5)
+	diff := false
+	for i := 0; i < 50 && !diff; i++ {
+		x, y, z := rand.Float64(), rand.Float64(), rand.Float64()
+		if a.Sample(x, y, z, 0) != c.Sample(x, y, z, 0) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical fields")
+	}
+}
+
+func TestPlumeFieldEvolvesOverTime(t *testing.T) {
+	f := NewPlumeField(1, 4)
+	diff := false
+	for i := 0; i < 100 && !diff; i++ {
+		x, y, z := rand.Float64(), rand.Float64(), rand.Float64()
+		if f.Sample(x, y, z, 0) != f.Sample(x, y, z, 5) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("field does not evolve between timesteps")
+	}
+}
+
+func TestPlumeFieldHasIsosurfaceCrossings(t *testing.T) {
+	f := NewPlumeField(3, 4)
+	v := Rasterize(f, 32, 32, 32, 0)
+	min, max := v.MinMax()
+	iso := (min + max) / 2
+	below, above := 0, 0
+	for _, s := range v.Data {
+		if s < iso {
+			below++
+		} else {
+			above++
+		}
+	}
+	if below == 0 || above == 0 {
+		t.Fatalf("no crossings at iso=%v (min=%v max=%v)", iso, min, max)
+	}
+}
+
+func TestSkewedFieldShiftsMass(t *testing.T) {
+	inner := NewPlumeField(5, 4)
+	skew := &SkewedField{Inner: inner}
+	// The skewed field at (x,...) equals inner at (x²,...): low-coordinate
+	// corner oversampled.
+	if skew.Sample(0.5, 0.5, 0.3, 0) != inner.Sample(0.25, 0.25, 0.3, 0) {
+		t.Fatal("skew mapping wrong")
+	}
+}
+
+func TestPosOfFullVolume(t *testing.T) {
+	v := New(5, 5, 5)
+	x, y, z := v.PosOf(4, 0, 2)
+	if x != 1 || y != 0 || z != 0.5 {
+		t.Fatalf("PosOf = %v %v %v", x, y, z)
+	}
+}
+
+func TestPosOfBlockVolumeIsGlobal(t *testing.T) {
+	blocks := Partition(9, 9, 9, 2, 1, 1)
+	b := blocks[1] // second half in x
+	v := NewBlockVolume(b)
+	x, _, _ := v.PosOf(0, 0, 0)
+	if x != float32(b.X0)/8 {
+		t.Fatalf("block PosOf x = %v, want %v", x, float32(b.X0)/8)
+	}
+}
