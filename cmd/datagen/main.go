@@ -46,6 +46,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer st.Close()
 	ds := st.DS
 	fmt.Printf("created %s: %d chunks (%d samples each on average) x %d timesteps in %d files, %.1f MB/timestep\n",
 		*dir, ds.Chunks(), ds.Block(0).Samples(), m.Timesteps, m.Files,

@@ -5,9 +5,18 @@
 //	dcbench -list
 //	dcbench -exp fig4 -scale full
 //	dcbench -all -scale quick
+//	dcbench -trace out.json            # trace a built-in demo pipeline
+//	dcbench -exp table2 -trace out.json -metrics
 //
 // Each experiment builds the corresponding simulated cluster, dataset, and
 // filter configuration (see DESIGN.md §4) and prints paper-style rows.
+//
+// With -trace, buffer-lifecycle events are exported in Chrome trace_event
+// format: open the file at https://ui.perfetto.dev or chrome://tracing.
+// With -metrics, the observability registry snapshot is printed as JSON
+// after the run. If neither -exp, -all, nor -list is given, -trace runs a
+// built-in quickstart-sized isosurface pipeline on the real engine so there
+// is always something to trace.
 package main
 
 import (
@@ -16,15 +25,21 @@ import (
 	"os"
 	"time"
 
+	"datacutter/internal/core"
 	"datacutter/internal/experiments"
+	"datacutter/internal/isoviz"
+	"datacutter/internal/obs"
+	"datacutter/internal/volume"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (table1..table5, fig4, fig5, fig7)")
-		scale = flag.String("scale", "quick", "workload scale: quick | full")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment ids")
+		exp     = flag.String("exp", "", "experiment id (table1..table5, fig4, fig5, fig7)")
+		scale   = flag.String("scale", "quick", "workload scale: quick | full")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment ids")
+		trace   = flag.String("trace", "", "write Chrome trace_event JSON to this file")
+		metrics = flag.Bool("metrics", false, "print the metrics registry snapshot after the run")
 	)
 	flag.Parse()
 
@@ -34,6 +49,45 @@ func main() {
 		}
 		return
 	}
+
+	// Observability: build an observer when tracing or metering is on.
+	var (
+		o      *obs.Observer
+		reg    *obs.Registry
+		traceF *os.File
+	)
+	if *trace != "" || *metrics {
+		var sink obs.Sink
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			traceF = f
+			sink = obs.NewChromeTraceSink(f)
+		}
+		reg = obs.NewRegistry()
+		o = obs.New(sink, reg)
+	}
+	finish := func() {
+		if o != nil {
+			if err := o.Flush(); err != nil {
+				fatal(err)
+			}
+		}
+		if traceF != nil {
+			if err := traceF.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dcbench: wrote trace to %s (open at https://ui.perfetto.dev)\n", *trace)
+		}
+		if *metrics {
+			fmt.Fprintln(os.Stderr, "dcbench: metrics snapshot:")
+			reg.WriteJSON(os.Stdout)
+			fmt.Println()
+		}
+	}
+
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
 		fatal(err)
@@ -44,11 +98,20 @@ func main() {
 		ids = experiments.IDs()
 	case *exp != "":
 		ids = []string{*exp}
+	case o != nil:
+		// Tracing with no experiment: run the built-in demo pipeline.
+		if err := runDemo(o); err != nil {
+			fatal(err)
+		}
+		finish()
+		return
 	default:
-		fmt.Fprintln(os.Stderr, "dcbench: need -exp <id>, -all, or -list")
+		fmt.Fprintln(os.Stderr, "dcbench: need -exp <id>, -all, -list, or -trace")
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	experiments.SetObserver(o)
 	for _, id := range ids {
 		t0 := time.Now()
 		res, err := experiments.Run(id, sc)
@@ -58,6 +121,50 @@ func main() {
 		fmt.Println(res.String())
 		fmt.Printf("[%s completed in %.1fs real time]\n\n", id, time.Since(t0).Seconds())
 	}
+	finish()
+}
+
+// runDemo executes a quickstart-sized isosurface pipeline on the real
+// (goroutine) engine under the observer: a 97^3 synthetic field through
+// read+extract (2 copies) -> raster (4 copies) -> merge with the
+// demand-driven policy. Every filter copy produces trace events.
+func runDemo(o *obs.Observer) error {
+	field := volume.NewPlumeField(42, 4)
+	source := isoviz.NewFieldSource(field, 97, 97, 97, 4, 4, 4)
+	spec := isoviz.PipelineSpec{
+		Config: isoviz.ReadExtract,
+		Alg:    isoviz.ActivePixel,
+		Source: source,
+		Assign: isoviz.AssignByCopy(source.Chunks()),
+	}
+	placement := core.NewPlacement().
+		Place("RE", "node0", 2).
+		Place("Ra", "node0", 4).
+		Place("M", "node0", 1)
+	view := isoviz.View{
+		Timestep: 3, Iso: 0.5,
+		Width: 256, Height: 256,
+		Camera: isoviz.DefaultView(0).Camera,
+	}
+	runner, err := core.NewRunner(spec.Build(), placement, core.Options{
+		Policy: core.DemandDriven(),
+		UOWs:   []any{view},
+		Obs:    o,
+	})
+	if err != nil {
+		return err
+	}
+	stats, err := runner.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("demo pipeline: %d chunks through RE(2) -> Ra(4) -> M in %.2fs\n",
+		source.Chunks(), stats.WallSeconds)
+	for _, name := range stats.StreamNames() {
+		s := stats.Streams[name]
+		fmt.Printf("stream %-10s: %4d buffers, %7.2f MB\n", name, s.Buffers, float64(s.Bytes)/1e6)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -23,6 +23,7 @@ import (
 	"datacutter/internal/dist"
 	"datacutter/internal/geom"
 	"datacutter/internal/isoviz"
+	"datacutter/internal/obs"
 )
 
 func main() {
@@ -36,6 +37,8 @@ func main() {
 		steps   = flag.Int("timesteps", 1, "consecutive timesteps to render")
 		policy  = flag.String("policy", "DD", "writer policy: RR | WRR | DD | DD/<k>")
 		grid    = flag.Int("grid", 65, "synthetic grid samples per axis (without -dir)")
+		debug   = flag.String("debug-addr", "", "serve coordinator /metrics and /debug/pprof on this address during the run")
+		metrics = flag.Bool("metrics", false, "print the coordinator metrics snapshot after the run")
 	)
 	flag.Parse()
 	if *workers == "" {
@@ -108,9 +111,30 @@ func main() {
 		})
 	}
 
-	stats, err := dist.Run(addrs, spec, placement, dist.Options{Policy: *policy}, uows)
+	var o *obs.Observer
+	var reg *obs.Registry
+	if *debug != "" || *metrics {
+		reg = obs.NewRegistry()
+		o = obs.New(nil, reg)
+		o.SetClock(obs.NewWallClock())
+		if *debug != "" {
+			dbg, err := obs.ServeDebug(*debug, reg, nil)
+			if err != nil {
+				fatal(err)
+			}
+			defer dbg.Close()
+			fmt.Printf("coordinator debug endpoint on http://%s/\n", dbg.Addr)
+		}
+	}
+
+	stats, err := dist.RunObserved(addrs, spec, placement, dist.Options{Policy: *policy}, uows, o)
 	if err != nil {
 		fatal(err)
+	}
+	if *metrics {
+		fmt.Println("coordinator metrics snapshot:")
+		reg.WriteJSON(os.Stdout)
+		fmt.Println()
 	}
 	fmt.Printf("rendered %d timestep(s) at %dx%d across %d workers (merge on %s, %s policy)\n",
 		*steps, *size, *size, len(hosts), mergeHost, *policy)

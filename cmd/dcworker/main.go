@@ -8,9 +8,14 @@
 // isoviz pipelines. Run one worker per host:
 //
 //	dcworker -listen :9101   # on node1
-//	dcworker -listen :9102   # on node2
+//	dcworker -listen :9102 -debug-addr :6060   # on node2, with live metrics
 //
 // then point a coordinator (e.g. examples/distributed) at the addresses.
+//
+// With -debug-addr, the worker serves /metrics (live frame/byte/ack
+// counters and stall histograms as JSON), /debug/events (recent
+// buffer-lifecycle trace events), and /debug/pprof/. With -trace, every
+// trace event is also appended to a JSONL file.
 package main
 
 import (
@@ -21,10 +26,13 @@ import (
 
 	"datacutter/internal/dist"
 	_ "datacutter/internal/isoviz" // register the isosurface filter kinds
+	"datacutter/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9101", "address to listen on")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/events, /debug/pprof on this address (e.g. :6060)")
+	trace := flag.String("trace", "", "append buffer-lifecycle trace events to this JSONL file")
 	flag.Parse()
 
 	w, err := dist.NewWorker(*listen)
@@ -32,6 +40,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dcworker:", err)
 		os.Exit(1)
 	}
+
+	var (
+		o      *obs.Observer
+		traceF *os.File
+	)
+	if *debugAddr != "" || *trace != "" {
+		reg := obs.NewRegistry()
+		ring := obs.NewRingSink(4096)
+		sinks := []obs.Sink{ring}
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dcworker:", err)
+				os.Exit(1)
+			}
+			traceF = f
+			sinks = append(sinks, obs.NewJSONLSink(f))
+		}
+		o = obs.New(obs.Tee(sinks...), reg)
+		o.SetClock(obs.NewWallClock())
+		w.SetObserver(o)
+		if *debugAddr != "" {
+			dbg, err := obs.ServeDebug(*debugAddr, reg, ring)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dcworker:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("dcworker debug endpoint on http://%s/\n", dbg.Addr)
+		}
+	}
+
 	fmt.Printf("dcworker listening on %s\n", w.Addr())
 	go func() {
 		ch := make(chan os.Signal, 1)
@@ -40,4 +79,10 @@ func main() {
 		w.Close()
 	}()
 	w.Serve()
+	if o != nil {
+		o.Flush()
+	}
+	if traceF != nil {
+		traceF.Close()
+	}
 }

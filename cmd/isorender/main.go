@@ -45,6 +45,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		defer st.Close()
 		src = &isoviz.StoreSource{St: st}
 	} else {
 		n := *grid

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"datacutter/internal/obs"
 )
 
 // Options configures a run on the real (goroutine) engine. The zero value
@@ -24,6 +26,23 @@ type Options struct {
 	// filters via Ctx.Work. Nil means a single unit of work with a nil
 	// descriptor.
 	UOWs []any
+	// Obs attaches the observability subsystem: buffer-lifecycle trace
+	// events and live metrics (see internal/obs). Nil disables
+	// instrumentation at near-zero hot-path cost.
+	Obs *obs.Observer
+}
+
+// Validate rejects option values that would otherwise be silently coerced
+// to defaults. Zero means "use the default"; negative values are always a
+// caller bug.
+func (o *Options) Validate() error {
+	if o.QueueCap < 0 {
+		return fmt.Errorf("core: Options.QueueCap must be >= 0 (0 selects the default of 8), got %d", o.QueueCap)
+	}
+	if o.BufferBytes < 0 {
+		return fmt.Errorf("core: Options.BufferBytes must be >= 0 (0 selects the default of 256 KiB), got %d", o.BufferBytes)
+	}
+	return nil
 }
 
 func (o *Options) policyFor(stream string) Policy {
@@ -75,6 +94,9 @@ type copyInst struct {
 // instance per transparent copy. Instances persist across units of work, as
 // in the paper's work-cycle model.
 func NewRunner(g *Graph, pl *Placement, opts Options) (*Runner, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -127,6 +149,8 @@ func (r *Runner) Run() (*Stats, error) {
 	if len(uows) == 0 {
 		uows = []any{nil}
 	}
+	// The real engine's time domain is wall seconds since the run started.
+	r.opts.Obs.SetClock(obs.NewWallClock())
 	start := time.Now()
 	for i, work := range uows {
 		t0 := time.Now()
@@ -149,6 +173,14 @@ type delivery struct {
 	ackEvery int
 }
 
+// streamMetrics are the per-stream live counters, resolved once at setup
+// so hot-path updates never touch the registry lock. Nil when disabled.
+type streamMetrics struct {
+	buffers *obs.Counter
+	bytes   *obs.Counter
+	acks    *obs.Counter
+}
+
 // streamRT is the per-UOW runtime state of one logical stream.
 type streamRT struct {
 	spec      StreamSpec
@@ -158,6 +190,7 @@ type streamRT struct {
 	recvCount []int64 // atomic, per target
 	producers int32   // atomic: unfinished producer copies
 	bufBytes  int
+	metrics   *streamMetrics // nil unless Options.Obs is set
 
 	// DeclareBuffer bounds gathered during Init.
 	mu       sync.Mutex
@@ -204,6 +237,13 @@ func (r *Runner) runUOW(uow int, work any) error {
 			st.chans = append(st.chans, make(chan delivery, qcap))
 		}
 		st.recvCount = make([]int64, len(st.hosts))
+		if reg := r.opts.Obs.Registry(); reg != nil {
+			st.metrics = &streamMetrics{
+				buffers: reg.Counter("core.stream." + sp.Name + ".buffers"),
+				bytes:   reg.Counter("core.stream." + sp.Name + ".bytes"),
+				acks:    reg.Counter("core.stream." + sp.Name + ".acks"),
+			}
+		}
 		streams[sp.Name] = st
 	}
 
@@ -224,6 +264,11 @@ func (r *Runner) runUOW(uow int, work any) error {
 				inputs:  make(map[string]chan delivery),
 				inputRT: make(map[string]*streamRT),
 				writers: make(map[string]*writerRT),
+				o:       r.opts.Obs,
+			}
+			if reg := r.opts.Obs.Registry(); reg != nil {
+				c.readStallH = reg.Histogram("core.read_stall_seconds")
+				c.writeStallH = reg.Histogram("core.write_stall_seconds")
 			}
 			for _, sp := range r.g.Inputs(name) {
 				st := streams[sp.Name]
@@ -275,9 +320,11 @@ func (r *Runner) runUOW(uow int, work any) error {
 		wg.Add(1)
 		go func(c *runCtx) {
 			defer wg.Done()
+			c.o.Emit(obs.Event{Kind: obs.KindProcessStart, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, UOW: c.uow})
 			t0 := time.Now()
 			err := safeCall(func() error { return c.ci.filter.Process(c) })
 			wall := time.Since(t0).Seconds()
+			c.o.Emit(obs.Event{Kind: obs.KindProcessEnd, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, UOW: c.uow})
 			fs := r.stats.Filters[c.ci.name]
 			fs.WallSeconds[c.ci.globalIdx] += wall
 			fs.BusySeconds[c.ci.globalIdx] += wall - c.readBlocked - c.writeBlocked
@@ -398,6 +445,12 @@ type runCtx struct {
 	inputRT map[string]*streamRT
 	writers map[string]*writerRT
 
+	// o is the attached observer (nil = disabled; every use is guarded or
+	// nil-receiver safe, so the off cost is a pointer comparison).
+	o           *obs.Observer
+	readStallH  *obs.Histogram
+	writeStallH *obs.Histogram
+
 	readBlocked  float64
 	writeBlocked float64
 
@@ -420,22 +473,50 @@ func (c *runCtx) Read(stream string) (Buffer, bool) {
 		panic(fmt.Sprintf("core: filter %s reads unknown input stream %q", c.ci.name, stream))
 	}
 	t0 := time.Now()
+	if c.o != nil {
+		// Non-blocking first attempt so a read that actually stalls gets a
+		// stall-start/stall-end trace span around the wait.
+		select {
+		case d, ok := <-ch:
+			return c.finishRead(stream, t0, d, ok)
+		case <-c.done:
+			c.readBlocked += time.Since(t0).Seconds()
+			return Buffer{}, false
+		default:
+		}
+		c.emitStall(obs.KindStallStart, stream, "read")
+		defer func() {
+			c.readStallH.Observe(time.Since(t0).Seconds())
+			c.emitStall(obs.KindStallEnd, stream, "read")
+		}()
+	}
 	select {
 	case d, ok := <-ch:
-		c.readBlocked += time.Since(t0).Seconds()
-		if !ok {
-			c.flushAcks()
-			return Buffer{}, false
-		}
-		if d.ackCh != nil {
-			c.ack(stream, d)
-		}
-		atomic.AddInt64(&c.r.stats.Filters[c.ci.name].BuffersIn, 1)
-		return d.buf, true
+		return c.finishRead(stream, t0, d, ok)
 	case <-c.done:
 		c.readBlocked += time.Since(t0).Seconds()
 		return Buffer{}, false
 	}
+}
+
+// finishRead accounts a completed Read: blocked time, end-of-work ack
+// flushing, demand-driven acknowledgment, and input accounting.
+func (c *runCtx) finishRead(stream string, t0 time.Time, d delivery, ok bool) (Buffer, bool) {
+	c.readBlocked += time.Since(t0).Seconds()
+	if !ok {
+		c.flushAcks()
+		return Buffer{}, false
+	}
+	if d.ackCh != nil {
+		c.ack(stream, d)
+	}
+	atomic.AddInt64(&c.r.stats.Filters[c.ci.name].BuffersIn, 1)
+	return d.buf, true
+}
+
+// emitStall emits one stall edge for this copy (obs enabled only).
+func (c *runCtx) emitStall(k obs.Kind, stream, dir string) {
+	c.o.Emit(obs.Event{Kind: k, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, Stream: stream, UOW: c.uow, Note: dir})
 }
 
 // ack acknowledges one consumed buffer as processing begins (paper §2),
@@ -456,11 +537,22 @@ func (c *runCtx) ack(stream string, d delivery) {
 		for i := 0; i < n; i++ {
 			d.ackCh <- d.targetIdx
 		}
-		atomic.AddInt64(&c.r.stats.Streams[stream].Acks, 1)
+		c.ackSent(stream, n)
 		return
 	}
 	d.ackCh <- d.targetIdx
+	c.ackSent(stream, 1)
+}
+
+// ackSent accounts one acknowledgment message covering n buffers.
+func (c *runCtx) ackSent(stream string, n int) {
 	atomic.AddInt64(&c.r.stats.Streams[stream].Acks, 1)
+	if c.o != nil {
+		if st := c.inputRT[stream]; st != nil && st.metrics != nil {
+			st.metrics.acks.Inc()
+		}
+		c.o.Emit(obs.Event{Kind: obs.KindAck, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, Stream: stream, N: n, UOW: c.uow})
+	}
 }
 
 // flushAcks releases coalesced acknowledgments at end-of-work (each flush
@@ -471,7 +563,7 @@ func (c *runCtx) flushAcks() {
 		for i := 0; i < n; i++ {
 			key.ch <- key.target
 		}
-		atomic.AddInt64(&c.r.stats.Streams[key.stream].Acks, 1)
+		c.ackSent(key.stream, n)
 	}
 }
 
@@ -498,13 +590,11 @@ func (c *runCtx) Write(stream string, b Buffer) error {
 		d.ackCh = wr.ackCh
 		d.ackEvery = AckBatchOf(wr.w)
 	}
-	t0 := time.Now()
-	select {
-	case wr.st.chans[idx] <- d:
-		c.writeBlocked += time.Since(t0).Seconds()
-	case <-c.done:
-		c.writeBlocked += time.Since(t0).Seconds()
-		return ErrCancelled
+	if c.o != nil {
+		c.o.Emit(obs.Event{Kind: obs.KindPick, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, Stream: stream, Target: wr.st.hosts[idx], UOW: c.uow})
+	}
+	if err := c.enqueue(wr, stream, idx, d); err != nil {
+		return err
 	}
 	if wr.ackCh != nil {
 		wr.unacked[idx]++
@@ -514,6 +604,43 @@ func (c *runCtx) Write(stream string, b Buffer) error {
 	atomic.AddInt64(&ss.Buffers, 1)
 	atomic.AddInt64(&ss.Bytes, int64(b.Size))
 	atomic.AddInt64(&c.r.stats.Filters[c.ci.name].BuffersOut, 1)
+	if c.o != nil {
+		if m := wr.st.metrics; m != nil {
+			m.buffers.Inc()
+			m.bytes.Add(int64(b.Size))
+		}
+		c.o.Emit(obs.Event{Kind: obs.KindEnqueue, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, Stream: stream, Target: wr.st.hosts[idx], Bytes: b.Size, UOW: c.uow})
+	}
+	return nil
+}
+
+// enqueue places a delivery on the chosen copy-set queue, tracing a stall
+// span when the queue is full and observability is on.
+func (c *runCtx) enqueue(wr *writerRT, stream string, idx int, d delivery) error {
+	t0 := time.Now()
+	if c.o != nil {
+		select {
+		case wr.st.chans[idx] <- d:
+			c.writeBlocked += time.Since(t0).Seconds()
+			return nil
+		case <-c.done:
+			c.writeBlocked += time.Since(t0).Seconds()
+			return ErrCancelled
+		default:
+		}
+		c.emitStall(obs.KindStallStart, stream, "write")
+		defer func() {
+			c.writeStallH.Observe(time.Since(t0).Seconds())
+			c.emitStall(obs.KindStallEnd, stream, "write")
+		}()
+	}
+	select {
+	case wr.st.chans[idx] <- d:
+		c.writeBlocked += time.Since(t0).Seconds()
+	case <-c.done:
+		c.writeBlocked += time.Since(t0).Seconds()
+		return ErrCancelled
+	}
 	return nil
 }
 

@@ -452,17 +452,6 @@ func TestStatsBuffersAndBytes(t *testing.T) {
 	}
 }
 
-func TestMinAvgMax(t *testing.T) {
-	min, avg, max := MinAvgMax([]float64{3, 1, 2})
-	if min != 1 || max != 3 || avg != 2 {
-		t.Fatalf("got %v %v %v", min, avg, max)
-	}
-	min, avg, max = MinAvgMax(nil)
-	if min != 0 || avg != 0 || max != 0 {
-		t.Fatal("empty series should be zeros")
-	}
-}
-
 func TestFanInMultipleInputStreams(t *testing.T) {
 	// Two sources feed one collector over distinct streams.
 	var mu sync.Mutex

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMinAvgMax(t *testing.T) {
+	tests := []struct {
+		name          string
+		xs            []float64
+		min, avg, max float64
+	}{
+		{"empty", nil, 0, 0, 0},
+		{"single", []float64{3.5}, 3.5, 3.5, 3.5},
+		{"ordered", []float64{1, 2, 3, 4}, 1, 2.5, 4},
+		{"unordered", []float64{4, 1, 3, 2}, 1, 2.5, 4},
+		{"negative", []float64{-2, 0, 2}, -2, 0, 2},
+		{"repeated", []float64{5, 5, 5}, 5, 5, 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			min, avg, max := MinAvgMax(tc.xs)
+			if min != tc.min || avg != tc.avg || max != tc.max {
+				t.Fatalf("MinAvgMax(%v) = %v, %v, %v; want %v, %v, %v",
+					tc.xs, min, avg, max, tc.min, tc.avg, tc.max)
+			}
+		})
+	}
+}
+
+func TestStreamNames(t *testing.T) {
+	empty := &Stats{Streams: map[string]*StreamStats{}}
+	if got := empty.StreamNames(); len(got) != 0 {
+		t.Fatalf("empty stats names = %v", got)
+	}
+
+	single := &Stats{Streams: map[string]*StreamStats{"tris": {}}}
+	if got := single.StreamNames(); len(got) != 1 || got[0] != "tris" {
+		t.Fatalf("single stats names = %v", got)
+	}
+
+	multi := &Stats{Streams: map[string]*StreamStats{
+		"pixels": {}, "tris": {}, "blocks": {},
+	}}
+	got := multi.StreamNames()
+	want := []string{"blocks", "pixels", "tris"}
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want sorted %v", got, want)
+		}
+	}
+}
+
+func TestNewStatsShape(t *testing.T) {
+	g := NewGraph()
+	g.AddFilter("A", func() Filter { return nil })
+	g.AddFilter("B", func() Filter { return nil })
+	g.Connect("A", "B", "s1")
+	st := NewStats(g)
+	if st.Streams["s1"] == nil || st.Streams["s1"].PerTargetHost == nil {
+		t.Fatal("stream stats not allocated")
+	}
+	if st.Filters["A"] == nil || st.Filters["B"] == nil {
+		t.Fatal("filter stats not allocated")
+	}
+}
+
+func TestNewRunnerRejectsNegativeOptions(t *testing.T) {
+	g := NewGraph()
+	g.AddFilter("S", func() Filter { return &source{n: 1, stream: "nums"} })
+	g.AddFilter("K", func() Filter { return &sharedCollector{in: "nums"} })
+	g.Connect("S", "K", "nums")
+	pl := NewPlacement().Place("S", "h", 1).Place("K", "h", 1)
+
+	if _, err := NewRunner(g, pl, Options{QueueCap: -1}); err == nil {
+		t.Fatal("negative QueueCap accepted")
+	} else if !strings.Contains(err.Error(), "QueueCap") {
+		t.Fatalf("error %q does not name QueueCap", err)
+	}
+
+	if _, err := NewRunner(g, pl, Options{BufferBytes: -8}); err == nil {
+		t.Fatal("negative BufferBytes accepted")
+	} else if !strings.Contains(err.Error(), "BufferBytes") {
+		t.Fatalf("error %q does not name BufferBytes", err)
+	}
+
+	// Zero still selects the defaults.
+	if _, err := NewRunner(g, pl, Options{}); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"datacutter/internal/core"
+	"datacutter/internal/obs"
 )
 
 // Run executes a distributed session: it connects to the worker at each
@@ -13,6 +14,15 @@ import (
 // unit-of-work phases (init with buffer-size resolution, process,
 // finalize), and aggregates the workers' statistics.
 func Run(addrs map[string]string, spec GraphSpec, placement []PlacementEntry, opts Options, uows []any) (*core.Stats, error) {
+	return RunObserved(addrs, spec, placement, opts, uows, nil)
+}
+
+// RunObserved is Run with coordinator-side observability attached: a
+// "coord.uow_seconds" latency histogram plus per-stream buffer/byte/ack
+// counters updated after each unit of work's stats merge. The observer is
+// coordinator-local only — it is never serialized into Options, so workers
+// attach their own via Worker.SetObserver. o may be nil (disabled).
+func RunObserved(addrs map[string]string, spec GraphSpec, placement []PlacementEntry, opts Options, uows []any, o *obs.Observer) (*core.Stats, error) {
 	if len(uows) == 0 {
 		uows = []any{nil}
 	}
@@ -59,13 +69,20 @@ func Run(addrs map[string]string, spec GraphSpec, placement []PlacementEntry, op
 	}
 
 	stats := newAggStats(spec)
+	var uowH *obs.Histogram
+	if reg := o.Registry(); reg != nil {
+		uowH = reg.Histogram("coord.uow_seconds")
+	}
 	start := time.Now()
 	for i, work := range uows {
 		t0 := time.Now()
 		if err := runUOW(ctrls, i, work, opts, stats); err != nil {
 			return stats.s, err
 		}
-		stats.s.PerUOWSeconds = append(stats.s.PerUOWSeconds, time.Since(t0).Seconds())
+		d := time.Since(t0).Seconds()
+		stats.s.PerUOWSeconds = append(stats.s.PerUOWSeconds, d)
+		uowH.Observe(d)
+		publishCoordGauges(o, stats)
 	}
 	stats.s.WallSeconds = time.Since(start).Seconds()
 
@@ -161,6 +178,24 @@ func runUOW(ctrls map[string]*conn, idx int, work any, opts Options, agg *aggSta
 		agg.merge(f.Stats)
 	}
 	return nil
+}
+
+// publishCoordGauges reflects the running aggregate stream totals into the
+// coordinator's registry after each unit of work.
+func publishCoordGauges(o *obs.Observer, agg *aggStats) {
+	reg := o.Registry()
+	if reg == nil {
+		return
+	}
+	for _, name := range agg.streams {
+		ss := agg.s.Streams[name]
+		if ss == nil {
+			continue
+		}
+		reg.Gauge("coord.stream." + name + ".buffers").Set(ss.Buffers)
+		reg.Gauge("coord.stream." + name + ".bytes").Set(ss.Bytes)
+		reg.Gauge("coord.stream." + name + ".acks").Set(ss.Acks)
+	}
 }
 
 // aggStats accumulates workers' stats fragments into a core.Stats.

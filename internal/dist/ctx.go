@@ -2,8 +2,10 @@ package dist
 
 import (
 	"fmt"
+	"time"
 
 	"datacutter/internal/core"
+	"datacutter/internal/obs"
 )
 
 // dctx implements core.Ctx for one local copy in a distributed session.
@@ -11,6 +13,11 @@ type dctx struct {
 	s *session
 	u *uowState
 	c *dcopy
+
+	// o is the worker's observer (nil = disabled).
+	o           *obs.Observer
+	readStallH  *obs.Histogram
+	writeStallH *obs.Histogram
 
 	// ackPending coalesces acknowledgments per (producer copy, stream,
 	// target) for batched-ack policies.
@@ -26,7 +33,12 @@ type ackPendKey struct {
 }
 
 func (s *session) ctxFor(c *dcopy, u *uowState) *dctx {
-	return &dctx{s: s, u: u, c: c}
+	d := &dctx{s: s, u: u, c: c, o: s.w.obsrv}
+	if reg := s.w.obsrv.Registry(); reg != nil {
+		d.readStallH = reg.Histogram("dist.read_stall_seconds")
+		d.writeStallH = reg.Histogram("dist.write_stall_seconds")
+	}
+	return d
 }
 
 var _ core.Ctx = (*dctx)(nil)
@@ -36,18 +48,69 @@ func (d *dctx) Read(stream string) (core.Buffer, bool) {
 	if q == nil {
 		panic(fmt.Sprintf("dist: filter %s reads unknown stream %q on host %s", d.c.name, stream, d.s.setup.Host))
 	}
+	if d.o != nil {
+		// Non-blocking attempt so an actual stall gets a trace span.
+		select {
+		case dv, ok := <-q:
+			return d.finishRead(dv, ok)
+		case <-d.s.failedCh:
+			return core.Buffer{}, false
+		default:
+		}
+		t0 := time.Now()
+		d.emitStall(obs.KindStallStart, stream, "read")
+		defer func() {
+			d.readStallH.Observe(time.Since(t0).Seconds())
+			d.emitStall(obs.KindStallEnd, stream, "read")
+		}()
+	}
 	select {
 	case dv, ok := <-q:
-		if !ok {
-			d.flushAcks()
-			return core.Buffer{}, false
-		}
-		if dv.ackEvery > 0 {
-			d.ack(dv)
-		}
-		return dv.buf, true
+		return d.finishRead(dv, ok)
 	case <-d.s.failedCh:
 		return core.Buffer{}, false
+	}
+}
+
+func (d *dctx) finishRead(dv delivery, ok bool) (core.Buffer, bool) {
+	if !ok {
+		d.flushAcks()
+		return core.Buffer{}, false
+	}
+	if dv.ackEvery > 0 {
+		d.ack(dv)
+	}
+	return dv.buf, true
+}
+
+func (d *dctx) emitStall(k obs.Kind, stream, dir string) {
+	d.o.Emit(obs.Event{Kind: k, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: stream, UOW: d.u.index, Note: dir})
+}
+
+// enqueueLocal places a same-host delivery on the shared copy-set queue,
+// wrapping an actual block in a write-stall span.
+func (d *dctx) enqueueLocal(stream string, dv delivery) error {
+	q := d.u.queues[stream]
+	if d.o != nil {
+		select {
+		case q <- dv:
+			return nil
+		case <-d.s.failedCh:
+			return core.ErrCancelled
+		default:
+		}
+		t0 := time.Now()
+		d.emitStall(obs.KindStallStart, stream, "write")
+		defer func() {
+			d.writeStallH.Observe(time.Since(t0).Seconds())
+			d.emitStall(obs.KindStallEnd, stream, "write")
+		}()
+	}
+	select {
+	case q <- dv:
+		return nil
+	case <-d.s.failedCh:
+		return core.ErrCancelled
 	}
 }
 
@@ -77,6 +140,9 @@ func (d *dctx) sendAck(key ackPendKey, dv delivery, n int) {
 	d.u.statMu.Lock()
 	d.u.ackCount[key.stream]++
 	d.u.statMu.Unlock()
+	if d.o != nil {
+		d.o.Emit(obs.Event{Kind: obs.KindAck, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: key.stream, Target: dv.fromHost, N: n, UOW: d.u.index})
+	}
 	if dv.localAck != nil {
 		select {
 		case dv.localAck <- [2]int{dv.targetIdx, n}:
@@ -88,12 +154,18 @@ func (d *dctx) sendAck(key ackPendKey, dv delivery, n int) {
 	if err != nil {
 		return
 	}
+	if m := d.s.w.wm; m != nil {
+		m.txAckFrames.Inc()
+	}
 	_ = c.send(&frame{Kind: kindAck, UOWIdx: d.u.index, Stream: key.stream, Copy: dv.producerCopy, Target: dv.targetIdx, AckN: n})
 }
 
 func (d *dctx) flushAcks() {
 	for key, n := range d.ackPending {
 		delete(d.ackPending, key)
+		if d.o != nil {
+			d.o.Emit(obs.Event{Kind: obs.KindAck, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: key.stream, Target: key.fromHost, N: n, UOW: d.u.index, Note: "flush"})
+		}
 		if key.hasLocal {
 			// Local acks need the channel; recover it from the writer map.
 			if ch, ok := d.u.acks[copyStream{key.producerCopy, key.stream}]; ok {
@@ -105,6 +177,9 @@ func (d *dctx) flushAcks() {
 			continue
 		}
 		if c, err := d.s.peer(key.fromHost); err == nil {
+			if m := d.s.w.wm; m != nil {
+				m.txAckFrames.Inc()
+			}
 			_ = c.send(&frame{Kind: kindAck, UOWIdx: d.u.index, Stream: key.stream, Copy: key.producerCopy, Target: key.targetIdx, AckN: n})
 		}
 	}
@@ -133,6 +208,9 @@ func (d *dctx) Write(stream string, b core.Buffer) error {
 	if dw.writer.WantsAcks() {
 		dw.unacked[idx]++
 	}
+	if d.o != nil {
+		d.o.Emit(obs.Event{Kind: obs.KindPick, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: stream, Target: target.Host, UOW: d.u.index})
+	}
 
 	if target.Host == d.s.setup.Host {
 		// Same-host delivery: straight into the shared copy-set queue.
@@ -144,10 +222,11 @@ func (d *dctx) Write(stream string, b core.Buffer) error {
 			dv.ackEvery = dw.ackEvery
 			dv.localAck = d.u.acks[key]
 		}
-		select {
-		case d.u.queues[stream] <- dv:
-		case <-d.s.failedCh:
-			return core.ErrCancelled
+		if err := d.enqueueLocal(stream, dv); err != nil {
+			return err
+		}
+		if d.o != nil {
+			d.o.Emit(obs.Event{Kind: obs.KindEnqueue, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: stream, Target: target.Host, Bytes: b.Size, UOW: d.u.index})
 		}
 	} else {
 		payload, err := encodeAny(b.Payload)
@@ -169,6 +248,13 @@ func (d *dctx) Write(stream string, b core.Buffer) error {
 		}); err != nil {
 			d.s.fail(err)
 			return core.ErrCancelled
+		}
+		if m := d.s.w.wm; m != nil {
+			m.txDataFrames.Inc()
+			m.txDataBytes.Add(int64(b.Size))
+		}
+		if d.o != nil {
+			d.o.Emit(obs.Event{Kind: obs.KindSend, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: stream, Target: target.Host, Bytes: b.Size, UOW: d.u.index})
 		}
 	}
 

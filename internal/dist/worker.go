@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"datacutter/internal/core"
+	"datacutter/internal/obs"
 )
 
 // Worker serves one named host of a distributed run: it builds the filter
@@ -18,6 +19,38 @@ type Worker struct {
 	mu     sync.Mutex
 	sess   *session
 	closed atomic.Bool
+
+	// obsrv and wm are set by SetObserver before Serve; nil = disabled.
+	obsrv *obs.Observer
+	wm    *workerMetrics
+}
+
+// workerMetrics are the worker's live per-frame counters, resolved once so
+// the data path never touches the registry lock.
+type workerMetrics struct {
+	rxDataFrames *obs.Counter
+	rxDataBytes  *obs.Counter
+	rxAckFrames  *obs.Counter
+	txDataFrames *obs.Counter
+	txDataBytes  *obs.Counter
+	txAckFrames  *obs.Counter
+}
+
+// SetObserver attaches the observability subsystem: per-frame byte and
+// acknowledgment counters in the observer's registry plus buffer-lifecycle
+// trace events (wall-clock time domain). Must be called before Serve.
+func (w *Worker) SetObserver(o *obs.Observer) {
+	w.obsrv = o
+	if reg := o.Registry(); reg != nil {
+		w.wm = &workerMetrics{
+			rxDataFrames: reg.Counter("dist.rx.data_frames"),
+			rxDataBytes:  reg.Counter("dist.rx.data_bytes"),
+			rxAckFrames:  reg.Counter("dist.rx.ack_frames"),
+			txDataFrames: reg.Counter("dist.tx.data_frames"),
+			txDataBytes:  reg.Counter("dist.tx.data_bytes"),
+			txAckFrames:  reg.Counter("dist.tx.ack_frames"),
+		}
+	}
 }
 
 // NewWorker starts a worker listening on addr ("127.0.0.1:0" for an
@@ -529,9 +562,11 @@ func (s *session) process(sizes map[string]int) error {
 		go func(c *dcopy) {
 			defer wg.Done()
 			ctx := s.ctxFor(c, u)
+			s.w.obsrv.Emit(obs.Event{Kind: obs.KindProcessStart, Filter: c.name, Copy: c.globalIdx, Host: s.setup.Host, UOW: u.index})
 			t0 := time.Now()
 			err := safeProcess(c.filter, ctx)
 			u.addBusy(c, time.Since(t0).Seconds())
+			s.w.obsrv.Emit(obs.Event{Kind: obs.KindProcessEnd, Filter: c.name, Copy: c.globalIdx, Host: s.setup.Host, UOW: u.index})
 			// End-of-work: tell every consuming host this producer copy is
 			// done (on the data connections, so markers trail the data).
 			for _, sp := range s.outputsOf(c.name) {
@@ -662,6 +697,10 @@ func (s *session) finalize() (*wireStats, error) {
 func (s *session) dispatchPeer(f *frame) {
 	switch f.Kind {
 	case kindData:
+		if m := s.w.wm; m != nil {
+			m.rxDataFrames.Inc()
+			m.rxDataBytes.Add(int64(f.Size))
+		}
 		s.uowMu.Lock()
 		u := s.uow
 		s.uowMu.Unlock()
@@ -689,9 +728,15 @@ func (s *session) dispatchPeer(f *frame) {
 		}
 		select {
 		case q <- d: // blocking here exerts TCP backpressure upstream
+			// Copy -1: arrival on the host's shared copy-set queue — the
+			// consuming copy is only decided at dequeue time.
+			s.w.obsrv.Emit(obs.Event{Kind: obs.KindEnqueue, Filter: sp.To, Copy: -1, Host: s.setup.Host, Stream: f.Stream, Target: s.setup.Host, Bytes: f.Size, UOW: f.UOWIdx, Note: "rx"})
 		case <-s.failedCh:
 		}
 	case kindAck:
+		if m := s.w.wm; m != nil {
+			m.rxAckFrames.Inc()
+		}
 		s.uowMu.Lock()
 		u := s.uow
 		s.uowMu.Unlock()

@@ -14,6 +14,7 @@ import (
 	"datacutter/internal/core"
 	"datacutter/internal/dataset"
 	"datacutter/internal/isoviz"
+	"datacutter/internal/obs"
 	"datacutter/internal/sim"
 	"datacutter/internal/simrt"
 	"datacutter/internal/tablefmt"
@@ -105,6 +106,17 @@ func IDs() []string {
 
 // Title returns an experiment's title.
 func Title(id string) string { return titles[id] }
+
+// defaultObserver, when set via SetObserver, is attached to every simulated
+// run an experiment launches (unless the run supplies its own). It lets CLI
+// tools like dcbench trace and meter experiments without threading an
+// observer through every runner signature.
+var defaultObserver *obs.Observer
+
+// SetObserver installs the package-wide default observer for subsequent
+// experiment runs. Pass nil to disable. Not safe to call concurrently with
+// Run.
+func SetObserver(o *obs.Observer) { defaultObserver = o }
 
 // Run executes one experiment by id.
 func Run(id string, scale Scale) (*Result, error) {
@@ -250,6 +262,9 @@ func runModel(spec isoviz.ModelSpec, pl *core.Placement, cl *cluster.Cluster, po
 }
 
 func runModelOpts(spec isoviz.ModelSpec, pl *core.Placement, cl *cluster.Cluster, opts simrt.Options) (*core.Stats, float64, error) {
+	if opts.Obs == nil {
+		opts.Obs = defaultObserver
+	}
 	runner, err := simrt.NewRunner(spec.Build(), pl, cl, opts)
 	if err != nil {
 		return nil, 0, err

@@ -1,0 +1,48 @@
+package obs
+
+import "testing"
+
+// The disabled fast path is a nil check: these benches pin its cost next to
+// the enabled path so regressions show up as a ratio, not a guess.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00042)
+	}
+}
+
+func BenchmarkObserverEmitRing(b *testing.B) {
+	o := New(NewRingSink(4096), nil)
+	e := Event{Kind: KindEnqueue, Filter: "Ra", Copy: 1, Stream: "tris", Bytes: 64}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Emit(e)
+	}
+}
+
+func BenchmarkObserverEmitNil(b *testing.B) {
+	var o *Observer
+	e := Event{Kind: KindEnqueue, Filter: "Ra", Copy: 1, Stream: "tris", Bytes: 64}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Emit(e)
+	}
+}

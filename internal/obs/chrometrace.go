@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ChromeTraceSink exports events in the Chrome trace_event JSON format, so
+// a run can be opened in chrome://tracing or https://ui.perfetto.dev.
+//
+// Mapping: each host becomes a trace process (pid), each filter copy a
+// thread (tid) within it. ProcessStart/ProcessEnd and StallStart/StallEnd
+// become duration begin/end pairs ("B"/"E"), so Perfetto renders per-copy
+// timelines with stalls nested inside the Process span; pick/send/enqueue/
+// ack become instant events ("i") on the same thread track. Timestamps are
+// the engine's seconds (virtual or wall) scaled to microseconds.
+//
+// Events accumulate in memory; Flush writes the complete, valid JSON
+// document ({"traceEvents": [...]}) exactly once.
+type ChromeTraceSink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	events  []Event
+	flushed bool
+}
+
+// NewChromeTraceSink returns a sink writing its trace to w on Flush.
+func NewChromeTraceSink(w io.Writer) *ChromeTraceSink {
+	return &ChromeTraceSink{w: w}
+}
+
+// Emit implements Sink.
+func (s *ChromeTraceSink) Emit(e Event) {
+	s.mu.Lock()
+	if !s.flushed {
+		s.events = append(s.events, e)
+	}
+	s.mu.Unlock()
+}
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Flush implements Sink: it writes the trace document. Subsequent Flush
+// calls are no-ops.
+func (s *ChromeTraceSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.flushed {
+		return nil
+	}
+	s.flushed = true
+
+	pids := map[string]int{}
+	tids := map[string]int{}
+	pidOf := func(host string) int {
+		if host == "" {
+			host = "?"
+		}
+		if id, ok := pids[host]; ok {
+			return id
+		}
+		id := len(pids) + 1
+		pids[host] = id
+		return id
+	}
+	tidOf := func(host, filter string, copyIdx int) (int, string) {
+		if filter == "" {
+			return 0, ""
+		}
+		label := fmt.Sprintf("%s#%d", filter, copyIdx)
+		key := host + "\x00" + label
+		if id, ok := tids[key]; ok {
+			return id, label
+		}
+		id := len(tids) + 1
+		tids[key] = id
+		return id, label
+	}
+
+	var out []chromeEvent
+	type meta struct {
+		pid, tid int
+		name     string
+		thread   bool
+	}
+	var metas []meta
+	seenPID := map[int]bool{}
+	seenTID := map[[2]int]bool{}
+
+	for _, e := range s.events {
+		pid := pidOf(e.Host)
+		tid, label := tidOf(e.Host, e.Filter, e.Copy)
+		if !seenPID[pid] {
+			seenPID[pid] = true
+			host := e.Host
+			if host == "" {
+				host = "?"
+			}
+			metas = append(metas, meta{pid: pid, name: "host " + host})
+		}
+		if label != "" && !seenTID[[2]int{pid, tid}] {
+			seenTID[[2]int{pid, tid}] = true
+			metas = append(metas, meta{pid: pid, tid: tid, name: label, thread: true})
+		}
+		ce := chromeEvent{TS: e.T * 1e6, PID: pid, TID: tid, Cat: "buffer"}
+		switch e.Kind {
+		case KindProcessStart, KindProcessEnd:
+			ce.Cat = "filter"
+			ce.Name = fmt.Sprintf("process uow=%d", e.UOW)
+			if e.Kind == KindProcessStart {
+				ce.Ph = "B"
+			} else {
+				ce.Ph = "E"
+			}
+		case KindStallStart, KindStallEnd:
+			ce.Cat = "stall"
+			ce.Name = "stall:" + e.Note
+			if e.Stream != "" {
+				ce.Name += ":" + e.Stream
+			}
+			if e.Kind == KindStallStart {
+				ce.Ph = "B"
+			} else {
+				ce.Ph = "E"
+			}
+		default:
+			ce.Ph, ce.Scope = "i", "t"
+			ce.Name = e.Kind.String()
+			if e.Stream != "" {
+				ce.Name += ":" + e.Stream
+			}
+			args := map[string]any{"uow": e.UOW}
+			if e.Target != "" {
+				args["target"] = e.Target
+			}
+			if e.Bytes != 0 {
+				args["bytes"] = e.Bytes
+			}
+			if e.N != 0 {
+				args["n"] = e.N
+			}
+			ce.Args = args
+		}
+		out = append(out, ce)
+	}
+
+	// Metadata events label the process and thread tracks.
+	sort.SliceStable(metas, func(i, j int) bool {
+		if metas[i].pid != metas[j].pid {
+			return metas[i].pid < metas[j].pid
+		}
+		return metas[i].tid < metas[j].tid
+	})
+	doc := chromeDoc{DisplayTimeUnit: "ms"}
+	for _, m := range metas {
+		name := "process_name"
+		if m.thread {
+			name = "thread_name"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: name, Ph: "M", PID: m.pid, TID: m.tid,
+			Args: map[string]any{"name": m.name},
+		})
+	}
+	doc.TraceEvents = append(doc.TraceEvents, out...)
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []chromeEvent{}
+	}
+
+	enc := json.NewEncoder(s.w)
+	return enc.Encode(doc)
+}

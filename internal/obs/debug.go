@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the live debug endpoint:
+//
+//	/metrics        expvar-style JSON snapshot of the registry
+//	/debug/events   recent trace events from the ring sink (JSON array)
+//	/debug/pprof/*  the standard net/http/pprof profiles
+//
+// reg and ring may be nil; the corresponding endpoint then serves an empty
+// document.
+func Handler(reg *Registry, ring *RingSink) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var events []Event
+		if ring != nil {
+			events = ring.Events()
+		}
+		if events == nil {
+			events = []Event{}
+		}
+		wire := make([]wireEventT, len(events))
+		for i, e := range events {
+			wire[i] = wireEvent(e)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(wire)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "datacutter debug endpoint\n\n/metrics\n/debug/events\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP server.
+type DebugServer struct {
+	Addr string // actual listen address (useful with ":0")
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeDebug starts the debug endpoint on addr (e.g. ":6060") in a
+// background goroutine and returns immediately.
+func ServeDebug(addr string, reg *Registry, ring *RingSink) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, ring), ReadHeaderTimeout: 5 * time.Second}
+	d := &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go srv.Serve(ln)
+	return d, nil
+}
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

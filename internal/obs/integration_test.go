@@ -1,0 +1,135 @@
+// Integration: run a real-engine pipeline under the observer and check the
+// emitted trace and metrics against the engine's own statistics. Lives in an
+// external test package because core imports obs.
+package obs_test
+
+import (
+	"testing"
+
+	"datacutter/internal/core"
+	"datacutter/internal/obs"
+)
+
+type genFilter struct {
+	core.BaseFilter
+	n int
+}
+
+func (g *genFilter) Process(ctx core.Ctx) error {
+	for i := 0; i < g.n; i++ {
+		if err := ctx.Write("nums", core.Buffer{Payload: i, Size: 8}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type drainFilter struct{ core.BaseFilter }
+
+func (d *drainFilter) Process(ctx core.Ctx) error {
+	for {
+		if _, ok := ctx.Read("nums"); !ok {
+			return nil
+		}
+	}
+}
+
+func runObserved(t *testing.T, o *obs.Observer, n, copies int) *core.Stats {
+	t.Helper()
+	g := core.NewGraph()
+	g.AddFilter("S", func() core.Filter { return &genFilter{n: n} })
+	g.AddFilter("K", func() core.Filter { return &drainFilter{} })
+	g.Connect("S", "K", "nums")
+	pl := core.NewPlacement().Place("S", "h0", 1).Place("K", "h0", copies)
+	r, err := core.NewRunner(g, pl, core.Options{Policy: core.DemandDriven(), Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCoreEngineTrace(t *testing.T) {
+	const n, copies = 50, 2
+	ring := obs.NewRingSink(4096)
+	reg := obs.NewRegistry()
+	o := obs.New(ring, reg)
+	st := runObserved(t, o, n, copies)
+
+	byKind := map[obs.Kind][]obs.Event{}
+	for _, e := range ring.Events() {
+		byKind[e.Kind] = append(byKind[e.Kind], e)
+	}
+
+	// One ProcessStart/ProcessEnd pair per filter copy (1 S + 2 K).
+	if got := len(byKind[obs.KindProcessStart]); got != 1+copies {
+		t.Fatalf("process-start events = %d, want %d", got, 1+copies)
+	}
+	if got := len(byKind[obs.KindProcessEnd]); got != 1+copies {
+		t.Fatalf("process-end events = %d, want %d", got, 1+copies)
+	}
+
+	// Every buffer the stats saw has a pick and an enqueue event.
+	if got := int64(len(byKind[obs.KindEnqueue])); got != st.Streams["nums"].Buffers {
+		t.Fatalf("enqueue events = %d, stats buffers = %d", got, st.Streams["nums"].Buffers)
+	}
+	if got := int64(len(byKind[obs.KindPick])); got != st.Streams["nums"].Buffers {
+		t.Fatalf("pick events = %d, stats buffers = %d", got, st.Streams["nums"].Buffers)
+	}
+
+	// Demand-driven acks appear as events and in the stats.
+	var ackN int64
+	for _, e := range byKind[obs.KindAck] {
+		ackN += int64(e.N)
+	}
+	if ackN != st.Streams["nums"].Acks {
+		t.Fatalf("ack event sum = %d, stats acks = %d", ackN, st.Streams["nums"].Acks)
+	}
+
+	// Stall events pair up.
+	if s, e := len(byKind[obs.KindStallStart]), len(byKind[obs.KindStallEnd]); s != e {
+		t.Fatalf("stall start/end = %d/%d", s, e)
+	}
+
+	// Per-stream counters in the registry match the stats.
+	if got := reg.Counter("core.stream.nums.buffers").Value(); got != st.Streams["nums"].Buffers {
+		t.Fatalf("counter buffers = %d, stats = %d", got, st.Streams["nums"].Buffers)
+	}
+	if got := reg.Counter("core.stream.nums.bytes").Value(); got != st.Streams["nums"].Bytes {
+		t.Fatalf("counter bytes = %d, stats = %d", got, st.Streams["nums"].Bytes)
+	}
+}
+
+func TestCoreEngineNilObserver(t *testing.T) {
+	// The disabled path must run identically with a nil observer.
+	st := runObserved(t, nil, 25, 2)
+	if st.Streams["nums"].Buffers != 25 {
+		t.Fatalf("buffers = %d", st.Streams["nums"].Buffers)
+	}
+}
+
+func TestCoreEngineChromeTraceTimestampsMonotonicPerSpan(t *testing.T) {
+	ring := obs.NewRingSink(4096)
+	o := obs.New(ring, nil)
+	runObserved(t, o, 10, 1)
+	// Wall-clock events must be stamped from the run's start (small,
+	// non-negative) and each ProcessEnd must not precede its ProcessStart.
+	start := map[string]float64{}
+	for _, e := range ring.Events() {
+		if e.T < 0 {
+			t.Fatalf("negative timestamp %v", e)
+		}
+		key := e.Filter + "#" + string(rune('0'+e.Copy))
+		switch e.Kind {
+		case obs.KindProcessStart:
+			start[key] = e.T
+		case obs.KindProcessEnd:
+			if e.T < start[key] {
+				t.Fatalf("process-end before start for %s", key)
+			}
+		}
+	}
+}

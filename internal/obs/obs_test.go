@@ -1,0 +1,422 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// ---- Metrics ----
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram stats")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	if len(r.Snapshot()) != 0 || r.Names() != nil {
+		t.Fatal("nil registry snapshot/names")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames")
+	c.Add(10)
+	c.Inc()
+	if c.Value() != 11 {
+		t.Fatalf("counter = %d, want 11", c.Value())
+	}
+	if r.Counter("frames") != c {
+		t.Fatal("get-or-create must return the same counter handle")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1ms .. 1000ms uniform.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantSum := 500.5
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+	// Bucketing error is bounded by half a sub-bucket: at most 12.5%.
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 0.500}, {0.95, 0.950}, {0.99, 0.990},
+	} {
+		got := h.Quantile(tc.q)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.125 {
+			t.Errorf("q%.0f = %g, want %g +-12.5%%", tc.q*100, got, tc.want)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Mean < 0.45 || s.Mean > 0.55 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(math.NaN())
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("all-zero quantile = %g", h.Quantile(0.5))
+	}
+	// Extreme magnitudes must clamp, not panic or land out of range.
+	h.Observe(1e-300)
+	h.Observe(1e300)
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	var empty Histogram
+	if empty.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-9 {
+		t.Fatalf("sum = %g, want 8", h.Sum())
+	}
+}
+
+func TestRegistrySnapshotAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Gauge("a.depth").Set(9)
+	r.Histogram("c.lat").Observe(0.25)
+	names := r.Names()
+	want := []string{"a.depth", "b.count", "c.lat"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	snap := r.Snapshot()
+	if snap["b.count"].(int64) != 2 || snap["a.depth"].(int64) != 9 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if hs := snap["c.lat"].(HistogramSnapshot); hs.Count != 1 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v", err)
+	}
+}
+
+// ---- Observer ----
+
+func TestNilObserver(t *testing.T) {
+	var o *Observer
+	o.Emit(Event{Kind: KindEnqueue})
+	o.EmitAt(1, Event{Kind: KindAck})
+	o.SetClock(NewWallClock())
+	if o.Registry() != nil || o.Now() != 0 || o.Flush() != nil {
+		t.Fatal("nil observer must be inert")
+	}
+}
+
+func TestObserverStampsAndEmits(t *testing.T) {
+	ring := NewRingSink(8)
+	o := New(ring, nil)
+	var virt float64 = 1.5
+	o.SetClock(ClockFunc(func() float64 { return virt }))
+	o.Emit(Event{Kind: KindPick, Filter: "F"})
+	virt = 2.5
+	o.Emit(Event{Kind: KindSend, Filter: "F"})
+	o.EmitAt(0.25, Event{Kind: KindStallStart, Filter: "F"})
+	evs := ring.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].T != 1.5 || evs[1].T != 2.5 || evs[2].T != 0.25 {
+		t.Fatalf("timestamps = %v %v %v", evs[0].T, evs[1].T, evs[2].T)
+	}
+	if o.Now() != 2.5 {
+		t.Fatalf("Now = %g", o.Now())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindEnqueue.String() != "enqueue" || KindStallEnd.String() != "stall-end" {
+		t.Fatal("kind names")
+	}
+	if Kind(0).String() != "unknown" || Kind(200).String() != "unknown" {
+		t.Fatal("unknown kinds")
+	}
+}
+
+// ---- Sinks ----
+
+func TestRingSinkWrap(t *testing.T) {
+	r := NewRingSink(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{UOW: i})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.UOW != 6+i {
+			t.Fatalf("event %d has UOW %d, want %d (oldest-first)", i, e.UOW, 6+i)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Event{T: 0.5, Kind: KindEnqueue, Filter: "Ra", Copy: 1, Stream: "tris", Bytes: 64, UOW: 2})
+	s.Emit(Event{T: 0.6, Kind: KindAck, Filter: "Ra", Copy: 1, Stream: "tris", N: 4})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line not valid JSON: %v (%s)", err, sc.Text())
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0]["k"] != "enqueue" || lines[1]["k"] != "ack" {
+		t.Fatalf("kinds = %v %v", lines[0]["k"], lines[1]["k"])
+	}
+	if lines[0]["s"] != "tris" || lines[0]["b"].(float64) != 64 {
+		t.Fatalf("fields = %v", lines[0])
+	}
+}
+
+func TestTee(t *testing.T) {
+	a, b := NewRingSink(4), NewRingSink(4)
+	tee := Tee(a, b)
+	tee.Emit(Event{Kind: KindPick})
+	if err := tee.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatal("tee must duplicate to every sink")
+	}
+}
+
+func TestChromeTraceSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeTraceSink(&buf)
+	s.Emit(Event{T: 0.0, Kind: KindProcessStart, Filter: "RE", Copy: 0, Host: "node0", UOW: 0})
+	s.Emit(Event{T: 0.1, Kind: KindPick, Filter: "RE", Copy: 0, Host: "node0", Stream: "tris", Target: "node1"})
+	s.Emit(Event{T: 0.2, Kind: KindStallStart, Filter: "RE", Copy: 0, Host: "node0", Stream: "tris", Note: "write"})
+	s.Emit(Event{T: 0.3, Kind: KindStallEnd, Filter: "RE", Copy: 0, Host: "node0", Stream: "tris", Note: "write"})
+	s.Emit(Event{T: 0.4, Kind: KindProcessEnd, Filter: "RE", Copy: 0, Host: "node0", UOW: 0})
+	s.Emit(Event{T: 0.5, Kind: KindEnqueue, Filter: "Ra", Copy: 1, Host: "node1", Stream: "tris", Bytes: 99})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var b, e int
+	pids := map[int]bool{}
+	var sawThreadMeta, sawInstant bool
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			b++
+		case "E":
+			e++
+		case "i":
+			sawInstant = true
+		case "M":
+			if ev.Name == "thread_name" {
+				sawThreadMeta = true
+			}
+		}
+		pids[ev.PID] = true
+	}
+	if b != 2 || e != 2 {
+		t.Fatalf("B/E = %d/%d, want 2/2", b, e)
+	}
+	if !sawInstant || !sawThreadMeta {
+		t.Fatal("missing instant or thread metadata events")
+	}
+	if len(pids) < 2 {
+		t.Fatalf("hosts must map to distinct pids, got %v", pids)
+	}
+	// Timestamps scale to microseconds.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "i" && strings.HasPrefix(ev.Name, "enqueue") && ev.TS != 0.5*1e6 {
+			t.Fatalf("enqueue ts = %g, want 5e5", ev.TS)
+		}
+	}
+	// Second flush is a no-op, not a second document.
+	n := buf.Len()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Fatal("second Flush wrote more output")
+	}
+}
+
+func TestChromeTraceEmptyFlush(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeTraceSink(&buf)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Fatalf("traceEvents missing or wrong type: %v", doc)
+	}
+}
+
+// ---- Debug endpoint ----
+
+func TestDebugHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dist.rx.data_frames").Add(42)
+	ring := NewRingSink(16)
+	ring.Emit(Event{T: 1, Kind: KindSend, Filter: "RE", Stream: "tris"})
+	srv := httptest.NewServer(Handler(reg, ring))
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if snap["dist.rx.data_frames"].(float64) != 42 {
+		t.Fatalf("metrics = %v", snap)
+	}
+
+	code, body = get("/debug/events")
+	if code != 200 {
+		t.Fatalf("/debug/events status %d", code)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(body, &evs); err != nil {
+		t.Fatalf("/debug/events not JSON: %v", err)
+	}
+	if len(evs) != 1 || evs[0]["k"] != "send" {
+		t.Fatalf("events = %v", evs)
+	}
+
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path status %d", code)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("x").Set(1)
+	d, err := ServeDebug("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get("http://" + d.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

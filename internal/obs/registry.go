@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Add is one atomic add.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter. Safe on a nil counter (disabled metrics).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 when nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric. Set/Add are single atomic operations.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value. Safe on a nil gauge.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 when nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a streaming log-bucketed histogram of non-negative float64
+// observations (typically seconds). Buckets are geometric with four
+// sub-buckets per power of two, so quantile estimates carry at most 12.5%
+// relative error from bucketing (half a sub-bucket against the bucket's low
+// edge). Observe is lock-free: one atomic add on a bucket plus count/sum
+// updates.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Uint64 // float64 bits, CAS-updated
+	zero  atomic.Int64  // observations <= 0
+	// buckets[(exp+hExpBias)*hSub + sub] counts observations with
+	// frexp exponent exp; exponents are clamped to [-hExpBias, hExpMax].
+	buckets [hBuckets]atomic.Int64
+}
+
+const (
+	hSub     = 4  // sub-buckets per power of two
+	hExpBias = 32 // smallest tracked exponent: 2^-32 (~2.3e-10)
+	hExpMax  = 31 // largest: 2^31 (~2.1e9)
+	hBuckets = (hExpBias + hExpMax + 1) * hSub
+)
+
+func bucketOf(v float64) int {
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	if exp < -hExpBias {
+		exp, frac = -hExpBias, 0.5
+	} else if exp > hExpMax {
+		exp, frac = hExpMax, 1 - 1e-9
+	}
+	sub := int((frac - 0.5) * (2 * hSub)) // [0, hSub)
+	if sub >= hSub {
+		sub = hSub - 1
+	}
+	return (exp+hExpBias)*hSub + sub
+}
+
+// bucketMid returns the representative value (midpoint) of bucket i.
+func bucketMid(i int) float64 {
+	exp := i/hSub - hExpBias
+	sub := i % hSub
+	lo := math.Ldexp(0.5+float64(sub)/(2*hSub), exp)
+	return lo + math.Ldexp(1.0/(2*hSub), exp)/2
+}
+
+// Observe records one observation. Safe on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			break
+		}
+	}
+	if v <= 0 || math.IsNaN(v) {
+		h.zero.Add(1)
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the buckets. The
+// estimate is the midpoint of the bucket holding the q-th observation, so
+// its relative error is bounded by half the bucket width (at most 12.5%).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total-1)) + 1
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	cum := h.zero.Load()
+	if rank <= cum {
+		return 0
+	}
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(hBuckets - 1)
+}
+
+// HistogramSnapshot is a histogram's JSON representation.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot captures the histogram's summary statistics.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	}
+	s.P50 = h.Quantile(0.50)
+	s.P95 = h.Quantile(0.95)
+	s.P99 = h.Quantile(0.99)
+	return s
+}
+
+// Registry is a named collection of metrics. Registration takes a mutex;
+// engines resolve metric handles once at setup, so steady-state updates
+// never touch the registry lock.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Nil-registry
+// safe: returns a nil *Counter whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every metric's current value keyed by name: counters and
+// gauges as int64, histograms as HistogramSnapshot.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON writes the expvar-style snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink receives trace events. Implementations must be safe for concurrent
+// Emit calls (the real and distributed engines emit from many goroutines);
+// Flush is called once at the end of a run.
+type Sink interface {
+	Emit(Event)
+	Flush() error
+}
+
+// ---- In-memory ring ----
+
+// RingSink keeps the most recent events in a fixed-size ring buffer — the
+// always-on, bounded-memory sink behind the live debug endpoint.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	wrap  bool
+	total uint64
+}
+
+// NewRingSink returns a ring holding up to cap events (min 1).
+func NewRingSink(cap int) *RingSink {
+	if cap < 1 {
+		cap = 1
+	}
+	return &RingSink{buf: make([]Event, cap)}
+}
+
+// Emit implements Sink.
+func (r *RingSink) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrap = true
+	}
+	r.mu.Unlock()
+}
+
+// Flush implements Sink (no-op).
+func (r *RingSink) Flush() error { return nil }
+
+// Events returns the buffered events, oldest first.
+func (r *RingSink) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrap {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of events ever emitted (including overwritten).
+func (r *RingSink) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// ---- JSONL writer ----
+
+// JSONLSink streams events as one JSON object per line — the
+// machine-readable dump format (schema documented in DESIGN.md).
+type JSONLSink struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+// NewJSONLSink wraps w (buffered; call Flush to drain).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e Event) {
+	raw, err := json.Marshal(wireEvent(e))
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.w.Write(raw)
+	s.w.WriteByte('\n')
+	s.mu.Unlock()
+}
+
+// Flush implements Sink.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// wireEvent renders the kind as its schema name instead of a raw integer.
+type wireEventT struct {
+	T      float64 `json:"t"`
+	Kind   string  `json:"k"`
+	Filter string  `json:"f,omitempty"`
+	Copy   int     `json:"c"`
+	Host   string  `json:"h,omitempty"`
+	Stream string  `json:"s,omitempty"`
+	Target string  `json:"tg,omitempty"`
+	Bytes  int     `json:"b,omitempty"`
+	N      int     `json:"n,omitempty"`
+	UOW    int     `json:"u"`
+	Note   string  `json:"note,omitempty"`
+}
+
+func wireEvent(e Event) wireEventT {
+	return wireEventT{
+		T: e.T, Kind: e.Kind.String(), Filter: e.Filter, Copy: e.Copy,
+		Host: e.Host, Stream: e.Stream, Target: e.Target, Bytes: e.Bytes,
+		N: e.N, UOW: e.UOW, Note: e.Note,
+	}
+}
+
+// ---- Fan-out ----
+
+// Tee returns a sink duplicating every event to each of sinks (e.g. a live
+// ring plus an on-disk JSONL dump).
+func Tee(sinks ...Sink) Sink { return teeSink(sinks) }
+
+type teeSink []Sink
+
+func (t teeSink) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}
+
+func (t teeSink) Flush() error {
+	var first error
+	for _, s := range t {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,82 @@
+package simrt
+
+import (
+	"testing"
+
+	"datacutter/internal/core"
+	"datacutter/internal/obs"
+	"datacutter/internal/sim"
+)
+
+// TestSimObservedRun checks that the simulated engine stamps trace events in
+// virtual time and mirrors its stream stats into the registry.
+func TestSimObservedRun(t *testing.T) {
+	k := sim.NewKernel()
+	cl := uniformCluster(k, "h0", "h1")
+	g, sink := buildPipeline(50, 1000, 0.01)
+	pl := core.NewPlacement().
+		Place("S", "h0", 1).Place("W", "h1", 1).Place("K", "h0", 1)
+
+	ring := obs.NewRingSink(16384)
+	reg := obs.NewRegistry()
+	o := obs.New(ring, reg)
+	r, err := NewRunner(g, pl, cl, Options{Policy: core.DemandDriven(), Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.seen != 50 {
+		t.Fatalf("sink saw %d", sink.seen)
+	}
+
+	evs := ring.Events()
+	if len(evs) == 0 {
+		t.Fatal("no trace events")
+	}
+	// Virtual timestamps: non-negative and bounded by the run's makespan.
+	var enq, procStart int
+	for _, e := range evs {
+		if e.T < 0 || e.T > st.WallSeconds+1e-9 {
+			t.Fatalf("event %+v outside virtual run time [0, %g]", e, st.WallSeconds)
+		}
+		switch e.Kind {
+		case obs.KindEnqueue:
+			enq++
+		case obs.KindProcessStart:
+			procStart++
+		}
+	}
+	if want := int(st.Streams["in"].Buffers + st.Streams["out"].Buffers); enq != want {
+		t.Fatalf("enqueue events = %d, want %d", enq, want)
+	}
+	if procStart != 3 {
+		t.Fatalf("process-start events = %d, want 3 (one per copy)", procStart)
+	}
+
+	// Registry counters mirror the stats.
+	if got := reg.Counter("simrt.stream.in.buffers").Value(); got != st.Streams["in"].Buffers {
+		t.Fatalf("counter = %d, stats = %d", got, st.Streams["in"].Buffers)
+	}
+	if got := reg.Counter("simrt.stream.out.bytes").Value(); got != st.Streams["out"].Bytes {
+		t.Fatalf("bytes counter = %d, stats = %d", got, st.Streams["out"].Bytes)
+	}
+}
+
+// TestSimOptionsValidate pins the negative-option errors.
+func TestSimOptionsValidate(t *testing.T) {
+	k := sim.NewKernel()
+	cl := uniformCluster(k, "h0")
+	g, _ := buildPipeline(1, 1, 0)
+	pl := core.NewPlacement().
+		Place("S", "h0", 1).Place("W", "h0", 1).Place("K", "h0", 1)
+	for _, opts := range []Options{
+		{QueueCap: -1}, {BufferBytes: -1}, {AckBytes: -1}, {PrefetchDepth: -1},
+	} {
+		if _, err := NewRunner(g, pl, cl, opts); err == nil {
+			t.Fatalf("options %+v accepted", opts)
+		}
+	}
+}

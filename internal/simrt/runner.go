@@ -18,6 +18,7 @@ import (
 
 	"datacutter/internal/cluster"
 	"datacutter/internal/core"
+	"datacutter/internal/obs"
 	"datacutter/internal/sim"
 )
 
@@ -42,6 +43,28 @@ type Options struct {
 	PrefetchDepth int
 	// UOWs lists the unit-of-work descriptors (one nil UOW if empty).
 	UOWs []any
+	// Obs attaches the observability subsystem (see internal/obs). Events
+	// are stamped in virtual seconds — the kernel's clock, not wall time —
+	// so an exported trace shows the simulated timeline. Nil disables.
+	Obs *obs.Observer
+}
+
+// validate rejects negative option values that would otherwise silently
+// fall through to the defaults (mirrors core.Options.Validate).
+func (o *Options) validate() error {
+	if o.QueueCap < 0 {
+		return fmt.Errorf("simrt: Options.QueueCap must be >= 0 (0 selects the default of 8), got %d", o.QueueCap)
+	}
+	if o.BufferBytes < 0 {
+		return fmt.Errorf("simrt: Options.BufferBytes must be >= 0 (0 selects the default of 256 KiB), got %d", o.BufferBytes)
+	}
+	if o.AckBytes < 0 {
+		return fmt.Errorf("simrt: Options.AckBytes must be >= 0 (0 selects the default of 64), got %d", o.AckBytes)
+	}
+	if o.PrefetchDepth < 0 {
+		return fmt.Errorf("simrt: Options.PrefetchDepth must be >= 0 (0 selects the default of 4), got %d", o.PrefetchDepth)
+	}
+	return nil
 }
 
 func (o *Options) policyFor(stream string) core.Policy {
@@ -106,6 +129,9 @@ type copyInst struct {
 // NewRunner validates the graph/placement (every placed host must exist in
 // the cluster) and instantiates filter copies.
 func NewRunner(g *core.Graph, pl *core.Placement, cl *cluster.Cluster, opts Options) (*Runner, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -158,6 +184,9 @@ func (r *Runner) Run() (*core.Stats, error) {
 	if len(uows) == 0 {
 		uows = []any{nil}
 	}
+	// This engine's time domain is the kernel's virtual clock: exported
+	// traces show simulated seconds, directly comparable to Stats.
+	r.opts.Obs.SetClock(obs.ClockFunc(func() float64 { return float64(k.Now()) }))
 	start := k.Now()
 	for i, work := range uows {
 		t0 := k.Now()
@@ -185,6 +214,11 @@ type streamRT struct {
 
 	declMin, declMax int
 	bufBytes         int
+
+	// Live counters, resolved once at setup; nil unless Options.Obs is set.
+	ctrBuffers *obs.Counter
+	ctrBytes   *obs.Counter
+	ctrAcks    *obs.Counter
 }
 
 func (s *streamRT) resolve(def int) {
@@ -215,6 +249,11 @@ func (r *Runner) runUOW(uow int, work any) error {
 			st.copies = append(st.copies, e.Copies)
 			st.chans = append(st.chans, sim.NewChan[delivery](k, sp.Name+"@"+e.Host, r.opts.queueCap()))
 		}
+		if reg := r.opts.Obs.Registry(); reg != nil {
+			st.ctrBuffers = reg.Counter("simrt.stream." + sp.Name + ".buffers")
+			st.ctrBytes = reg.Counter("simrt.stream." + sp.Name + ".bytes")
+			st.ctrAcks = reg.Counter("simrt.stream." + sp.Name + ".acks")
+		}
 		streams[sp.Name] = st
 	}
 
@@ -224,7 +263,12 @@ func (r *Runner) runUOW(uow int, work any) error {
 			c := &simCtx{r: r, ci: ci, uow: uow, work: work,
 				inputs:  make(map[string]*sim.Chan[delivery]),
 				inputRT: make(map[string]*streamRT),
-				writers: make(map[string]*writerState)}
+				writers: make(map[string]*writerState),
+				o:       r.opts.Obs}
+			if reg := r.opts.Obs.Registry(); reg != nil {
+				c.readStallH = reg.Histogram("simrt.read_stall_seconds")
+				c.writeStallH = reg.Histogram("simrt.write_stall_seconds")
+			}
 			for _, sp := range r.g.Inputs(name) {
 				st := streams[sp.Name]
 				for i, h := range st.hosts {
@@ -268,9 +312,11 @@ func (r *Runner) runUOW(uow int, work any) error {
 		c := c
 		k.Spawn(fmt.Sprintf("%s#%d@%s", c.ci.name, c.ci.globalIdx, c.ci.host), func(p *sim.Proc) {
 			c.p = p
+			c.o.Emit(obs.Event{Kind: obs.KindProcessStart, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, UOW: c.uow})
 			t0 := p.Now()
 			err := c.ci.filter.Process(c)
 			c.drainDisk()
+			c.o.Emit(obs.Event{Kind: obs.KindProcessEnd, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, UOW: c.uow})
 			fs := r.stats.Filters[c.ci.name]
 			wall := float64(p.Now() - t0)
 			fs.WallSeconds[c.ci.globalIdx] += wall
@@ -346,6 +392,13 @@ type simCtx struct {
 	inputRT map[string]*streamRT
 	writers map[string]*writerState
 
+	// o is the attached observer (nil = disabled). Stall spans are detected
+	// after the fact by comparing virtual time around a blocking call and
+	// back-stamped with EmitAt.
+	o           *obs.Observer
+	readStallH  *obs.Histogram
+	writeStallH *obs.Histogram
+
 	readBlocked  float64
 	writeBlocked float64
 	netSeconds   float64
@@ -373,6 +426,7 @@ func (c *simCtx) Read(stream string) (core.Buffer, bool) {
 	t0 := c.p.Now()
 	d, ok := ch.Recv(c.p)
 	c.readBlocked += float64(c.p.Now() - t0)
+	c.emitStallSpan(t0, stream, "read", c.readStallH)
 	if !ok {
 		c.flushAcks(stream)
 		return core.Buffer{}, false
@@ -415,6 +469,31 @@ func (c *simCtx) sendAck(stream string, ws *writerState, target, n int) {
 		ws.unacked[target] -= n
 	})
 	c.r.stats.Streams[stream].Acks++
+	if c.o != nil {
+		if st := c.inputRT[stream]; st != nil {
+			st.ctrAcks.Inc()
+		}
+		c.o.Emit(obs.Event{Kind: obs.KindAck, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, Stream: stream, Target: ws.host, N: n, UOW: c.uow})
+	}
+}
+
+// emitStallSpan back-stamps a stall-start/stall-end pair when virtual time
+// advanced across a blocking call (no-op when obs is off or no time
+// passed). Events land in the sink after intervening events from other
+// simulated processes; timestamps, not emission order, are authoritative.
+func (c *simCtx) emitStallSpan(t0 sim.Time, stream, dir string, h *obs.Histogram) {
+	if c.o == nil {
+		return
+	}
+	t1 := c.p.Now()
+	if t1 <= t0 {
+		return
+	}
+	h.Observe(float64(t1 - t0))
+	e := obs.Event{Kind: obs.KindStallStart, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, Stream: stream, UOW: c.uow, Note: dir}
+	c.o.EmitAt(float64(t0), e)
+	e.Kind = obs.KindStallEnd
+	c.o.EmitAt(float64(t1), e)
 }
 
 // flushAcks releases coalesced acknowledgments (called at end-of-work so
@@ -435,20 +514,32 @@ func (c *simCtx) Write(stream string, b core.Buffer) error {
 	if ws.w.WantsAcks() {
 		ws.unacked[idx]++
 	}
+	if c.o != nil {
+		c.o.Emit(obs.Event{Kind: obs.KindPick, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, Stream: stream, Target: ws.st.hosts[idx], UOW: c.uow})
+	}
 	// Wire time: occupy the NICs for the buffer's transfer.
 	t0 := c.p.Now()
 	c.r.cl.Transfer(c.p, c.ci.host, ws.st.hosts[idx], b.Size)
 	c.netSeconds += float64(c.p.Now() - t0)
+	if c.o != nil {
+		c.o.Emit(obs.Event{Kind: obs.KindSend, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, Stream: stream, Target: ws.st.hosts[idx], Bytes: b.Size, UOW: c.uow})
+	}
 	// Enqueue; blocking here is backpressure from a full consumer queue.
 	t0 = c.p.Now()
 	ws.st.chans[idx].Send(c.p, delivery{buf: b, sender: ws, target: idx})
 	c.writeBlocked += float64(c.p.Now() - t0)
+	c.emitStallSpan(t0, stream, "write", c.writeStallH)
 
 	ss := c.r.stats.Streams[stream]
 	ss.Buffers++
 	ss.Bytes += int64(b.Size)
 	ss.PerTargetHost[ws.st.hosts[idx]]++
 	c.r.stats.Filters[c.ci.name].BuffersOut++
+	if c.o != nil {
+		ws.st.ctrBuffers.Inc()
+		ws.st.ctrBytes.Add(int64(b.Size))
+		c.o.Emit(obs.Event{Kind: obs.KindEnqueue, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, Stream: stream, Target: ws.st.hosts[idx], Bytes: b.Size, UOW: c.uow})
+	}
 	return nil
 }
 

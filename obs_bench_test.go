@@ -1,0 +1,88 @@
+// Observability overhead benchmarks: the same real-engine pipeline with
+// observability disabled (nil observer — the default, matching the
+// pre-observability engine), fully enabled (ring sink + registry), and
+// metrics-only. The disabled run is the acceptance gate: its cost over the
+// seed engine is one nil pointer comparison per instrumented site, and
+// BenchmarkPipelineObsDisabled vs BenchmarkPipelineObsEnabled bounds what
+// turning observability on costs.
+package datacutter
+
+import (
+	"sync"
+	"testing"
+
+	"datacutter/internal/core"
+	"datacutter/internal/obs"
+)
+
+type benchSource struct {
+	core.BaseFilter
+	n int
+}
+
+func (s *benchSource) Process(ctx core.Ctx) error {
+	for i := 0; i < s.n; i++ {
+		if err := ctx.Write("nums", core.Buffer{Payload: i, Size: 8}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type benchSink struct {
+	core.BaseFilter
+	mu  *sync.Mutex
+	sum *int
+}
+
+func (s *benchSink) Process(ctx core.Ctx) error {
+	for {
+		b, ok := ctx.Read("nums")
+		if !ok {
+			return nil
+		}
+		s.mu.Lock()
+		*s.sum += b.Payload.(int)
+		s.mu.Unlock()
+	}
+}
+
+func benchPipeline(b *testing.B, o *obs.Observer) {
+	b.Helper()
+	const n = 20000
+	var mu sync.Mutex
+	for i := 0; i < b.N; i++ {
+		sum := 0
+		g := core.NewGraph()
+		g.AddFilter("S", func() core.Filter { return &benchSource{n: n} })
+		g.AddFilter("K", func() core.Filter { return &benchSink{mu: &mu, sum: &sum} })
+		g.Connect("S", "K", "nums")
+		pl := core.NewPlacement().Place("S", "h0", 1).Place("K", "h0", 2)
+		r, err := core.NewRunner(g, pl, core.Options{Policy: core.DemandDriven(), Obs: o})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if sum != n*(n-1)/2 {
+			b.Fatalf("sum = %d", sum)
+		}
+	}
+}
+
+// BenchmarkPipelineObsDisabled is the engine's default: a nil observer, so
+// every instrumented site costs one pointer comparison.
+func BenchmarkPipelineObsDisabled(b *testing.B) { benchPipeline(b, nil) }
+
+// BenchmarkPipelineObsEnabled traces every buffer into a ring sink and
+// meters every stream.
+func BenchmarkPipelineObsEnabled(b *testing.B) {
+	benchPipeline(b, obs.New(obs.NewRingSink(4096), obs.NewRegistry()))
+}
+
+// BenchmarkPipelineObsMetricsOnly updates counters but emits no events
+// (nil sink short-circuits Emit).
+func BenchmarkPipelineObsMetricsOnly(b *testing.B) {
+	benchPipeline(b, obs.New(nil, obs.NewRegistry()))
+}
