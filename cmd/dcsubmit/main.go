@@ -39,8 +39,12 @@ func main() {
 		grid    = flag.Int("grid", 65, "synthetic grid samples per axis (without -dir)")
 		debug   = flag.String("debug-addr", "", "serve coordinator /metrics and /debug/pprof on this address during the run")
 		metrics = flag.Bool("metrics", false, "print the coordinator metrics snapshot after the run")
+		wirebuf = flag.Int("wirebuf", 0, "coordinator-side write-coalescing buffer in bytes (default 64 KiB)")
 	)
 	flag.Parse()
+	if *wirebuf > 0 {
+		dist.SetWireBufferSize(*wirebuf)
+	}
 	if *workers == "" {
 		fmt.Fprintln(os.Stderr, "dcsubmit: -workers is required")
 		flag.Usage()

@@ -13,9 +13,12 @@
 // then point a coordinator (e.g. examples/distributed) at the addresses.
 //
 // With -debug-addr, the worker serves /metrics (live frame/byte/ack
-// counters and stall histograms as JSON), /debug/events (recent
-// buffer-lifecycle trace events), and /debug/pprof/. With -trace, every
-// trace event is also appended to a JSONL file.
+// counters, flush batching gauges — dist.tx.flushes and
+// dist.tx.frames_per_flush — and stall histograms as JSON), /debug/events
+// (recent buffer-lifecycle trace events), and /debug/pprof/. With -trace,
+// every trace event is also appended to a JSONL file. -wirebuf sizes the
+// per-connection write-coalescing buffer (larger buffers batch more frames
+// per syscall on fast producers).
 package main
 
 import (
@@ -33,8 +36,12 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:9101", "address to listen on")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/events, /debug/pprof on this address (e.g. :6060)")
 	trace := flag.String("trace", "", "append buffer-lifecycle trace events to this JSONL file")
+	wirebuf := flag.Int("wirebuf", 0, "per-connection write-coalescing buffer in bytes (default 64 KiB)")
 	flag.Parse()
 
+	if *wirebuf > 0 {
+		dist.SetWireBufferSize(*wirebuf)
+	}
 	w, err := dist.NewWorker(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcworker:", err)

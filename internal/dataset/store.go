@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"datacutter/internal/volume"
+	"datacutter/internal/wirebin"
 )
 
 // Store is an on-disk chunked dataset: one binary file per declustering
@@ -28,6 +29,11 @@ type Store struct {
 	// readers).
 	mu      sync.Mutex
 	handles []*os.File
+
+	// scratch recycles per-read raw chunk buffers. A sync.Pool (rather than
+	// a single buffer) keeps ReadChunk safe for concurrent readers — each
+	// in-flight read owns its buffer and returns it when done.
+	scratch sync.Pool
 }
 
 const metaFile = "meta.json"
@@ -170,13 +176,25 @@ func (s *Store) ReadChunk(chunk, timestep int) (*volume.Volume, error) {
 	if err != nil {
 		return nil, err
 	}
-	raw := make([]byte, size)
-	if _, err := fh.ReadAt(raw, off); err != nil {
+	raw := s.scratchBuf(size)
+	defer s.scratch.Put(raw)
+	if _, err := fh.ReadAt(*raw, off); err != nil {
 		return nil, fmt.Errorf("dataset: reading chunk %d: %w", chunk, err)
 	}
 	v := volume.NewBlockVolume(s.DS.Block(chunk))
-	for i := range v.Data {
-		v.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
-	}
+	wirebin.Float32s(v.Data, *raw)
 	return v, nil
+}
+
+// scratchBuf returns a pooled raw-read buffer resized to n bytes.
+func (s *Store) scratchBuf(n int) *[]byte {
+	bp, _ := s.scratch.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
 }

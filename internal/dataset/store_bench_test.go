@@ -1,0 +1,76 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"datacutter/internal/volume"
+)
+
+// BenchmarkStoreReadChunk measures one chunk read at steady state.
+// "pooled" is the shipping path (pooled scratch buffer + bulk float32
+// decode); "naive" replicates the path it replaced — a fresh raw buffer per
+// read and a per-sample binary.LittleEndian/math.Float32frombits loop — as
+// the allocs/op baseline.
+func BenchmarkStoreReadChunk(b *testing.B) {
+	dir := b.TempDir()
+	st, err := Create(dir, Meta{
+		Seed: 1, Plumes: 2, Timesteps: 2, Files: 2,
+		GX: 32, GY: 32, GZ: 32, BX: 2, BY: 2, BZ: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v, err := st.ReadChunk(i%st.DS.Chunks(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = v
+		}
+	})
+
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := readChunkNaive(st, i%st.DS.Chunks(), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// readChunkNaive is the pre-optimization ReadChunk, kept verbatim as the
+// benchmark baseline.
+func readChunkNaive(s *Store, chunk, timestep int) (*volume.Volume, error) {
+	f := s.DS.FileOf(chunk)
+	pos := -1
+	for i, c := range s.perFile[f] {
+		if c == chunk {
+			pos = i
+			break
+		}
+	}
+	idx := timestep*len(s.perFile[f]) + pos
+	off := s.offsets[f][idx]
+	size := s.DS.ChunkBytes(chunk)
+
+	fh, err := s.handle(f)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, size)
+	if _, err := fh.ReadAt(raw, off); err != nil {
+		return nil, err
+	}
+	v := volume.NewBlockVolume(s.DS.Block(chunk))
+	for i := range v.Data {
+		v.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return v, nil
+}

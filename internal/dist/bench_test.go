@@ -1,0 +1,132 @@
+package dist_test
+
+import (
+	"fmt"
+	"testing"
+
+	"datacutter/internal/core"
+	"datacutter/internal/dist"
+)
+
+// Loopback two-worker throughput: a float source on host0 streams batches
+// to a sink on host1 over real TCP connections. The "codec" variant ships
+// []float32 through the registered fast path; "gob" wraps the same batch in
+// an unregistered struct so every buffer takes the fallback — the wire cost
+// profile of the protocol this PR replaced.
+
+const (
+	benchBatches   = 256
+	benchBatchLen  = 4096 // float32s per batch (16 KiB)
+	benchBatchSize = benchBatchLen * 4
+)
+
+// gobBatch has no registered codec, forcing the gob fallback.
+type gobBatch struct{ Vals []float32 }
+
+type floatSource struct {
+	core.BaseFilter
+	wrap bool // ship gobBatch instead of []float32
+}
+
+func (s *floatSource) Process(ctx core.Ctx) error {
+	vals := make([]float32, benchBatchLen)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	for i := 0; i < benchBatches; i++ {
+		var payload any = vals
+		if s.wrap {
+			payload = gobBatch{Vals: vals}
+		}
+		if err := ctx.Write("floats", core.Buffer{Payload: payload, Size: benchBatchSize}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type floatSink struct {
+	core.BaseFilter
+	Seen int
+}
+
+func (s *floatSink) Process(ctx core.Ctx) error {
+	for {
+		b, ok := ctx.Read("floats")
+		if !ok {
+			return nil
+		}
+		var n int
+		switch v := b.Payload.(type) {
+		case []float32:
+			n = len(v)
+		case gobBatch:
+			n = len(v.Vals)
+		}
+		if n != benchBatchLen {
+			return fmt.Errorf("bench sink: batch of %d floats", n)
+		}
+		s.Seen++
+	}
+}
+
+func init() {
+	dist.RegisterPayload(gobBatch{})
+	dist.RegisterFilter("bench.fsrc", func(params []byte) (core.Filter, error) {
+		return &floatSource{wrap: len(params) > 0 && params[0] == 1}, nil
+	})
+	dist.RegisterFilter("bench.fsink", func([]byte) (core.Filter, error) { return &floatSink{}, nil })
+}
+
+func benchGraph(wrap bool) dist.GraphSpec {
+	var params []byte
+	if wrap {
+		params = []byte{1}
+	}
+	return dist.GraphSpec{
+		Filters: []dist.FilterSpec{
+			{Name: "S", Kind: "bench.fsrc", Params: params},
+			{Name: "K", Kind: "bench.fsink"},
+		},
+		Streams: []core.StreamSpec{{Name: "floats", From: "S", To: "K"}},
+	}
+}
+
+func benchWorkers(b *testing.B, n int) map[string]string {
+	b.Helper()
+	addrs := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		w, err := dist.NewWorker("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go w.Serve()
+		addrs[fmt.Sprintf("host%d", i)] = w.Addr()
+		b.Cleanup(w.Close)
+	}
+	return addrs
+}
+
+func BenchmarkDistThroughput(b *testing.B) {
+	placement := []dist.PlacementEntry{
+		{Filter: "S", Host: "host0", Copies: 1},
+		{Filter: "K", Host: "host1", Copies: 1},
+	}
+	for _, tc := range []struct {
+		name string
+		wrap bool
+	}{{"codec", false}, {"gob", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			addrs := benchWorkers(b, 2)
+			graph := benchGraph(tc.wrap)
+			b.ReportAllocs()
+			b.SetBytes(benchBatches * benchBatchSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dist.Run(addrs, graph, placement, dist.Options{}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

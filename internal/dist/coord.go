@@ -39,7 +39,7 @@ func RunObserved(addrs map[string]string, spec GraphSpec, placement []PlacementE
 	ctrls := make(map[string]*conn, len(addrs))
 	defer func() {
 		for _, c := range ctrls {
-			c.c.Close()
+			c.close()
 		}
 	}()
 	for host, addr := range addrs {
@@ -47,7 +47,7 @@ func RunObserved(addrs map[string]string, spec GraphSpec, placement []PlacementE
 		if err != nil {
 			return nil, fmt.Errorf("dist: dialing worker %s (%s): %w", host, addr, err)
 		}
-		c := newConn(nc)
+		c := newConn(nc, nil)
 		ctrls[host] = c
 		if err := c.send(&frame{Kind: kindSetup, Setup: &setupMsg{
 			Graph: spec, Placement: placement, Opts: opts, Addrs: addrs, Host: host,

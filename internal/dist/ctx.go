@@ -22,6 +22,12 @@ type dctx struct {
 	// ackPending coalesces acknowledgments per (producer copy, stream,
 	// target) for batched-ack policies.
 	ackPending map[ackPendKey]int
+
+	// pendRel holds, per input stream, the release of the zero-copy wire
+	// buffer backing the buffer most recently delivered to this copy. It is
+	// called when the copy finishes that buffer — at its next Read on the
+	// stream, or at stream end-of-work — recycling the buffer to the pool.
+	pendRel map[string]func()
 }
 
 type ackPendKey struct {
@@ -52,7 +58,7 @@ func (d *dctx) Read(stream string) (core.Buffer, bool) {
 		// Non-blocking attempt so an actual stall gets a trace span.
 		select {
 		case dv, ok := <-q:
-			return d.finishRead(dv, ok)
+			return d.finishRead(stream, dv, ok)
 		case <-d.s.failedCh:
 			return core.Buffer{}, false
 		default:
@@ -66,16 +72,29 @@ func (d *dctx) Read(stream string) (core.Buffer, bool) {
 	}
 	select {
 	case dv, ok := <-q:
-		return d.finishRead(dv, ok)
+		return d.finishRead(stream, dv, ok)
 	case <-d.s.failedCh:
 		return core.Buffer{}, false
 	}
 }
 
-func (d *dctx) finishRead(dv delivery, ok bool) (core.Buffer, bool) {
+func (d *dctx) finishRead(stream string, dv delivery, ok bool) (core.Buffer, bool) {
+	// The previous buffer on this stream is finished now (DataCutter buffer
+	// contract: a delivered buffer is valid until the copy's next Read);
+	// recycle the wire buffer a zero-copy payload was decoded in place from.
+	if rel := d.pendRel[stream]; rel != nil {
+		rel()
+		delete(d.pendRel, stream)
+	}
 	if !ok {
 		d.flushAcks()
 		return core.Buffer{}, false
+	}
+	if dv.release != nil {
+		if d.pendRel == nil {
+			d.pendRel = make(map[string]func())
+		}
+		d.pendRel[stream] = dv.release
 	}
 	if dv.ackEvery > 0 {
 		d.ack(dv)
@@ -154,7 +173,7 @@ func (d *dctx) sendAck(key ackPendKey, dv delivery, n int) {
 	if err != nil {
 		return
 	}
-	if m := d.s.w.wm; m != nil {
+	if m := d.s.w.metrics(); m != nil {
 		m.txAckFrames.Inc()
 	}
 	_ = c.send(&frame{Kind: kindAck, UOWIdx: d.u.index, Stream: key.stream, Copy: dv.producerCopy, Target: dv.targetIdx, AckN: n})
@@ -177,7 +196,7 @@ func (d *dctx) flushAcks() {
 			continue
 		}
 		if c, err := d.s.peer(key.fromHost); err == nil {
-			if m := d.s.w.wm; m != nil {
+			if m := d.s.w.metrics(); m != nil {
 				m.txAckFrames.Inc()
 			}
 			_ = c.send(&frame{Kind: kindAck, UOWIdx: d.u.index, Stream: key.stream, Copy: key.producerCopy, Target: key.targetIdx, AckN: n})
@@ -229,10 +248,6 @@ func (d *dctx) Write(stream string, b core.Buffer) error {
 			d.o.Emit(obs.Event{Kind: obs.KindEnqueue, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: stream, Target: target.Host, Bytes: b.Size, UOW: d.u.index})
 		}
 	} else {
-		payload, err := encodeAny(b.Payload)
-		if err != nil {
-			return fmt.Errorf("dist: encoding buffer for %s: %w", stream, err)
-		}
 		c, err := d.s.peer(target.Host)
 		if err != nil {
 			d.s.fail(err)
@@ -242,14 +257,14 @@ func (d *dctx) Write(stream string, b core.Buffer) error {
 		if dw.writer.WantsAcks() {
 			ackEvery = dw.ackEvery
 		}
-		if err := c.send(&frame{
-			Kind: kindData, UOWIdx: d.u.index, Stream: stream, Copy: d.c.globalIdx, Target: idx,
-			AckN: ackEvery, Payload: payload, Size: b.Size,
-		}); err != nil {
-			d.s.fail(err)
+		// The payload is serialized by the conn via the codec registry
+		// (fast path for registered types, gob otherwise), outside the
+		// connection's write lock.
+		if err := c.send(dataFrame(d.u.index, stream, d.c.globalIdx, idx, ackEvery, b.Size, b.Payload)); err != nil {
+			d.s.fail(fmt.Errorf("dist: sending buffer for %s to %s: %w", stream, target.Host, err))
 			return core.ErrCancelled
 		}
-		if m := d.s.w.wm; m != nil {
+		if m := d.s.w.metrics(); m != nil {
 			m.txDataFrames.Inc()
 			m.txDataBytes.Add(int64(b.Size))
 		}

@@ -4,10 +4,18 @@
 // communication", paper §2). A coordinator distributes the graph spec and
 // placement to workers (one per named host); each worker runs its local
 // transparent copies as goroutines; stream buffers between copies on
-// different hosts travel as gob-encoded frames over per-host-pair TCP
-// connections, with TCP backpressure standing in for bounded queues across
-// the wire. The same core.Policy objects drive buffer distribution, and
-// demand-driven acknowledgments are real network messages.
+// different hosts travel as length-prefixed binary frames over
+// per-host-pair TCP connections, with TCP backpressure standing in for
+// bounded queues across the wire. The same core.Policy objects drive
+// buffer distribution, and demand-driven acknowledgments are real network
+// messages.
+//
+// The data plane (data, ack, and producer-done frames) uses hand-rolled
+// binary headers, per-payload-type codecs (PayloadCodec, with a gob
+// fallback for unregistered types), pooled frame buffers, and buffered
+// connection writers whose flush-on-idle policy coalesces bursts of small
+// frames into single syscalls (wire.go, codec.go). Control frames stay on
+// gob — they are per-session or per-unit-of-work, never per-buffer.
 //
 // Filters are constructed worker-side from a registry of named builders
 // (the coordinator ships only the spec), so any process that imports the
@@ -18,7 +26,6 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"net"
 	"sync"
 
 	"datacutter/internal/core"
@@ -85,7 +92,8 @@ func builderFor(kind string) (Builder, error) {
 // Control frames travel on the coordinator<->worker connection; data, ack,
 // and producer-done frames travel on worker->worker connections (one TCP
 // connection per ordered host pair, so FIFO ordering between a host's data
-// and its end-of-work markers is guaranteed by TCP).
+// and its end-of-work markers is guaranteed by TCP). Frame serialization
+// lives in wire.go: binary bodies for the data plane, gob for control.
 
 type frame struct {
 	Kind frameKind
@@ -101,13 +109,32 @@ type frame struct {
 	Stats *wireStats
 
 	// Peer traffic (worker -> worker).
-	UOWIdx  int // unit of work the frame belongs to (stale frames dropped)
-	Stream  string
+	UOWIdx  int    // unit of work the frame belongs to (stale frames dropped)
+	Stream  string // stream name (interned on receive)
 	Target  int    // consumer copy-set index (data) / producer target index (ack)
 	Copy    int    // producer global copy index (data: sender; ack: addressee)
 	AckN    int    // coalesced ack count
-	Payload []byte // gob-encoded core.Buffer payload
+	Codec   uint16 // payload codec id (0 = gob fallback)
+	Payload []byte // encoded payload; on receive it aliases the pooled wire buffer
 	Size    int    // buffer's accounted size
+
+	// payloadVal is a tx-side payload value serialized by appendFrame via
+	// the codec registry (hasPayloadVal distinguishes an untyped nil value
+	// from "use the pre-encoded Payload bytes").
+	payloadVal    any
+	hasPayloadVal bool
+	// rel recycles the pooled wire buffer a received data frame (and its
+	// in-place-decoded payload) lives in; see frame.release.
+	rel func()
+}
+
+// dataFrame builds a tx data frame around a payload value.
+func dataFrame(uowIdx int, stream string, copyIdx, target, ackN, size int, payload any) *frame {
+	return &frame{
+		Kind: kindData, UOWIdx: uowIdx, Stream: stream, Copy: copyIdx,
+		Target: target, AckN: ackN, Size: size,
+		payloadVal: payload, hasPayloadVal: true,
+	}
 }
 
 type frameKind uint8
@@ -152,10 +179,12 @@ type wireStats struct {
 }
 
 // RegisterPayload registers a buffer payload or unit-of-work type with gob
-// (convenience wrapper so applications don't import encoding/gob).
+// (convenience wrapper so applications don't import encoding/gob). Types
+// without a RegisterCodec fast path travel through the gob fallback.
 func RegisterPayload(v any) { gob.Register(v) }
 
-// encodeAny gob-encodes a value (with its concrete type registered).
+// encodeAny gob-encodes a value (with its concrete type registered) —
+// the gob-fallback payload format and the unit-of-work descriptor format.
 func encodeAny(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
@@ -170,30 +199,4 @@ func decodeAny(raw []byte) (any, error) {
 		return nil, err
 	}
 	return v, nil
-}
-
-// conn wraps a TCP connection with a locked gob encoder/decoder.
-type conn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
-	mu  sync.Mutex
-}
-
-func newConn(c net.Conn) *conn {
-	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
-}
-
-func (c *conn) send(f *frame) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.enc.Encode(f)
-}
-
-func (c *conn) recv() (*frame, error) {
-	var f frame
-	if err := c.dec.Decode(&f); err != nil {
-		return nil, err
-	}
-	return &f, nil
 }

@@ -1,0 +1,484 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"datacutter/internal/obs"
+)
+
+// Wire format (full layout diagram in DESIGN.md, "Wire protocol"):
+//
+//	wire frame := u32 length | u8 kind | body     (length = 1 + len(body))
+//
+// The data/ack/producer-done plane — the per-buffer hot path — uses
+// hand-rolled little-endian bodies:
+//
+//	data := u32 uow | u16 slen | stream | u32 target | u32 copy |
+//	        u32 ackN | u32 size | u16 codec | u32 plen | payload
+//	ack  := u32 uow | u16 slen | stream | u32 target | u32 copy | u32 ackN
+//	done := u32 uow | u16 slen | stream
+//	hello := (empty)
+//
+// Everything else (setup, unit-of-work, declarations, stats, failures) is
+// control traffic — rare, per-session or per-UOW — and keeps a gob-encoded
+// frame struct as its body, one self-contained gob stream per frame.
+
+// maxFrameLen bounds a frame's length prefix; anything larger is a corrupt
+// or hostile stream and fails the connection before large allocations.
+const maxFrameLen = 256 << 20
+
+// errFrameTooLarge is returned for length prefixes outside (0, maxFrameLen].
+var errFrameTooLarge = fmt.Errorf("dist: frame length prefix exceeds %d bytes", maxFrameLen)
+
+// defaultWireBuf is the per-connection write-coalescing buffer size.
+const defaultWireBuf = 64 << 10
+
+var wireBufMu sync.RWMutex
+var wireBufBytes = defaultWireBuf
+
+// SetWireBufferSize sets the per-connection write buffer used to coalesce
+// frames into batched syscalls (default 64 KiB). It applies to connections
+// opened afterwards; call it before workers or coordinators start.
+func SetWireBufferSize(n int) {
+	if n < 4<<10 {
+		n = 4 << 10
+	}
+	wireBufMu.Lock()
+	wireBufBytes = n
+	wireBufMu.Unlock()
+}
+
+func wireBufSize() int {
+	wireBufMu.RLock()
+	defer wireBufMu.RUnlock()
+	return wireBufBytes
+}
+
+// ---- Pooled wire buffers ----
+
+// wirePool recycles frame encode/decode buffers. Oversized buffers (above
+// maxPooledBuf) are dropped rather than pinned in the pool.
+var wirePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+const maxPooledBuf = 4 << 20
+
+func getWireBuf() *[]byte { return wirePool.Get().(*[]byte) }
+
+func putWireBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	wirePool.Put(b)
+}
+
+// release returns a received frame's pooled wire buffer (no-op when the
+// frame does not own one, or after the first call).
+func (f *frame) release() {
+	if f.rel != nil {
+		f.rel()
+		f.rel = nil
+	}
+}
+
+// ---- Frame encode ----
+
+// appendFrame serializes f (kind byte + body, no length prefix) onto dst.
+// For data frames carrying a payload value, the payload is encoded through
+// the codec registry; pre-encoded payload bytes (re-framing a received
+// frame) are copied verbatim with their codec id.
+func appendFrame(dst []byte, f *frame) ([]byte, error) {
+	dst = append(dst, byte(f.Kind))
+	switch f.Kind {
+	case kindData:
+		dst = appendU32(dst, f.UOWIdx)
+		var err error
+		dst, err = appendStream(dst, f.Stream)
+		if err != nil {
+			return nil, err
+		}
+		dst = appendU32(dst, f.Target)
+		dst = appendU32(dst, f.Copy)
+		dst = appendU32(dst, f.AckN)
+		dst = appendU32(dst, f.Size)
+		if f.hasPayloadVal {
+			var id uint16
+			idAt := len(dst)
+			dst = append(dst, 0, 0, 0, 0, 0, 0) // codec id + payload length
+			dst, id, err = appendPayload(dst, f.payloadVal)
+			if err != nil {
+				return nil, err
+			}
+			binary.LittleEndian.PutUint16(dst[idAt:], id)
+			binary.LittleEndian.PutUint32(dst[idAt+2:], uint32(len(dst)-idAt-6))
+		} else {
+			dst = binary.LittleEndian.AppendUint16(dst, f.Codec)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Payload)))
+			dst = append(dst, f.Payload...)
+		}
+	case kindAck:
+		dst = appendU32(dst, f.UOWIdx)
+		var err error
+		dst, err = appendStream(dst, f.Stream)
+		if err != nil {
+			return nil, err
+		}
+		dst = appendU32(dst, f.Target)
+		dst = appendU32(dst, f.Copy)
+		dst = appendU32(dst, f.AckN)
+	case kindProducerDone:
+		dst = appendU32(dst, f.UOWIdx)
+		var err error
+		dst, err = appendStream(dst, f.Stream)
+		if err != nil {
+			return nil, err
+		}
+	case kindHello:
+		// empty body
+	default:
+		var bb bytes.Buffer
+		if err := gob.NewEncoder(&bb).Encode(f); err != nil {
+			return nil, fmt.Errorf("dist: encoding %v control frame: %w", f.Kind, err)
+		}
+		dst = append(dst, bb.Bytes()...)
+	}
+	return dst, nil
+}
+
+func appendU32(dst []byte, v int) []byte {
+	return binary.LittleEndian.AppendUint32(dst, uint32(v))
+}
+
+func appendStream(dst []byte, s string) ([]byte, error) {
+	if len(s) > 1<<16-1 {
+		return nil, fmt.Errorf("dist: stream name %.32q… exceeds 65535 bytes", s)
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+// ---- Frame decode ----
+
+// frameReader decodes kind-prefixed frame bodies. names interns stream
+// names so steady-state data frames decode without string allocations; it
+// is not synchronized — each connection direction has a single reader.
+type frameReader struct {
+	buf   []byte
+	names map[string]string
+}
+
+var errShortFrame = fmt.Errorf("dist: truncated frame")
+
+// errTrailingBytes rejects binary-plane frames whose body is longer than
+// the fields account for: every accepted frame re-encodes byte-identically.
+var errTrailingBytes = fmt.Errorf("dist: frame has trailing bytes")
+
+// decodeFrame parses one frame body (kind byte + body, as produced by
+// appendFrame). Data-frame payloads alias buf.
+func (r *frameReader) decodeFrame(buf []byte) (*frame, error) {
+	if len(buf) < 1 {
+		return nil, errShortFrame
+	}
+	f := &frame{Kind: frameKind(buf[0])}
+	b := buf[1:]
+	var err error
+	switch f.Kind {
+	case kindData:
+		if f.UOWIdx, b, err = readU32(b); err != nil {
+			return nil, err
+		}
+		if f.Stream, b, err = r.readStream(b); err != nil {
+			return nil, err
+		}
+		if f.Target, b, err = readU32(b); err != nil {
+			return nil, err
+		}
+		if f.Copy, b, err = readU32(b); err != nil {
+			return nil, err
+		}
+		if f.AckN, b, err = readU32(b); err != nil {
+			return nil, err
+		}
+		if f.Size, b, err = readU32(b); err != nil {
+			return nil, err
+		}
+		if len(b) < 6 {
+			return nil, errShortFrame
+		}
+		f.Codec = binary.LittleEndian.Uint16(b)
+		plen := int(binary.LittleEndian.Uint32(b[2:]))
+		b = b[6:]
+		if plen != len(b) {
+			return nil, fmt.Errorf("dist: data frame payload length %d, have %d bytes", plen, len(b))
+		}
+		f.Payload = b
+	case kindAck:
+		if f.UOWIdx, b, err = readU32(b); err != nil {
+			return nil, err
+		}
+		if f.Stream, b, err = r.readStream(b); err != nil {
+			return nil, err
+		}
+		if f.Target, b, err = readU32(b); err != nil {
+			return nil, err
+		}
+		if f.Copy, b, err = readU32(b); err != nil {
+			return nil, err
+		}
+		if f.AckN, b, err = readU32(b); err != nil {
+			return nil, err
+		}
+		if len(b) != 0 {
+			return nil, errTrailingBytes
+		}
+	case kindProducerDone:
+		if f.UOWIdx, b, err = readU32(b); err != nil {
+			return nil, err
+		}
+		if f.Stream, b, err = r.readStream(b); err != nil {
+			return nil, err
+		}
+		if len(b) != 0 {
+			return nil, errTrailingBytes
+		}
+	case kindHello:
+		if len(b) != 0 {
+			return nil, errTrailingBytes
+		}
+	case kindSetup, kindSetupOK, kindInitUOW, kindDecls, kindBeginProcess,
+		kindProcessDone, kindFinalize, kindFinalizeDone, kindShutdown, kindFail:
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(f); err != nil {
+			return nil, fmt.Errorf("dist: decoding control frame: %w", err)
+		}
+		f.Kind = frameKind(buf[0]) // outer kind byte is authoritative
+	default:
+		return nil, fmt.Errorf("dist: unknown frame kind %d", buf[0])
+	}
+	return f, nil
+}
+
+func readU32(b []byte) (int, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, errShortFrame
+	}
+	return int(binary.LittleEndian.Uint32(b)), b[4:], nil
+}
+
+func (r *frameReader) readStream(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errShortFrame
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, errShortFrame
+	}
+	raw := b[:n]
+	if s, ok := r.names[string(raw)]; ok { // no-alloc map probe
+		return s, b[n:], nil
+	}
+	s := string(raw)
+	if r.names == nil {
+		r.names = make(map[string]string, 8)
+	}
+	r.names[s] = s
+	return s, b[n:], nil
+}
+
+// readWireFrame reads one length-prefixed frame from rd into a pooled
+// buffer and decodes it. The returned cleanup recycles the buffer and is
+// non-nil exactly when the frame (or its payload) may alias it. The body is
+// read in bounded chunks so a hostile length prefix cannot force a large
+// allocation ahead of actual stream contents.
+func (r *frameReader) readWireFrame(rd io.Reader) (*frame, func(), error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		return nil, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n <= 0 || n > maxFrameLen {
+		return nil, nil, errFrameTooLarge
+	}
+	bp := getWireBuf()
+	buf := *bp
+	const chunk = 1 << 20
+	for len(buf) < n {
+		next := len(buf) + chunk
+		if next > n {
+			next = n
+		}
+		if cap(buf) < next {
+			grown := make([]byte, len(buf), next)
+			copy(grown, buf)
+			buf = grown
+		}
+		if _, err := io.ReadFull(rd, buf[len(buf):next]); err != nil {
+			*bp = buf[:0]
+			putWireBuf(bp)
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, nil, err
+		}
+		buf = buf[:next]
+	}
+	*bp = buf
+	f, err := r.decodeFrame(buf)
+	if err != nil {
+		putWireBuf(bp)
+		return nil, nil, err
+	}
+	if f.Kind == kindData {
+		// Payload aliases the pooled buffer; hand ownership to the frame.
+		rel := func() { putWireBuf(bp) }
+		f.rel = rel
+		return f, rel, nil
+	}
+	putWireBuf(bp)
+	return f, nil, nil
+}
+
+// ---- Batched connection ----
+
+// connMetrics are the optional tx-side instrumentation hooks of a conn.
+type connMetrics struct {
+	flushes        *obs.Counter   // dist.tx.flushes
+	framesPerFlush *obs.Histogram // dist.tx.frames_per_flush
+	frameBytes     *obs.Histogram // dist.tx.frame_bytes
+}
+
+// conn wraps a TCP connection with length-prefixed framing, a buffered
+// writer flushed by a per-connection flusher goroutine (flush-on-idle:
+// bursts of small data/ack frames written while a flush syscall is in
+// flight coalesce into the next one), and an interning frame reader. Frame
+// bodies are encoded into pooled buffers outside the write lock, so
+// concurrent producer copies serialize payloads in parallel and only the
+// memcpy into the write buffer is serialized.
+type conn struct {
+	c  net.Conn
+	br *bufio.Reader
+	r  frameReader
+
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	werr   error
+	nSince int // frames buffered since the last flush
+
+	kick chan struct{}
+	stop chan struct{}
+	once sync.Once
+
+	m *connMetrics
+}
+
+func newConn(c net.Conn, m *connMetrics) *conn {
+	// The flusher already coalesces small frames application-side, so
+	// Nagle's algorithm on top would only delay flushed batches behind
+	// unacknowledged data (adding RTT-scale latency to ack and end-of-work
+	// markers). Disable it deliberately — this makes Go's default explicit
+	// and keeps the batching policy in one place.
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	cn := &conn{
+		c:    c,
+		br:   bufio.NewReaderSize(c, wireBufSize()),
+		bw:   bufio.NewWriterSize(c, wireBufSize()),
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		m:    m,
+	}
+	go cn.flusher()
+	return cn
+}
+
+// close tears the connection down and stops its flusher (idempotent).
+func (c *conn) close() {
+	c.once.Do(func() { close(c.stop) })
+	c.c.Close()
+}
+
+// flusher drains the write buffer whenever senders go idle. Each send
+// kicks it; by the time it wins the write lock, every frame of a burst
+// written meanwhile is in the buffer and leaves in one syscall.
+func (c *conn) flusher() {
+	for {
+		select {
+		case <-c.kick:
+			c.mu.Lock()
+			n := c.nSince
+			c.nSince = 0
+			if n > 0 && c.werr == nil {
+				if err := c.bw.Flush(); err != nil {
+					c.werr = err
+				}
+			}
+			c.mu.Unlock()
+			if n > 0 && c.m != nil {
+				c.m.flushes.Inc()
+				c.m.framesPerFlush.Observe(float64(n))
+			}
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// send frames and buffers f. The write returns once the frame is in the
+// connection's write buffer; the flusher (or the buffer filling, which
+// exerts TCP backpressure) moves it to the socket. Write errors are sticky:
+// after a failure every subsequent send reports it.
+func (c *conn) send(f *frame) error {
+	bp := getWireBuf()
+	body, err := appendFrame((*bp)[:0], f)
+	if err != nil {
+		putWireBuf(bp)
+		return err
+	}
+	*bp = body
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+
+	c.mu.Lock()
+	if err := c.werr; err != nil {
+		c.mu.Unlock()
+		putWireBuf(bp)
+		return err
+	}
+	_, err = c.bw.Write(hdr[:])
+	if err == nil {
+		_, err = c.bw.Write(body)
+	}
+	if err != nil {
+		c.werr = err
+		c.mu.Unlock()
+		putWireBuf(bp)
+		return err
+	}
+	c.nSince++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.frameBytes.Observe(float64(len(body) + 4))
+	}
+	putWireBuf(bp)
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// recv reads and decodes the next frame. Data frames own a pooled wire
+// buffer (released via decodePayload / frame.release); every other kind is
+// fully decoded and the buffer recycled before returning.
+func (c *conn) recv() (*frame, error) {
+	f, _, err := c.r.readWireFrame(c.br)
+	return f, err
+}

@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// The gob baseline ships []float32 through the fallback, which needs the
+// concrete type registered (the codec fast path does not).
+func init() { RegisterPayload([]float32{}) }
+
+// BenchmarkWireCodec compares the binary frame path against the gob path it
+// replaced, frame encode + decode + payload decode per op. "gob" replicates
+// the old protocol faithfully: a persistent frame encoder/decoder pair per
+// connection (gob streams), with each payload gob-encoded separately into
+// the frame's byte slice (encodeAny/decodeAny, still the fallback today).
+func BenchmarkWireCodec(b *testing.B) {
+	payload := make([]float32, 4096)
+	for i := range payload {
+		payload[i] = float32(i) * 0.5
+	}
+
+	b.Run("binary/float32s", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(4 * len(payload)))
+		var buf []byte
+		var r frameReader
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = appendFrame(buf[:0], dataFrame(1, "floats", 0, 0, 4, len(payload)*4, payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := r.decodeFrame(buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, _, err := decodePayload(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(v.([]float32)) != len(payload) {
+				b.Fatal("payload mangled")
+			}
+		}
+	})
+
+	b.Run("gob/float32s", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(4 * len(payload)))
+		var stream bytes.Buffer
+		enc := gob.NewEncoder(&stream)
+		dec := gob.NewDecoder(&stream)
+		for i := 0; i < b.N; i++ {
+			raw, err := encodeAny(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f := &frame{Kind: kindData, UOWIdx: 1, Stream: "floats", AckN: 4,
+				Size: len(payload) * 4, Payload: raw}
+			if err := enc.Encode(f); err != nil {
+				b.Fatal(err)
+			}
+			var g frame
+			if err := dec.Decode(&g); err != nil {
+				b.Fatal(err)
+			}
+			v, err := decodeAny(g.Payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(v.([]float32)) != len(payload) {
+				b.Fatal("payload mangled")
+			}
+		}
+	})
+
+	b.Run("binary/ack", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		var r frameReader
+		f := &frame{Kind: kindAck, UOWIdx: 1, Stream: "floats", Target: 2, Copy: 3, AckN: 4}
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = appendFrame(buf[:0], f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.decodeFrame(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("gob/ack", func(b *testing.B) {
+		b.ReportAllocs()
+		var stream bytes.Buffer
+		enc := gob.NewEncoder(&stream)
+		dec := gob.NewDecoder(&stream)
+		f := &frame{Kind: kindAck, UOWIdx: 1, Stream: "floats", Target: 2, Copy: 3, AckN: 4}
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(f); err != nil {
+				b.Fatal(err)
+			}
+			var g frame
+			if err := dec.Decode(&g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/hex"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// roundTrip encodes f and decodes the result with a fresh reader.
+func roundTrip(t *testing.T, f *frame) *frame {
+	t.Helper()
+	body, err := appendFrame(nil, f)
+	if err != nil {
+		t.Fatalf("appendFrame: %v", err)
+	}
+	var r frameReader
+	g, err := r.decodeFrame(body)
+	if err != nil {
+		t.Fatalf("decodeFrame: %v", err)
+	}
+	return g
+}
+
+func TestDataFrameRoundTrip(t *testing.T) {
+	f := dataFrame(3, "triangles", 7, 2, 4, 1234, []float32{1, 2.5, -3})
+	g := roundTrip(t, f)
+	if g.Kind != kindData || g.UOWIdx != 3 || g.Stream != "triangles" ||
+		g.Copy != 7 || g.Target != 2 || g.AckN != 4 || g.Size != 1234 {
+		t.Fatalf("header fields mangled: %+v", g)
+	}
+	if g.Codec != CodecFloat32s {
+		t.Fatalf("codec id = %d, want %d", g.Codec, CodecFloat32s)
+	}
+	v, rel, err := decodePayload(g)
+	if err != nil {
+		t.Fatalf("decodePayload: %v", err)
+	}
+	if rel != nil {
+		t.Fatal("float32s codec is copying; release must be nil")
+	}
+	if got := v.([]float32); !reflect.DeepEqual(got, []float32{1, 2.5, -3}) {
+		t.Fatalf("payload = %v", got)
+	}
+}
+
+func TestBytesPayloadZeroCopy(t *testing.T) {
+	f := dataFrame(0, "s", 0, 0, 0, 4, []byte{9, 8, 7, 6})
+	g := roundTrip(t, f)
+	if g.Codec != CodecBytes {
+		t.Fatalf("codec id = %d, want %d", g.Codec, CodecBytes)
+	}
+	released := false
+	g.rel = func() { released = true }
+	v, rel, err := decodePayload(g)
+	if err != nil {
+		t.Fatalf("decodePayload: %v", err)
+	}
+	if !bytes.Equal(v.([]byte), []byte{9, 8, 7, 6}) {
+		t.Fatalf("payload = %v", v)
+	}
+	if rel == nil {
+		t.Fatal("bytes codec is zero-copy; caller must get the release")
+	}
+	if released {
+		t.Fatal("released before the consumer finished")
+	}
+	rel()
+	if !released {
+		t.Fatal("release did not fire")
+	}
+}
+
+// Payload types without a registered codec must fall back to gob and
+// round-trip unchanged (wire compatibility of the RegisterPayload API).
+type unregisteredPayload struct {
+	A int
+	B string
+}
+
+func init() { RegisterPayload(unregisteredPayload{}) }
+
+func TestGobFallbackRoundTrip(t *testing.T) {
+	want := unregisteredPayload{A: 42, B: "fallback"}
+	f := dataFrame(1, "s", 0, 0, 0, 8, want)
+	g := roundTrip(t, f)
+	if g.Codec != 0 {
+		t.Fatalf("codec id = %d, want 0 (gob fallback)", g.Codec)
+	}
+	v, rel, err := decodePayload(g)
+	if err != nil {
+		t.Fatalf("decodePayload: %v", err)
+	}
+	if rel != nil {
+		t.Fatal("gob fallback must not hand out a release")
+	}
+	if got := v.(unregisteredPayload); got != want {
+		t.Fatalf("payload = %+v, want %+v", got, want)
+	}
+}
+
+func TestAckAndDoneRoundTrip(t *testing.T) {
+	a := roundTrip(t, &frame{Kind: kindAck, UOWIdx: 9, Stream: "pixels", Target: 1, Copy: 3, AckN: 4})
+	if a.Kind != kindAck || a.UOWIdx != 9 || a.Stream != "pixels" || a.Target != 1 || a.Copy != 3 || a.AckN != 4 {
+		t.Fatalf("ack mangled: %+v", a)
+	}
+	d := roundTrip(t, &frame{Kind: kindProducerDone, UOWIdx: 2, Stream: "ints"})
+	if d.Kind != kindProducerDone || d.UOWIdx != 2 || d.Stream != "ints" {
+		t.Fatalf("done mangled: %+v", d)
+	}
+	h := roundTrip(t, &frame{Kind: kindHello})
+	if h.Kind != kindHello {
+		t.Fatalf("hello mangled: %+v", h)
+	}
+}
+
+func TestControlFrameRoundTrip(t *testing.T) {
+	f := &frame{Kind: kindDecls, Decls: map[string][2]int{"ints": {64, 4096}}}
+	g := roundTrip(t, f)
+	if g.Kind != kindDecls || g.Decls["ints"] != [2]int{64, 4096} {
+		t.Fatalf("control frame mangled: %+v", g)
+	}
+	s := &frame{Kind: kindSetup, Setup: &setupMsg{
+		Host:  "host1",
+		Addrs: map[string]string{"host1": "127.0.0.1:1"},
+		Opts:  Options{Policy: "DD", QueueCap: 3},
+	}}
+	g = roundTrip(t, s)
+	if g.Setup == nil || g.Setup.Host != "host1" || g.Setup.Opts.QueueCap != 3 {
+		t.Fatalf("setup frame mangled: %+v", g.Setup)
+	}
+}
+
+// Golden wire fixtures: the binary data plane's byte layout is a
+// compatibility contract (DESIGN.md "Wire protocol"). An accidental format
+// change must fail here loudly, not surface as cross-version corruption.
+func TestFrameGoldenBytes(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *frame
+		hex  string
+	}{
+		{
+			name: "data-float32s",
+			f:    dataFrame(1, "tri", 2, 3, 4, 24, []float32{1, -2}),
+			hex:  "0b0100000003007472690300000002000000040000001800000002000c000000020000000000803f000000c0",
+		},
+		{
+			name: "data-bytes",
+			f:    dataFrame(0, "s", 0, 0, 0, 3, []byte{0xDE, 0xAD, 0xBF}),
+			hex:  "0b0000000001007300000000000000000000000003000000010003000000deadbf",
+		},
+		{
+			name: "ack",
+			f:    &frame{Kind: kindAck, UOWIdx: 1, Stream: "tri", Target: 2, Copy: 3, AckN: 4},
+			hex:  "0c010000000300747269020000000300000004000000",
+		},
+		{
+			name: "producer-done",
+			f:    &frame{Kind: kindProducerDone, UOWIdx: 7, Stream: "pix"},
+			hex:  "0d070000000300706978",
+		},
+		{
+			name: "hello",
+			f:    &frame{Kind: kindHello},
+			hex:  "01",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body, err := appendFrame(nil, tc.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hex.EncodeToString(body); got != tc.hex {
+				t.Fatalf("wire bytes changed:\n got  %s\n want %s", got, tc.hex)
+			}
+			var r frameReader
+			if _, err := r.decodeFrame(body); err != nil {
+				t.Fatalf("golden bytes no longer decode: %v", err)
+			}
+		})
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	valid, err := appendFrame(nil, dataFrame(1, "tri", 2, 3, 4, 24, []float32{1, -2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r frameReader
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := r.decodeFrame(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes decoded successfully", cut)
+		}
+	}
+	if _, err := r.decodeFrame([]byte{0xFF, 0, 0}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// Payload length header disagreeing with the body must be rejected.
+	mangled := append([]byte(nil), valid...)
+	mangled[len(mangled)-13]++ // high byte of the payload length field
+	if _, err := r.decodeFrame(mangled); err == nil {
+		t.Fatal("mismatched payload length accepted")
+	}
+}
+
+func TestReadWireFrameLimits(t *testing.T) {
+	var r frameReader
+	// Oversized length prefix: rejected before any allocation.
+	if _, _, err := r.readWireFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})); err != errFrameTooLarge {
+		t.Fatalf("oversized prefix: err = %v", err)
+	}
+	// Zero-length prefix is invalid (frames always carry a kind byte).
+	if _, _, err := r.readWireFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err != errFrameTooLarge {
+		t.Fatalf("zero prefix: err = %v", err)
+	}
+	// Truncated stream: frame announces more bytes than arrive.
+	if _, _, err := r.readWireFrame(bytes.NewReader([]byte{16, 0, 0, 0, byte(kindHello)})); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated body: err = %v", err)
+	}
+}
+
+func TestStreamNameInterning(t *testing.T) {
+	var r frameReader
+	frames := make([][]byte, 2)
+	for i := range frames {
+		body, err := appendFrame(nil, &frame{Kind: kindProducerDone, UOWIdx: i, Stream: "triangles"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = body
+	}
+	a, _ := r.decodeFrame(frames[0])
+	b, _ := r.decodeFrame(frames[1])
+	// Same backing string after interning (pointer equality via unsafe-free
+	// check: the intern map holds exactly one entry).
+	if a.Stream != b.Stream || len(r.names) != 1 {
+		t.Fatalf("interning failed: %d names", len(r.names))
+	}
+}

@@ -21,8 +21,9 @@ type Worker struct {
 	closed atomic.Bool
 
 	// obsrv and wm are set by SetObserver before Serve; nil = disabled.
+	// wm is atomic because accepted connections resolve it concurrently.
 	obsrv *obs.Observer
-	wm    *workerMetrics
+	wm    atomic.Pointer[workerMetrics]
 }
 
 // workerMetrics are the worker's live per-frame counters, resolved once so
@@ -34,23 +35,44 @@ type workerMetrics struct {
 	txDataFrames *obs.Counter
 	txDataBytes  *obs.Counter
 	txAckFrames  *obs.Counter
+	// Batched-writer instrumentation, shared by every outbound connection.
+	cm *connMetrics
 }
 
 // SetObserver attaches the observability subsystem: per-frame byte and
-// acknowledgment counters in the observer's registry plus buffer-lifecycle
-// trace events (wall-clock time domain). Must be called before Serve.
+// acknowledgment counters in the observer's registry, batched-writer flush
+// metrics (dist.tx.flushes, dist.tx.frames_per_flush, dist.tx.frame_bytes),
+// plus buffer-lifecycle trace events (wall-clock time domain). Must be
+// called before Serve.
 func (w *Worker) SetObserver(o *obs.Observer) {
 	w.obsrv = o
 	if reg := o.Registry(); reg != nil {
-		w.wm = &workerMetrics{
+		w.wm.Store(&workerMetrics{
 			rxDataFrames: reg.Counter("dist.rx.data_frames"),
 			rxDataBytes:  reg.Counter("dist.rx.data_bytes"),
 			rxAckFrames:  reg.Counter("dist.rx.ack_frames"),
 			txDataFrames: reg.Counter("dist.tx.data_frames"),
 			txDataBytes:  reg.Counter("dist.tx.data_bytes"),
 			txAckFrames:  reg.Counter("dist.tx.ack_frames"),
-		}
+			cm: &connMetrics{
+				flushes:        reg.Counter("dist.tx.flushes"),
+				framesPerFlush: reg.Histogram("dist.tx.frames_per_flush"),
+				frameBytes:     reg.Histogram("dist.tx.frame_bytes"),
+			},
+		})
 	}
+}
+
+// metrics returns the worker's live counters (nil = disabled).
+func (w *Worker) metrics() *workerMetrics { return w.wm.Load() }
+
+// connMetrics returns the batched-writer instrumentation for this worker's
+// connections (nil when observability is disabled).
+func (w *Worker) connMetrics() *connMetrics {
+	if m := w.wm.Load(); m != nil {
+		return m.cm
+	}
+	return nil
 }
 
 // NewWorker starts a worker listening on addr ("127.0.0.1:0" for an
@@ -86,7 +108,7 @@ func (w *Worker) Serve() {
 		if err != nil {
 			return
 		}
-		go w.handle(newConn(c))
+		go w.handle(newConn(c, w.connMetrics()))
 	}
 }
 
@@ -114,7 +136,7 @@ func (w *Worker) Instances(name string) []core.Filter {
 func (w *Worker) handle(c *conn) {
 	f, err := c.recv()
 	if err != nil {
-		c.c.Close()
+		c.close()
 		return
 	}
 	switch f.Kind {
@@ -123,13 +145,13 @@ func (w *Worker) handle(c *conn) {
 	case kindHello:
 		w.servePeer(c)
 	default:
-		c.c.Close()
+		c.close()
 	}
 }
 
 // servePeer pumps data/ack/producer-done frames into the session.
 func (w *Worker) servePeer(c *conn) {
-	defer c.c.Close()
+	defer c.close()
 	for {
 		f, err := c.recv()
 		if err != nil {
@@ -139,7 +161,8 @@ func (w *Worker) servePeer(c *conn) {
 		s := w.sess
 		w.mu.Unlock()
 		if s == nil {
-			continue // stale frame after shutdown
+			f.release() // stale frame after shutdown
+			continue
 		}
 		s.dispatchPeer(f)
 	}
@@ -149,7 +172,7 @@ func (w *Worker) servePeer(c *conn) {
 // worker serves one coordinator at a time; a second Setup while a session
 // is active is refused rather than silently clobbering the running one.
 func (w *Worker) runSession(ctrl *conn, setup *setupMsg) {
-	defer ctrl.c.Close()
+	defer ctrl.close()
 	s, err := newSession(w, setup)
 	if err != nil {
 		_ = ctrl.send(&frame{Kind: kindFail, Err: err.Error()})
@@ -228,6 +251,9 @@ type delivery struct {
 	targetIdx    int
 	ackEvery     int
 	localAck     chan [2]int // non-nil for same-host deliveries
+	// release recycles the pooled wire buffer a zero-copy payload aliases;
+	// the consumer's ctx calls it when the filter copy finishes the buffer.
+	release func()
 }
 
 type session struct {
@@ -347,11 +373,18 @@ func (s *session) closePeers() {
 	s.peersMu.Lock()
 	defer s.peersMu.Unlock()
 	for _, c := range s.peers {
-		c.c.Close()
+		c.close()
 	}
 }
 
+// peerDialTimeout bounds how long a worker waits for a peer host before
+// the run fails with that host's name (an unreachable consumer would
+// otherwise hang every producer writing to it).
+const peerDialTimeout = 10 * time.Second
+
 // peer returns (dialing on demand) the outbound connection to a host.
+// newConn sets TCP_NODELAY on it: the connection's flush-on-idle writer
+// already coalesces small frames, so Nagle would only delay those batches.
 func (s *session) peer(host string) (*conn, error) {
 	s.peersMu.Lock()
 	defer s.peersMu.Unlock()
@@ -362,14 +395,14 @@ func (s *session) peer(host string) (*conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("dist: no address for host %q", host)
 	}
-	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	nc, err := net.DialTimeout("tcp", addr, peerDialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("dist: dialing %s (%s): %w", host, addr, err)
+		return nil, fmt.Errorf("dist: dialing peer %s (%s): %w", host, addr, err)
 	}
-	c := newConn(nc)
+	c := newConn(nc, s.w.connMetrics())
 	if err := c.send(&frame{Kind: kindHello}); err != nil {
-		nc.Close()
-		return nil, err
+		c.close()
+		return nil, fmt.Errorf("dist: greeting peer %s (%s): %w", host, addr, err)
 	}
 	s.peers[host] = c
 	return c, nil
@@ -697,7 +730,7 @@ func (s *session) finalize() (*wireStats, error) {
 func (s *session) dispatchPeer(f *frame) {
 	switch f.Kind {
 	case kindData:
-		if m := s.w.wm; m != nil {
+		if m := s.w.metrics(); m != nil {
 			m.rxDataFrames.Inc()
 			m.rxDataBytes.Add(int64(f.Size))
 		}
@@ -705,13 +738,15 @@ func (s *session) dispatchPeer(f *frame) {
 		u := s.uow
 		s.uowMu.Unlock()
 		if u == nil || u.index != f.UOWIdx {
+			f.release()
 			return
 		}
 		q := u.queues[f.Stream]
 		if q == nil {
+			f.release()
 			return
 		}
-		payload, err := decodeAny(f.Payload)
+		payload, release, err := decodePayload(f)
 		if err != nil {
 			s.fail(fmt.Errorf("dist: decoding buffer on %s: %w", f.Stream, err))
 			return
@@ -725,6 +760,7 @@ func (s *session) dispatchPeer(f *frame) {
 			producerCopy: f.Copy,
 			targetIdx:    f.Target,
 			ackEvery:     f.AckN,
+			release:      release,
 		}
 		select {
 		case q <- d: // blocking here exerts TCP backpressure upstream
@@ -732,9 +768,12 @@ func (s *session) dispatchPeer(f *frame) {
 			// consuming copy is only decided at dequeue time.
 			s.w.obsrv.Emit(obs.Event{Kind: obs.KindEnqueue, Filter: sp.To, Copy: -1, Host: s.setup.Host, Stream: f.Stream, Target: s.setup.Host, Bytes: f.Size, UOW: f.UOWIdx, Note: "rx"})
 		case <-s.failedCh:
+			if release != nil {
+				release()
+			}
 		}
 	case kindAck:
-		if m := s.w.wm; m != nil {
+		if m := s.w.metrics(); m != nil {
 			m.rxAckFrames.Inc()
 		}
 		s.uowMu.Lock()

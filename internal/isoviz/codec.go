@@ -1,0 +1,167 @@
+package isoviz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"datacutter/internal/geom"
+	"datacutter/internal/render"
+	"datacutter/internal/wirebin"
+)
+
+// Fast-path wire codecs for the hot dist payloads: triangle batches
+// (E->Ra) and the two pixel-run shapes (Ra->M). Each replaces the gob
+// fallback's per-frame type descriptors and element-wise reflection with a
+// count header plus bulk little-endian field data, encoded straight into
+// the connection's pooled frame buffer. Registered in distfilters.go
+// alongside the gob registrations, which remain the fallback.
+//
+// Codec ids (dist reserves 1–255 for built-ins; applications start at 256).
+const (
+	codecTriBatch uint16 = 256
+	codecPixBatch uint16 = 257
+	codecZChunk   uint16 = 258
+)
+
+// The bulk encoders view []Triangle as the flat []float32 it is in memory
+// (18 float32 per triangle: 3 positions + 3 normals) and []RGB as raw
+// bytes. Guard the layout assumptions the views rely on.
+func init() {
+	if unsafe.Sizeof(geom.Triangle{}) != geom.TriangleBytes {
+		panic("isoviz: geom.Triangle layout is padded; bulk codec invalid")
+	}
+	if unsafe.Sizeof(render.RGB{}) != 3 {
+		panic("isoviz: render.RGB layout is padded; bulk codec invalid")
+	}
+}
+
+const triFloats = geom.TriangleBytes / 4 // float32s per triangle
+
+func triView(t []geom.Triangle) []float32 {
+	if len(t) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&t[0])), triFloats*len(t))
+}
+
+func rgbView(c []render.RGB) []byte {
+	if len(c) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&c[0])), 3*len(c))
+}
+
+// triBatchCodec: u32 count | count×18 little-endian float32s.
+type triBatchCodec struct{}
+
+func (triBatchCodec) Append(dst []byte, v any) ([]byte, error) {
+	b, ok := v.(TriBatch)
+	if !ok {
+		return nil, fmt.Errorf("isoviz: TriBatch codec got %T", v)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Tris)))
+	return wirebin.AppendFloat32s(dst, triView(b.Tris)), nil
+}
+
+func (triBatchCodec) Decode(body []byte) (any, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("isoviz: TriBatch payload truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	if len(body)-4 != n*geom.TriangleBytes {
+		return nil, fmt.Errorf("isoviz: TriBatch payload: %d bytes for %d triangles", len(body)-4, n)
+	}
+	tris := make([]geom.Triangle, n)
+	wirebin.Float32s(triView(tris), body[4:])
+	return TriBatch{Tris: tris}, nil
+}
+
+func (triBatchCodec) ZeroCopy() bool { return false }
+
+// pixBatchCodec: u32 count | count × (i32 x | i32 y | f32 depth | r g b).
+// Field-wise (render.Pixel has interior padding in memory), so the wire
+// layout is exactly render.PixelBytes per pixel and platform-independent.
+type pixBatchCodec struct{}
+
+func (pixBatchCodec) Append(dst []byte, v any) ([]byte, error) {
+	b, ok := v.(PixBatch)
+	if !ok {
+		return nil, fmt.Errorf("isoviz: PixBatch codec got %T", v)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Pixels)))
+	for i := range b.Pixels {
+		p := &b.Pixels[i]
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.X))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Y))
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(p.Depth))
+		dst = append(dst, p.C.R, p.C.G, p.C.B)
+	}
+	return dst, nil
+}
+
+func (pixBatchCodec) Decode(body []byte) (any, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("isoviz: PixBatch payload truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	if len(body)-4 != n*render.PixelBytes {
+		return nil, fmt.Errorf("isoviz: PixBatch payload: %d bytes for %d pixels", len(body)-4, n)
+	}
+	px := make([]render.Pixel, n)
+	b := body[4:]
+	for i := range px {
+		px[i] = render.Pixel{
+			X:     int32(binary.LittleEndian.Uint32(b)),
+			Y:     int32(binary.LittleEndian.Uint32(b[4:])),
+			Depth: math.Float32frombits(binary.LittleEndian.Uint32(b[8:])),
+			C:     render.RGB{R: b[12], G: b[13], B: b[14]},
+		}
+		b = b[render.PixelBytes:]
+	}
+	return PixBatch{Pixels: px}, nil
+}
+
+func (pixBatchCodec) ZeroCopy() bool { return false }
+
+// zChunkCodec: u32 off | u32 npix | npix little-endian f32 depths |
+// u32 ncol | ncol × (r g b).
+type zChunkCodec struct{}
+
+func (zChunkCodec) Append(dst []byte, v any) ([]byte, error) {
+	z, ok := v.(ZChunk)
+	if !ok {
+		return nil, fmt.Errorf("isoviz: ZChunk codec got %T", v)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(z.Off))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(z.Depth)))
+	dst = wirebin.AppendFloat32s(dst, z.Depth)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(z.Color)))
+	return append(dst, rgbView(z.Color)...), nil
+}
+
+func (zChunkCodec) Decode(body []byte) (any, error) {
+	if len(body) < 8 {
+		return nil, fmt.Errorf("isoviz: ZChunk payload truncated")
+	}
+	z := ZChunk{Off: int(binary.LittleEndian.Uint32(body))}
+	np := int(binary.LittleEndian.Uint32(body[4:]))
+	b := body[8:]
+	if len(b) < 4*np+4 {
+		return nil, fmt.Errorf("isoviz: ZChunk payload: %d bytes for %d depths", len(b), np)
+	}
+	z.Depth = make([]float32, np)
+	wirebin.Float32s(z.Depth, b[:4*np])
+	b = b[4*np:]
+	nc := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) != 3*nc {
+		return nil, fmt.Errorf("isoviz: ZChunk payload: %d bytes for %d colors", len(b), nc)
+	}
+	z.Color = make([]render.RGB, nc)
+	copy(rgbView(z.Color), b)
+	return z, nil
+}
+
+func (zChunkCodec) ZeroCopy() bool { return false }

@@ -1,0 +1,165 @@
+package isoviz
+
+import (
+	"encoding/hex"
+	"reflect"
+	"testing"
+
+	"datacutter/internal/geom"
+	"datacutter/internal/render"
+)
+
+func TestTriBatchCodecRoundTrip(t *testing.T) {
+	in := TriBatch{Tris: []geom.Triangle{
+		{
+			P: [3]geom.Vec3{{X: 1, Y: 2, Z: 3}, {X: 4, Y: 5, Z: 6}, {X: 7, Y: 8, Z: 9}},
+			N: [3]geom.Vec3{{X: 0, Y: 0, Z: 1}, {X: 0, Y: 1, Z: 0}, {X: 1, Y: 0, Z: 0}},
+		},
+		{
+			P: [3]geom.Vec3{{X: -1, Y: -2, Z: -3}, {X: 0.5, Y: 0.25, Z: 0.125}, {}},
+			N: [3]geom.Vec3{{X: 0, Y: 0, Z: -1}, {}, {}},
+		},
+	}}
+	body, err := triBatchCodec{}.Append(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 + 2*geom.TriangleBytes; len(body) != want {
+		t.Fatalf("encoded %d bytes, want %d", len(body), want)
+	}
+	out, err := triBatchCodec{}.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.(TriBatch), in) {
+		t.Fatalf("round trip mangled:\n got  %+v\n want %+v", out, in)
+	}
+	if _, err := (triBatchCodec{}).Decode(body[:len(body)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if _, err := (triBatchCodec{}).Decode([]byte{1, 2}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestPixBatchCodecRoundTrip(t *testing.T) {
+	in := PixBatch{Pixels: []render.Pixel{
+		{X: 10, Y: 20, Depth: 0.5, C: render.RGB{R: 1, G: 2, B: 3}},
+		{X: -1, Y: 1 << 20, Depth: -2.25, C: render.RGB{R: 255, G: 0, B: 128}},
+	}}
+	body, err := pixBatchCodec{}.Append(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 + 2*render.PixelBytes; len(body) != want {
+		t.Fatalf("encoded %d bytes, want %d", len(body), want)
+	}
+	out, err := pixBatchCodec{}.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.(PixBatch), in) {
+		t.Fatalf("round trip mangled:\n got  %+v\n want %+v", out, in)
+	}
+	if _, err := (pixBatchCodec{}).Decode(body[:len(body)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+// The PixBatch wire layout is field-wise and fixed (render.Pixel has
+// interior padding in memory, so it cannot change shape silently); pin it.
+func TestPixBatchCodecGoldenBytes(t *testing.T) {
+	in := PixBatch{Pixels: []render.Pixel{
+		{X: 1, Y: 2, Depth: 1.0, C: render.RGB{R: 0xAA, G: 0xBB, B: 0xCC}},
+	}}
+	body, err := pixBatchCodec{}.Append(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "01000000" + // count
+		"01000000" + "02000000" + "0000803f" + "aabbcc"
+	if got := hex.EncodeToString(body); got != want {
+		t.Fatalf("wire bytes changed:\n got  %s\n want %s", got, want)
+	}
+}
+
+func TestZChunkCodecRoundTrip(t *testing.T) {
+	in := ZChunk{
+		Off:   4096,
+		Depth: []float32{1, 0.5, -0.25, 3e8},
+		Color: []render.RGB{{R: 1, G: 2, B: 3}, {R: 4, G: 5, B: 6}},
+	}
+	body, err := zChunkCodec{}.Append(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := zChunkCodec{}.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.(ZChunk), in) {
+		t.Fatalf("round trip mangled:\n got  %+v\n want %+v", out, in)
+	}
+	for cut := 0; cut < len(body); cut++ {
+		if _, err := (zChunkCodec{}).Decode(body[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes decoded successfully", cut)
+		}
+	}
+}
+
+func TestCodecsRejectWrongType(t *testing.T) {
+	if _, err := (triBatchCodec{}).Append(nil, PixBatch{}); err == nil {
+		t.Fatal("TriBatch codec accepted PixBatch")
+	}
+	if _, err := (pixBatchCodec{}).Append(nil, ZChunk{}); err == nil {
+		t.Fatal("PixBatch codec accepted ZChunk")
+	}
+	if _, err := (zChunkCodec{}).Append(nil, TriBatch{}); err == nil {
+		t.Fatal("ZChunk codec accepted TriBatch")
+	}
+}
+
+func TestEmptyBatches(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		enc   func() ([]byte, error)
+		check func(any) bool
+		dec   func([]byte) (any, error)
+	}{
+		{
+			name:  "tri",
+			enc:   func() ([]byte, error) { return triBatchCodec{}.Append(nil, TriBatch{}) },
+			check: func(v any) bool { return len(v.(TriBatch).Tris) == 0 },
+			dec:   triBatchCodec{}.Decode,
+		},
+		{
+			name:  "pix",
+			enc:   func() ([]byte, error) { return pixBatchCodec{}.Append(nil, PixBatch{}) },
+			check: func(v any) bool { return len(v.(PixBatch).Pixels) == 0 },
+			dec:   pixBatchCodec{}.Decode,
+		},
+		{
+			name: "z",
+			enc:  func() ([]byte, error) { return zChunkCodec{}.Append(nil, ZChunk{Off: 7}) },
+			check: func(v any) bool {
+				z := v.(ZChunk)
+				return z.Off == 7 && len(z.Depth) == 0 && len(z.Color) == 0
+			},
+			dec: zChunkCodec{}.Decode,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			body, err := tc.enc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := tc.dec(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tc.check(v) {
+				t.Fatalf("empty batch mangled: %+v", v)
+			}
+		})
+	}
+}

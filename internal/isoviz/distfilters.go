@@ -46,6 +46,13 @@ func init() {
 	dist.RegisterPayload(ZChunk{})
 	dist.RegisterPayload(VoxelBlock{})
 
+	// Fast-path wire codecs (codec.go) for the per-buffer payloads; the gob
+	// registrations above remain the fallback for control descriptors
+	// (View) and anything shipped without a codec (VoxelBlock).
+	dist.RegisterCodec(codecTriBatch, TriBatch{}, triBatchCodec{})
+	dist.RegisterCodec(codecPixBatch, PixBatch{}, pixBatchCodec{})
+	dist.RegisterCodec(codecZChunk, ZChunk{}, zChunkCodec{})
+
 	dist.RegisterFilter(KindREField, func(params []byte) (core.Filter, error) {
 		var p FieldREParams
 		if err := json.Unmarshal(params, &p); err != nil {

@@ -85,7 +85,7 @@ func bucketOf(v float64) int {
 	if exp < -hExpBias {
 		exp, frac = -hExpBias, 0.5
 	} else if exp > hExpMax {
-		exp, frac = hExpMax, 1 - 1e-9
+		exp, frac = hExpMax, 1-1e-9
 	}
 	sub := int((frac - 0.5) * (2 * hSub)) // [0, hSub)
 	if sub >= hSub {

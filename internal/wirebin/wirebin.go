@@ -1,0 +1,59 @@
+// Package wirebin provides bulk little-endian conversion between byte
+// slices and float32 slices — the hot primitive shared by the dist wire
+// codecs and the dataset store's chunk reader. On little-endian hosts the
+// conversion is a single memmove through an unsafe []byte view; on
+// big-endian hosts it falls back to a per-element loop so the on-disk and
+// on-wire formats stay little-endian everywhere.
+package wirebin
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// hostLE reports whether the host is little-endian (decided once at init).
+var hostLE = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// f32Bytes returns the raw byte view of a float32 slice. Callers must not
+// let the view outlive src.
+func f32Bytes(src []float32) []byte {
+	if len(src) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&src[0])), 4*len(src))
+}
+
+// AppendFloat32s appends the little-endian encoding of src to dst.
+func AppendFloat32s(dst []byte, src []float32) []byte {
+	if hostLE {
+		return append(dst, f32Bytes(src)...)
+	}
+	for _, v := range src {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+// Float32s bulk-decodes little-endian float32s from src into dst,
+// returning the number of elements decoded: min(len(dst), len(src)/4).
+func Float32s(dst []float32, src []byte) int {
+	n := len(src) / 4
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n == 0 {
+		return 0
+	}
+	if hostLE {
+		copy(f32Bytes(dst[:n]), src[:4*n])
+		return n
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+	return n
+}

@@ -1,0 +1,55 @@
+package wirebin
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func TestFloat32sRoundTrip(t *testing.T) {
+	src := []float32{0, 1, -1, 0.5, math.MaxFloat32, math.SmallestNonzeroFloat32, float32(math.Inf(1)), 3.14159}
+	raw := AppendFloat32s([]byte{0xAA}, src) // prefix to catch offset bugs
+	if len(raw) != 1+4*len(src) {
+		t.Fatalf("encoded length = %d, want %d", len(raw), 1+4*len(src))
+	}
+	// The wire bytes must be little-endian regardless of host order.
+	for i, v := range src {
+		got := binary.LittleEndian.Uint32(raw[1+4*i:])
+		if got != math.Float32bits(v) {
+			t.Fatalf("element %d = %#x, want %#x", i, got, math.Float32bits(v))
+		}
+	}
+	dst := make([]float32, len(src))
+	if n := Float32s(dst, raw[1:]); n != len(src) {
+		t.Fatalf("decoded %d elements, want %d", n, len(src))
+	}
+	for i := range src {
+		if math.Float32bits(dst[i]) != math.Float32bits(src[i]) {
+			t.Fatalf("element %d = %v, want %v", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestFloat32sShortInputs(t *testing.T) {
+	dst := make([]float32, 4)
+	if n := Float32s(dst, nil); n != 0 {
+		t.Fatalf("nil src decoded %d", n)
+	}
+	if n := Float32s(dst, []byte{1, 2, 3}); n != 0 {
+		t.Fatalf("3-byte src decoded %d", n)
+	}
+	// Trailing partial element is ignored; dst capacity caps the count.
+	raw := AppendFloat32s(nil, []float32{1, 2, 3, 4, 5})
+	if n := Float32s(dst, append(raw, 0xFF)); n != 4 {
+		t.Fatalf("decoded %d, want 4 (dst-capped)", n)
+	}
+	if dst[0] != 1 || dst[3] != 4 {
+		t.Fatalf("decoded values wrong: %v", dst)
+	}
+}
+
+func TestAppendFloat32sEmpty(t *testing.T) {
+	if got := AppendFloat32s(nil, nil); got != nil {
+		t.Fatalf("AppendFloat32s(nil, nil) = %v", got)
+	}
+}
