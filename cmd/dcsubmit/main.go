@@ -10,6 +10,13 @@
 // The rendered image stays on the merge worker's filter instance; pass
 // -dir to render a datagen dataset every worker can open, or omit it for
 // the synthetic field (reconstructed worker-side from its seed).
+//
+// Fault tolerance: -uow-retries lets the coordinator replan a failed unit
+// of work onto the surviving workers (dead hosts' filter copies move to
+// survivors); -hb-interval / -hb-misses tune the heartbeat liveness budget
+// and -dialtimeout the per-attempt dial timeout everywhere. -faults installs
+// a coordinator-side deterministic fault plan (see internal/faults) for
+// chaos experiments, e.g. injected dial failures.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"datacutter/internal/core"
 	"datacutter/internal/dist"
+	"datacutter/internal/faults"
 	"datacutter/internal/geom"
 	"datacutter/internal/isoviz"
 	"datacutter/internal/obs"
@@ -40,6 +48,12 @@ func main() {
 		debug   = flag.String("debug-addr", "", "serve coordinator /metrics and /debug/pprof on this address during the run")
 		metrics = flag.Bool("metrics", false, "print the coordinator metrics snapshot after the run")
 		wirebuf = flag.Int("wirebuf", 0, "coordinator-side write-coalescing buffer in bytes (default 64 KiB)")
+
+		retries     = flag.Int("uow-retries", 0, "max per-unit-of-work retries after a host loss (0 = fail fast)")
+		hbInterval  = flag.Duration("hb-interval", 0, "heartbeat interval for liveness tracking (default 1s)")
+		hbMisses    = flag.Int("hb-misses", 0, "missed heartbeat intervals before a host is declared dead (default 3)")
+		dialTimeout = flag.Duration("dialtimeout", 0, "per-attempt dial timeout, coordinator and worker peer mesh (default 10s)")
+		faultSpec   = flag.String("faults", "", "coordinator-side deterministic fault plan, e.g. 'faildial=2'")
 	)
 	flag.Parse()
 	if *wirebuf > 0 {
@@ -131,7 +145,21 @@ func main() {
 		}
 	}
 
-	stats, err := dist.RunObserved(addrs, spec, placement, dist.Options{Policy: *policy}, uows, o)
+	opts := dist.Options{
+		Policy:            *policy,
+		MaxUOWRetries:     *retries,
+		HeartbeatInterval: *hbInterval,
+		HeartbeatMisses:   *hbMisses,
+		DialTimeout:       *dialTimeout,
+	}
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		opts = opts.WithFaults(plan.Injector())
+	}
+	stats, err := dist.RunObserved(addrs, spec, placement, opts, uows, o)
 	if err != nil {
 		fatal(err)
 	}

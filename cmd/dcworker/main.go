@@ -19,6 +19,12 @@
 // every trace event is also appended to a JSONL file. -wirebuf sizes the
 // per-connection write-coalescing buffer (larger buffers batch more frames
 // per syscall on fast producers).
+//
+// For chaos testing, -faults installs a deterministic fault plan (see
+// internal/faults for the grammar) on every connection this worker opens or
+// accepts — e.g. -faults 'kill=data:100' crashes the process model after
+// 100 received data frames. -dialtimeout overrides the per-attempt peer
+// dial timeout when the coordinator's options don't set one.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"os/signal"
 
 	"datacutter/internal/dist"
+	"datacutter/internal/faults"
 	_ "datacutter/internal/isoviz" // register the isosurface filter kinds
 	"datacutter/internal/obs"
 )
@@ -37,15 +44,29 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/events, /debug/pprof on this address (e.g. :6060)")
 	trace := flag.String("trace", "", "append buffer-lifecycle trace events to this JSONL file")
 	wirebuf := flag.Int("wirebuf", 0, "per-connection write-coalescing buffer in bytes (default 64 KiB)")
+	faultSpec := flag.String("faults", "", "deterministic fault plan, e.g. 'seed=7; drop=triangles:100; kill=data:500'")
+	dialTimeout := flag.Duration("dialtimeout", 0, "per-attempt peer dial timeout when the session options don't set one (default 10s)")
 	flag.Parse()
 
 	if *wirebuf > 0 {
 		dist.SetWireBufferSize(*wirebuf)
 	}
+	if *dialTimeout > 0 {
+		dist.SetDefaultDialTimeout(*dialTimeout)
+	}
 	w, err := dist.NewWorker(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcworker:", err)
 		os.Exit(1)
+	}
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcworker:", err)
+			os.Exit(2)
+		}
+		w.SetFaults(plan.Injector())
+		fmt.Printf("dcworker fault plan active: %s\n", plan)
 	}
 
 	var (

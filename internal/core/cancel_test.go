@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// cancelSource writes until Write fails and records that error — the
+// observable half of the abort contract: a producer blocked on a full queue
+// when a peer filter fails must be released with ErrCancelled, not left
+// blocked forever.
+type cancelSource struct {
+	BaseFilter
+	stream string
+	werr   error
+}
+
+func (s *cancelSource) Process(ctx Ctx) error {
+	for i := 0; ; i++ {
+		if err := ctx.Write(s.stream, Buffer{Payload: i, Size: 8}); err != nil {
+			s.werr = err
+			return err
+		}
+	}
+}
+
+// readOneThenFail consumes a single buffer and fails the run.
+type readOneThenFail struct {
+	BaseFilter
+	in string
+}
+
+func (f *readOneThenFail) Process(ctx Ctx) error {
+	ctx.Read(f.in)
+	return errors.New("synthetic sink failure")
+}
+
+// TestWriteReturnsErrCancelledOnPeerFailure: the sink fails after one
+// buffer while the source is blocked writing into a full queue. The run
+// must surface the sink's error and the source must observe ErrCancelled.
+func TestWriteReturnsErrCancelledOnPeerFailure(t *testing.T) {
+	src := &cancelSource{stream: "nums"}
+	g := NewGraph()
+	g.AddFilter("S", func() Filter { return src })
+	g.AddFilter("K", func() Filter { return &readOneThenFail{in: "nums"} })
+	g.Connect("S", "K", "nums")
+	pl := NewPlacement().Place("S", "h0", 1).Place("K", "h0", 1)
+	r, err := NewRunner(g, pl, Options{QueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Run()
+		done <- err
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run hung: blocked producer was never cancelled")
+	}
+	if err == nil {
+		t.Fatal("sink failure not surfaced")
+	}
+	if errors.Is(err, ErrCancelled) {
+		t.Fatalf("run error = %v: the application error must win over the cancellation it caused", err)
+	}
+	if !errors.Is(src.werr, ErrCancelled) {
+		t.Fatalf("source write error = %v, want ErrCancelled", src.werr)
+	}
+}
+
+// failingSource errors out before producing anything.
+type failingSource struct {
+	BaseFilter
+	stream string
+}
+
+func (s *failingSource) Process(Ctx) error {
+	return errors.New("synthetic source failure")
+}
+
+// blockedReader records how its read loop ended.
+type blockedReader struct {
+	BaseFilter
+	in       string
+	released bool
+}
+
+func (r *blockedReader) Process(ctx Ctx) error {
+	for {
+		_, ok := ctx.Read(r.in)
+		if !ok {
+			r.released = true
+			return nil
+		}
+	}
+}
+
+// TestReadReleasedOnPeerFailure: a consumer blocked on an empty queue must
+// be released (Read returns ok=false) when the producer fails, so the run
+// terminates with the producer's error instead of deadlocking.
+func TestReadReleasedOnPeerFailure(t *testing.T) {
+	rd := &blockedReader{in: "nums"}
+	g := NewGraph()
+	g.AddFilter("S", func() Filter { return &failingSource{stream: "nums"} })
+	g.AddFilter("K", func() Filter { return rd })
+	g.Connect("S", "K", "nums")
+	pl := NewPlacement().Place("S", "h0", 1).Place("K", "h0", 1)
+	r, err := NewRunner(g, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Run()
+		done <- err
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run hung: blocked consumer was never released")
+	}
+	if err == nil || errors.Is(err, ErrCancelled) {
+		t.Fatalf("run error = %v, want the source's failure", err)
+	}
+	if !rd.released {
+		t.Fatal("blocked reader did not observe end-of-stream on cancellation")
+	}
+}

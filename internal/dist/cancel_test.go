@@ -1,0 +1,78 @@
+package dist_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"datacutter/internal/core"
+	"datacutter/internal/dist"
+	"datacutter/internal/leakcheck"
+)
+
+// cancelRecordingSource writes n ints and records the first Write error, so
+// tests can assert the distributed engine's cancellation contract: a
+// producer blocked on a same-host queue (or sending to a failed session)
+// gets core.ErrCancelled, not a hang.
+type cancelRecordingSource struct {
+	core.BaseFilter
+	n    int
+	werr error
+}
+
+func (s *cancelRecordingSource) Process(ctx core.Ctx) error {
+	for i := 0; i < s.n; i++ {
+		if err := ctx.Write("ints", core.Buffer{Payload: i, Size: 8}); err != nil {
+			s.werr = err
+			return err
+		}
+	}
+	return nil
+}
+
+func init() {
+	dist.RegisterFilter("test.cancelsource", func([]byte) (core.Filter, error) {
+		return &cancelRecordingSource{n: 500}, nil
+	})
+}
+
+// TestDistributedLocalWriteCancelled: producer and failing consumer share a
+// host, so delivery goes through the same-host queue path (enqueueLocal).
+// When the consumer fails, the producer blocked on the tiny full queue must
+// be released with core.ErrCancelled and the run must surface the
+// consumer's error promptly.
+func TestDistributedLocalWriteCancelled(t *testing.T) {
+	leakcheck.Check(t)
+	addrs, workers := startWorkers(t, 1)
+	g := dist.GraphSpec{
+		Filters: []dist.FilterSpec{
+			{Name: "S", Kind: "test.cancelsource"},
+			{Name: "F", Kind: "test.fail"},
+		},
+		Streams: []core.StreamSpec{{Name: "ints", From: "S", To: "F"}},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := dist.Run(addrs, g, []dist.PlacementEntry{
+			{Filter: "S", Host: "host0", Copies: 1},
+			{Filter: "F", Host: "host0", Copies: 1},
+		}, dist.Options{QueueCap: 1}, nil)
+		done <- err
+	}()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("run hung: blocked same-host producer was never cancelled")
+	}
+	if err == nil {
+		t.Fatal("consumer failure not surfaced")
+	}
+	if errors.Is(err, core.ErrCancelled) {
+		t.Fatalf("run error = %v: application error must win over the cancellation it caused", err)
+	}
+	src := workers["host0"].Instances("S")[0].(*cancelRecordingSource)
+	if !errors.Is(src.werr, core.ErrCancelled) {
+		t.Fatalf("source write error = %v, want core.ErrCancelled", src.werr)
+	}
+}

@@ -250,7 +250,7 @@ func (d *dctx) Write(stream string, b core.Buffer) error {
 	} else {
 		c, err := d.s.peer(target.Host)
 		if err != nil {
-			d.s.fail(err)
+			d.s.failTransport(target.Host, err)
 			return core.ErrCancelled
 		}
 		ackEvery := 0
@@ -261,7 +261,7 @@ func (d *dctx) Write(stream string, b core.Buffer) error {
 		// (fast path for registered types, gob otherwise), outside the
 		// connection's write lock.
 		if err := c.send(dataFrame(d.u.index, stream, d.c.globalIdx, idx, ackEvery, b.Size, b.Payload)); err != nil {
-			d.s.fail(fmt.Errorf("dist: sending buffer for %s to %s: %w", stream, target.Host, err))
+			d.s.failTransport(target.Host, fmt.Errorf("dist: sending buffer for %s to %s: %w", stream, target.Host, err))
 			return core.ErrCancelled
 		}
 		if m := d.s.w.metrics(); m != nil {

@@ -10,6 +10,7 @@ import (
 	"datacutter/internal/dist"
 	"datacutter/internal/geom"
 	"datacutter/internal/isoviz"
+	"datacutter/internal/leakcheck"
 	"datacutter/internal/mcubes"
 	"datacutter/internal/render"
 	"datacutter/internal/volume"
@@ -102,6 +103,7 @@ func intGraph(n int) dist.GraphSpec {
 }
 
 func TestDistributedPipelineDelivers(t *testing.T) {
+	leakcheck.Check(t)
 	addrs, workers := startWorkers(t, 2)
 	const n = 200
 	st, err := dist.Run(addrs, intGraph(n), []dist.PlacementEntry{
@@ -167,6 +169,7 @@ func TestDistributedCopiesAcrossHostsEveryPolicy(t *testing.T) {
 }
 
 func TestDistributedMultiUOW(t *testing.T) {
+	leakcheck.Check(t)
 	addrs, workers := startWorkers(t, 2)
 	_, err := dist.Run(addrs, intGraph(30), []dist.PlacementEntry{
 		{Filter: "S", Host: "host0", Copies: 1},
@@ -241,6 +244,7 @@ func TestDistributedIsosurfaceRender(t *testing.T) {
 
 	for _, alg := range []isoviz.Algorithm{isoviz.ActivePixel, isoviz.ZBuffer} {
 		t.Run(alg.String(), func(t *testing.T) {
+			leakcheck.Check(t)
 			addrs, workers := startWorkers(t, 3)
 			spec, err := isoviz.DistGraphField(p, alg)
 			if err != nil {
@@ -271,6 +275,7 @@ func TestDistributedIsosurfaceRender(t *testing.T) {
 
 // A worker dying mid-run must surface as a coordinator error, not a hang.
 func TestDistributedWorkerDeathSurfaces(t *testing.T) {
+	leakcheck.Check(t)
 	addrs, workers := startWorkers(t, 2)
 	suicideTarget = workers["host1"]
 	g := dist.GraphSpec{
@@ -320,6 +325,7 @@ func (s *suicideSink) Process(ctx core.Ctx) error {
 // Stress: many buffers through tiny queues across three hosts under DD —
 // exercising TCP backpressure and ack flow without deadlock.
 func TestDistributedTinyQueueStress(t *testing.T) {
+	leakcheck.Check(t)
 	addrs, workers := startWorkers(t, 3)
 	const n = 250
 	_, err := dist.Run(addrs, intGraph(n), []dist.PlacementEntry{

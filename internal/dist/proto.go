@@ -27,8 +27,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"datacutter/internal/core"
+	"datacutter/internal/faults"
 )
 
 // FilterSpec names a registered filter builder plus its parameters.
@@ -56,6 +59,108 @@ type Options struct {
 	Policy      string // policy name (core.PolicyByName); default RR
 	QueueCap    int    // per-copy-set queue capacity (default 8)
 	BufferBytes int    // default stream buffer size (default 256 KiB)
+
+	// Failure model. Zero values select the defaults below; recovery is
+	// opt-in — with MaxUOWRetries at its default of 0, a lost host fails
+	// the run immediately (the pre-failure-model behaviour).
+	DialTimeout       time.Duration // per-attempt dial timeout (default DefaultDialTimeout)
+	DialAttempts      int           // dial attempts before giving up (default 3)
+	HeartbeatInterval time.Duration // control-plane heartbeat period (default 1s)
+	HeartbeatMisses   int           // consecutive missed beats before a host is dead (default 3)
+	MaxUOWRetries     int           // re-dispatches of a failed UOW on a shrunk placement
+
+	// faults is a coordinator-side injector (dial failures). Unexported so
+	// gob never ships it to workers; workers get their own injector via
+	// Worker.SetFaults. Set with WithFaults.
+	faults *faults.Injector
+}
+
+// Defaults for the failure-model knobs in Options.
+const (
+	DefaultDialTimeout       = 10 * time.Second
+	DefaultDialAttempts      = 3
+	DefaultHeartbeatInterval = time.Second
+	DefaultHeartbeatMisses   = 3
+)
+
+// WithFaults returns a copy of o carrying a coordinator-side fault
+// injector (consulted on dial attempts). Test/chaos use only.
+func (o Options) WithFaults(in *faults.Injector) Options {
+	o.faults = in
+	return o
+}
+
+// validate rejects nonsensical knob values; zero means "use the default".
+func (o Options) validate() error {
+	if o.QueueCap < 0 {
+		return fmt.Errorf("dist: Options.QueueCap must be >= 0, got %d", o.QueueCap)
+	}
+	if o.BufferBytes < 0 {
+		return fmt.Errorf("dist: Options.BufferBytes must be >= 0, got %d", o.BufferBytes)
+	}
+	if o.DialTimeout < 0 {
+		return fmt.Errorf("dist: Options.DialTimeout must be >= 0, got %v", o.DialTimeout)
+	}
+	if o.DialAttempts < 0 {
+		return fmt.Errorf("dist: Options.DialAttempts must be >= 0, got %d", o.DialAttempts)
+	}
+	if o.HeartbeatInterval < 0 {
+		return fmt.Errorf("dist: Options.HeartbeatInterval must be >= 0, got %v", o.HeartbeatInterval)
+	}
+	if o.HeartbeatMisses < 0 {
+		return fmt.Errorf("dist: Options.HeartbeatMisses must be >= 0, got %d", o.HeartbeatMisses)
+	}
+	if o.MaxUOWRetries < 0 {
+		return fmt.Errorf("dist: Options.MaxUOWRetries must be >= 0, got %d", o.MaxUOWRetries)
+	}
+	return nil
+}
+
+// defaultDialTimeoutNanos lets a process override the fallback dial timeout
+// (dcworker -dialtimeout) for sessions whose Options leave it zero; workers
+// receive Options from the coordinator, so this is their only local knob.
+var defaultDialTimeoutNanos atomic.Int64
+
+// SetDefaultDialTimeout sets this process's fallback dial timeout, used
+// whenever Options.DialTimeout is zero. d <= 0 restores DefaultDialTimeout.
+func SetDefaultDialTimeout(d time.Duration) {
+	defaultDialTimeoutNanos.Store(int64(d))
+}
+
+func (o *Options) dialTimeout() time.Duration {
+	if o.DialTimeout > 0 {
+		return o.DialTimeout
+	}
+	if d := defaultDialTimeoutNanos.Load(); d > 0 {
+		return time.Duration(d)
+	}
+	return DefaultDialTimeout
+}
+
+func (o *Options) dialAttempts() int {
+	if o.DialAttempts > 0 {
+		return o.DialAttempts
+	}
+	return DefaultDialAttempts
+}
+
+func (o *Options) hbInterval() time.Duration {
+	if o.HeartbeatInterval > 0 {
+		return o.HeartbeatInterval
+	}
+	return DefaultHeartbeatInterval
+}
+
+func (o *Options) hbMisses() int {
+	if o.HeartbeatMisses > 0 {
+		return o.HeartbeatMisses
+	}
+	return DefaultHeartbeatMisses
+}
+
+// hbTimeout is how long silence on the control plane is tolerated.
+func (o *Options) hbTimeout() time.Duration {
+	return o.hbInterval() * time.Duration(o.hbMisses())
 }
 
 // Builder constructs a filter instance on a worker.
@@ -107,6 +212,12 @@ type frame struct {
 	Decls map[string][2]int // stream -> {min,max} declared this UOW
 	Err   string
 	Stats *wireStats
+	// Failure attribution on kindFail: when the first failure a worker saw
+	// was a transport error talking to a peer, FailNet is true and FailHost
+	// names the implicated host, so the coordinator can mark that host dead
+	// instead of treating a cascade as an application error.
+	FailHost string
+	FailNet  bool
 
 	// Peer traffic (worker -> worker).
 	UOWIdx  int    // unit of work the frame belongs to (stale frames dropped)
@@ -154,6 +265,9 @@ const (
 	kindAck
 	kindProducerDone
 	kindFail
+	kindHeartbeat // liveness beacon, both directions on the control plane
+	kindAbort     // coordinator -> worker: tear the session down now
+	kindAbortDone // worker -> coordinator: session torn down
 )
 
 type setupMsg struct {

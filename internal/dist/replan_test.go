@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestReplanMovesOrphanedCopiesToExistingHosts(t *testing.T) {
+	in := []PlacementEntry{
+		{Filter: "F", Host: "a", Copies: 2},
+		{Filter: "F", Host: "b", Copies: 2},
+		{Filter: "G", Host: "b", Copies: 1},
+	}
+	out, err := replanPlacement(in, map[string]bool{"a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []PlacementEntry{
+		{Filter: "F", Host: "b", Copies: 4}, // b already ran F: absorbs a's copies
+		{Filter: "G", Host: "b", Copies: 1},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %+v, want %+v", out, want)
+	}
+}
+
+func TestReplanSpreadsFullyOrphanedFilterAcrossSurvivors(t *testing.T) {
+	in := []PlacementEntry{
+		{Filter: "F", Host: "a", Copies: 3}, // all of F dies with a
+		{Filter: "G", Host: "b", Copies: 1},
+		{Filter: "G", Host: "c", Copies: 1},
+	}
+	out, err := replanPlacement(in, map[string]bool{"a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F had no surviving hosts: round-robin across all survivors (b, c in
+	// first-appearance order), 3 copies -> b:2, c:1.
+	want := []PlacementEntry{
+		{Filter: "F", Host: "b", Copies: 2},
+		{Filter: "F", Host: "c", Copies: 1},
+		{Filter: "G", Host: "b", Copies: 1},
+		{Filter: "G", Host: "c", Copies: 1},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %+v, want %+v", out, want)
+	}
+}
+
+func TestReplanNoSurvivors(t *testing.T) {
+	in := []PlacementEntry{{Filter: "F", Host: "a", Copies: 1}}
+	if _, err := replanPlacement(in, map[string]bool{"a": true}); err == nil {
+		t.Fatal("want error when every host is dead")
+	}
+}
+
+func TestReplanNoDeadHostsIsIdentity(t *testing.T) {
+	in := []PlacementEntry{
+		{Filter: "F", Host: "a", Copies: 2},
+		{Filter: "G", Host: "b", Copies: 1},
+	}
+	out, err := replanPlacement(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("got %+v, want input unchanged", out)
+	}
+}
+
+func TestReplanMergesDuplicateEntries(t *testing.T) {
+	// Two entries for (F, b) in the input must merge in the output.
+	in := []PlacementEntry{
+		{Filter: "F", Host: "b", Copies: 1},
+		{Filter: "F", Host: "a", Copies: 1},
+		{Filter: "F", Host: "b", Copies: 1},
+	}
+	out, err := replanPlacement(in, map[string]bool{"a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []PlacementEntry{{Filter: "F", Host: "b", Copies: 3}}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %+v, want %+v", out, want)
+	}
+}
+
+func TestReplanDeterministic(t *testing.T) {
+	in := []PlacementEntry{
+		{Filter: "F", Host: "a", Copies: 5},
+		{Filter: "G", Host: "b", Copies: 2},
+		{Filter: "G", Host: "c", Copies: 2},
+		{Filter: "H", Host: "c", Copies: 1},
+	}
+	dead := map[string]bool{"a": true}
+	first, err := replanPlacement(in, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		again, err := replanPlacement(in, dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("replan not deterministic: %+v vs %+v", first, again)
+		}
+	}
+}

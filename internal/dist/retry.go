@@ -1,0 +1,54 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"datacutter/internal/faults"
+	"datacutter/internal/obs"
+)
+
+// dialRetry dials addr with per-attempt timeout opts.dialTimeout(), retrying
+// up to opts.dialAttempts() times with exponential backoff plus jitter. It
+// is the one dial path for both the coordinator's worker setup and the
+// worker peer mesh. redials counts attempts after the first (nil-safe);
+// cancel, when non-nil, aborts the backoff wait between attempts (a session
+// being torn down must not sit out a backoff sleep). fi injects dial
+// failures for chaos tests.
+func dialRetry(addr string, opts *Options, fi *faults.Injector, redials *obs.Counter, cancel <-chan struct{}) (net.Conn, error) {
+	const (
+		backoffBase = 50 * time.Millisecond
+		backoffCap  = 2 * time.Second
+	)
+	attempts := opts.dialAttempts()
+	backoff := backoffBase
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			// Full jitter: sleep a uniform fraction of the backoff so
+			// simultaneous redials from many hosts don't stampede.
+			d := time.Duration(rand.Int63n(int64(backoff))) + backoff/2
+			select {
+			case <-time.After(d):
+			case <-cancel:
+				return nil, fmt.Errorf("dist: dial %s cancelled after %d attempts: %w", addr, i, lastErr)
+			}
+			if backoff *= 2; backoff > backoffCap {
+				backoff = backoffCap
+			}
+			redials.Inc()
+		}
+		if err := fi.FailDial(); err != nil {
+			lastErr = err
+			continue
+		}
+		c, err := net.DialTimeout("tcp", addr, opts.dialTimeout())
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dist: dial %s failed after %d attempts: %w", addr, attempts, lastErr)
+}

@@ -9,7 +9,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"datacutter/internal/faults"
 	"datacutter/internal/obs"
 )
 
@@ -140,7 +142,7 @@ func appendFrame(dst []byte, f *frame) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-	case kindHello:
+	case kindHello, kindHeartbeat:
 		// empty body
 	default:
 		var bb bytes.Buffer
@@ -248,12 +250,13 @@ func (r *frameReader) decodeFrame(buf []byte) (*frame, error) {
 		if len(b) != 0 {
 			return nil, errTrailingBytes
 		}
-	case kindHello:
+	case kindHello, kindHeartbeat:
 		if len(b) != 0 {
 			return nil, errTrailingBytes
 		}
 	case kindSetup, kindSetupOK, kindInitUOW, kindDecls, kindBeginProcess,
-		kindProcessDone, kindFinalize, kindFinalizeDone, kindShutdown, kindFail:
+		kindProcessDone, kindFinalize, kindFinalizeDone, kindShutdown, kindFail,
+		kindAbort, kindAbortDone:
 		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(f); err != nil {
 			return nil, fmt.Errorf("dist: decoding control frame: %w", err)
 		}
@@ -376,6 +379,12 @@ type conn struct {
 	once sync.Once
 
 	m *connMetrics
+
+	// fi is the process's fault injector; nil (the default) costs one
+	// pointer comparison per send/recv. onClose fires once, from whichever
+	// of close/abort runs first — workers use it to prune conn tracking.
+	fi      *faults.Injector
+	onClose func()
 }
 
 func newConn(c net.Conn, m *connMetrics) *conn {
@@ -399,10 +408,47 @@ func newConn(c net.Conn, m *connMetrics) *conn {
 	return cn
 }
 
-// close tears the connection down and stops its flusher (idempotent).
+// close tears the connection down and stops its flusher (idempotent). A
+// best-effort bounded flush drains frames buffered moments ago — a final
+// kindShutdown or kindAbortDone must not die in the write buffer when the
+// caller closes immediately after send.
 func (c *conn) close() {
-	c.once.Do(func() { close(c.stop) })
+	c.once.Do(func() {
+		close(c.stop)
+		c.mu.Lock()
+		if c.werr == nil && c.bw.Buffered() > 0 {
+			c.c.SetWriteDeadline(time.Now().Add(250 * time.Millisecond))
+			_ = c.bw.Flush()
+		}
+		c.mu.Unlock()
+		if c.onClose != nil {
+			c.onClose()
+		}
+	})
 	c.c.Close()
+}
+
+// abort hard-closes the connection without draining the write buffer —
+// crash simulation and dead-host teardown, where buffered frames must be
+// lost the way a real process death would lose them.
+func (c *conn) abort() {
+	c.once.Do(func() {
+		close(c.stop)
+		if c.onClose != nil {
+			c.onClose()
+		}
+	})
+	c.c.Close()
+}
+
+// setReadDeadline arms (d > 0) or clears (d <= 0) the read deadline on the
+// underlying socket for the next recv.
+func (c *conn) setReadDeadline(d time.Duration) {
+	if d <= 0 {
+		_ = c.c.SetReadDeadline(time.Time{})
+		return
+	}
+	_ = c.c.SetReadDeadline(time.Now().Add(d))
 }
 
 // flusher drains the write buffer whenever senders go idle. Each send
@@ -436,6 +482,17 @@ func (c *conn) flusher() {
 // exerts TCP backpressure) moves it to the socket. Write errors are sticky:
 // after a failure every subsequent send reports it.
 func (c *conn) send(f *frame) error {
+	var dup bool
+	if c.fi != nil && f.Kind == kindData {
+		act := c.fi.DataSent(f.Stream)
+		if act.Delay > 0 {
+			time.Sleep(act.Delay)
+		}
+		if act.Drop {
+			return nil // vanished on the wire
+		}
+		dup = act.Dup
+	}
 	bp := getWireBuf()
 	body, err := appendFrame((*bp)[:0], f)
 	if err != nil {
@@ -456,6 +513,11 @@ func (c *conn) send(f *frame) error {
 	if err == nil {
 		_, err = c.bw.Write(body)
 	}
+	if err == nil && dup {
+		if _, err = c.bw.Write(hdr[:]); err == nil {
+			_, err = c.bw.Write(body)
+		}
+	}
 	if err != nil {
 		c.werr = err
 		c.mu.Unlock()
@@ -475,10 +537,25 @@ func (c *conn) send(f *frame) error {
 	return nil
 }
 
+// errInjectedKill surfaces a fault-injected process kill to the reader that
+// triggered it; by the time recv returns it, Worker.Kill has already
+// hard-closed every connection.
+var errInjectedKill = fmt.Errorf("dist: fault injection killed this process")
+
 // recv reads and decodes the next frame. Data frames own a pooled wire
 // buffer (released via decodePayload / frame.release); every other kind is
 // fully decoded and the buffer recycled before returning.
 func (c *conn) recv() (*frame, error) {
 	f, _, err := c.r.readWireFrame(c.br)
+	if err == nil && c.fi != nil {
+		kill, stall := c.fi.FrameReceived(f.Kind == kindData)
+		if kill {
+			f.release()
+			return nil, errInjectedKill
+		}
+		if stall > 0 {
+			time.Sleep(stall) // wedged process: frame handling frozen
+		}
+	}
 	return f, err
 }

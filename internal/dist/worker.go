@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"datacutter/internal/core"
+	"datacutter/internal/faults"
 	"datacutter/internal/obs"
 )
 
@@ -24,6 +25,16 @@ type Worker struct {
 	// wm is atomic because accepted connections resolve it concurrently.
 	obsrv *obs.Observer
 	wm    atomic.Pointer[workerMetrics]
+
+	// fi is this process's fault injector (SetFaults, before Serve).
+	fi *faults.Injector
+
+	// Every live connection (control, inbound peer, outbound peer) is
+	// tracked so Kill can sever them all at once, simulating a process
+	// crash without actually exiting the test binary.
+	connsMu sync.Mutex
+	conns   map[*conn]struct{}
+	killed  bool
 }
 
 // workerMetrics are the worker's live per-frame counters, resolved once so
@@ -35,6 +46,7 @@ type workerMetrics struct {
 	txDataFrames *obs.Counter
 	txDataBytes  *obs.Counter
 	txAckFrames  *obs.Counter
+	redials      *obs.Counter // peer-mesh dial retries
 	// Batched-writer instrumentation, shared by every outbound connection.
 	cm *connMetrics
 }
@@ -54,6 +66,7 @@ func (w *Worker) SetObserver(o *obs.Observer) {
 			txDataFrames: reg.Counter("dist.tx.data_frames"),
 			txDataBytes:  reg.Counter("dist.tx.data_bytes"),
 			txAckFrames:  reg.Counter("dist.tx.ack_frames"),
+			redials:      reg.Counter("dist.redials"),
 			cm: &connMetrics{
 				flushes:        reg.Counter("dist.tx.flushes"),
 				framesPerFlush: reg.Histogram("dist.tx.frames_per_flush"),
@@ -83,21 +96,85 @@ func NewWorker(addr string) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Worker{ln: ln}, nil
+	return &Worker{ln: ln, conns: make(map[*conn]struct{})}, nil
 }
 
 // Addr returns the listening address.
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
 
-// Close stops the listener and tears down the current session.
+// SetFaults attaches a fault injector to every connection this worker opens
+// or accepts, and arms kill directives to Kill the worker. Must be called
+// before Serve.
+func (w *Worker) SetFaults(in *faults.Injector) {
+	w.fi = in
+	in.OnKill(w.Kill)
+}
+
+// track registers a connection for Kill and wires in the fault injector.
+func (w *Worker) track(c *conn) *conn {
+	c.fi = w.fi
+	c.onClose = func() {
+		w.connsMu.Lock()
+		delete(w.conns, c)
+		w.connsMu.Unlock()
+	}
+	w.connsMu.Lock()
+	killed := w.killed
+	if !killed {
+		w.conns[c] = struct{}{}
+	}
+	w.connsMu.Unlock()
+	if killed {
+		c.abort()
+	}
+	return c
+}
+
+// severConns hard-closes every tracked connection. The snapshot is taken
+// under connsMu but the aborts run outside it — abort fires onClose, which
+// re-takes the lock to prune the map.
+func (w *Worker) severConns(markKilled bool) {
+	w.connsMu.Lock()
+	if markKilled {
+		w.killed = true
+	}
+	cs := make([]*conn, 0, len(w.conns))
+	for c := range w.conns {
+		cs = append(cs, c)
+	}
+	w.connsMu.Unlock()
+	for _, c := range cs {
+		c.abort()
+	}
+}
+
+// Close stops the listener, severs all connections, and tears down the
+// current session.
 func (w *Worker) Close() {
 	w.closed.Store(true)
 	w.ln.Close()
+	w.severConns(false)
 	w.mu.Lock()
 	s := w.sess
 	w.mu.Unlock()
 	if s != nil {
 		s.fail(fmt.Errorf("dist: worker closed"))
+	}
+}
+
+// Kill simulates a process crash: the listener and every live connection
+// are hard-closed with no flush and no farewell frames, so peers and the
+// coordinator see raw resets/EOFs exactly as they would from a real death.
+// The worker accepts no further connections.
+func (w *Worker) Kill() {
+	w.closed.Store(true)
+	w.ln.Close()
+	w.severConns(true)
+	w.mu.Lock()
+	s := w.sess
+	w.mu.Unlock()
+	if s != nil {
+		s.fail(fmt.Errorf("dist: worker killed"))
 	}
 }
 
@@ -108,7 +185,7 @@ func (w *Worker) Serve() {
 		if err != nil {
 			return
 		}
-		go w.handle(newConn(c, w.connMetrics()))
+		go w.handle(w.track(newConn(c, w.connMetrics())))
 	}
 }
 
@@ -168,9 +245,19 @@ func (w *Worker) servePeer(c *conn) {
 	}
 }
 
+// busyMsg is the refusal a worker sends for a Setup while a session is
+// active. The coordinator's setup path retries on exactly this message —
+// after an abort, a re-setup can race the old session's last breath.
+const busyMsg = "dist: worker busy with another session"
+
 // runSession executes one coordinator-driven session on this worker. A
 // worker serves one coordinator at a time; a second Setup while a session
 // is active is refused rather than silently clobbering the running one.
+//
+// Phase operations run in goroutines so the control loop keeps reading:
+// heartbeats refresh the read deadline and a kindAbort can interrupt a
+// phase blocked on a dead peer. The coordinator is lock-step per worker, so
+// at most one operation is in flight outside of teardown.
 func (w *Worker) runSession(ctrl *conn, setup *setupMsg) {
 	defer ctrl.close()
 	s, err := newSession(w, setup)
@@ -181,49 +268,110 @@ func (w *Worker) runSession(ctrl *conn, setup *setupMsg) {
 	w.mu.Lock()
 	if w.sess != nil && !w.sess.ended {
 		w.mu.Unlock()
-		_ = ctrl.send(&frame{Kind: kindFail, Err: "dist: worker busy with another session"})
+		_ = ctrl.send(&frame{Kind: kindFail, Err: busyMsg})
 		return
 	}
 	w.sess = s
 	w.mu.Unlock()
-	defer func() {
+
+	opts := &setup.Opts
+	var opWG sync.WaitGroup
+	// endSession teardown order matters: closing peers first unblocks any
+	// phase goroutine stuck in a TCP send to a dead host, so the Wait
+	// cannot hang; only then is the session marked ended (a new Setup is
+	// accepted from that point, while Instances still reads the copies).
+	endSession := func() {
+		s.closePeers()
+		opWG.Wait()
 		w.mu.Lock()
 		s.ended = true
 		w.mu.Unlock()
-		s.closePeers()
-	}()
+	}
+
 	if err := ctrl.send(&frame{Kind: kindSetupOK}); err != nil {
+		endSession()
 		return
 	}
+
+	// Worker->coordinator heartbeats from a dedicated sender, so liveness
+	// flows even while a phase computes. A wedged (fault-injected) process
+	// goes silent, exactly like a frozen real one.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		t := time.NewTicker(opts.hbInterval())
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if w.fi.Wedged() {
+					continue
+				}
+				if ctrl.send(&frame{Kind: kindHeartbeat}) != nil {
+					return
+				}
+			case <-hbStop:
+				return
+			}
+		}
+	}()
+
 	for {
+		// Silence beyond the miss budget means the coordinator is gone;
+		// its heartbeats re-arm the deadline every interval.
+		ctrl.setReadDeadline(opts.hbTimeout())
 		f, err := ctrl.recv()
 		if err != nil {
 			s.fail(fmt.Errorf("dist: coordinator connection lost: %w", err))
+			endSession()
 			return
 		}
 		switch f.Kind {
+		case kindHeartbeat:
+			// Liveness only; the recv already reset the deadline clock.
 		case kindInitUOW:
-			decls, err := s.initUOW(f.UOW)
-			if err != nil {
-				_ = ctrl.send(&frame{Kind: kindFail, Err: err.Error()})
-				continue
-			}
-			_ = ctrl.send(&frame{Kind: kindDecls, Decls: decls})
+			opWG.Add(1)
+			go func(msg *uowMsg) {
+				defer opWG.Done()
+				decls, err := s.initUOW(msg)
+				if err != nil {
+					_ = ctrl.send(s.failFrame(err))
+					return
+				}
+				_ = ctrl.send(&frame{Kind: kindDecls, Decls: decls})
+			}(f.UOW)
 		case kindBeginProcess:
-			err := s.process(f.Sizes)
-			if err != nil {
-				_ = ctrl.send(&frame{Kind: kindFail, Err: err.Error()})
-				continue
-			}
-			_ = ctrl.send(&frame{Kind: kindProcessDone})
+			opWG.Add(1)
+			go func(sizes map[string]int) {
+				defer opWG.Done()
+				if err := s.process(sizes); err != nil {
+					_ = ctrl.send(s.failFrame(err))
+					return
+				}
+				_ = ctrl.send(&frame{Kind: kindProcessDone})
+			}(f.Sizes)
 		case kindFinalize:
-			st, err := s.finalize()
-			if err != nil {
-				_ = ctrl.send(&frame{Kind: kindFail, Err: err.Error()})
-				continue
-			}
-			_ = ctrl.send(&frame{Kind: kindFinalizeDone, Stats: st})
+			opWG.Add(1)
+			go func() {
+				defer opWG.Done()
+				st, err := s.finalize()
+				if err != nil {
+					_ = ctrl.send(s.failFrame(err))
+					return
+				}
+				_ = ctrl.send(&frame{Kind: kindFinalizeDone, Stats: st})
+			}()
+		case kindAbort:
+			// Coordinator-ordered teardown (typically a peer host died).
+			// Unblock everything, wait the phase out, end the session so a
+			// re-setup is accepted the moment AbortDone is on the wire.
+			s.fail(fmt.Errorf("dist: run aborted by coordinator: %s", f.Err))
+			endSession()
+			ctrl.setReadDeadline(0)
+			_ = ctrl.send(&frame{Kind: kindAbortDone})
+			return
 		case kindShutdown:
+			endSession()
 			return
 		}
 	}
@@ -273,6 +421,11 @@ type session struct {
 	failMu   sync.Mutex
 	failedCh chan struct{}
 	failErr  error
+	// failHost/failNet attribute the first failure when it was a transport
+	// error talking to a peer — the coordinator uses them to tell a dead
+	// host's cascade apart from an application error.
+	failHost string
+	failNet  bool
 	// ended marks the session finished (guarded by Worker.mu); the worker
 	// then accepts a new Setup while Instances still reads the old copies.
 	ended bool
@@ -363,10 +516,37 @@ func (s *session) fail(err error) {
 	}
 }
 
+// failTransport records a failure caused by the network path to host. Only
+// the first recorded failure carries attribution: a transport error that
+// arrives after an application error is a cascade, not a cause.
+func (s *session) failTransport(host string, err error) {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	if s.failErr == nil {
+		s.failErr = err
+		s.failHost = host
+		s.failNet = true
+		close(s.failedCh)
+	}
+}
+
 func (s *session) failed() error {
 	s.failMu.Lock()
 	defer s.failMu.Unlock()
 	return s.failErr
+}
+
+// failFrame builds the kindFail reply for err, attaching the session's
+// transport attribution when its first failure implicated a peer host.
+func (s *session) failFrame(err error) *frame {
+	f := &frame{Kind: kindFail, Err: err.Error()}
+	s.failMu.Lock()
+	if s.failNet {
+		f.FailNet = true
+		f.FailHost = s.failHost
+	}
+	s.failMu.Unlock()
+	return f
 }
 
 func (s *session) closePeers() {
@@ -377,14 +557,13 @@ func (s *session) closePeers() {
 	}
 }
 
-// peerDialTimeout bounds how long a worker waits for a peer host before
-// the run fails with that host's name (an unreachable consumer would
-// otherwise hang every producer writing to it).
-const peerDialTimeout = 10 * time.Second
-
-// peer returns (dialing on demand) the outbound connection to a host.
-// newConn sets TCP_NODELAY on it: the connection's flush-on-idle writer
-// already coalesces small frames, so Nagle would only delay those batches.
+// peer returns (dialing on demand) the outbound connection to a host. The
+// dial goes through dialRetry — the shared backoff+jitter helper, bounded
+// per attempt by Options.DialTimeout — so a peer mid-restart is retried
+// rather than failing the run, and a session being torn down cancels the
+// backoff wait via failedCh. newConn sets TCP_NODELAY: the connection's
+// flush-on-idle writer already coalesces small frames, so Nagle would only
+// delay those batches.
 func (s *session) peer(host string) (*conn, error) {
 	s.peersMu.Lock()
 	defer s.peersMu.Unlock()
@@ -395,11 +574,15 @@ func (s *session) peer(host string) (*conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("dist: no address for host %q", host)
 	}
-	nc, err := net.DialTimeout("tcp", addr, peerDialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("dist: dialing peer %s (%s): %w", host, addr, err)
+	var redials *obs.Counter
+	if m := s.w.metrics(); m != nil {
+		redials = m.redials
 	}
-	c := newConn(nc, s.w.connMetrics())
+	nc, err := dialRetry(addr, &s.setup.Opts, s.w.fi, redials, s.failedCh)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing peer %s: %w", host, err)
+	}
+	c := s.w.track(newConn(nc, s.w.connMetrics()))
 	if err := c.send(&frame{Kind: kindHello}); err != nil {
 		c.close()
 		return nil, fmt.Errorf("dist: greeting peer %s (%s): %w", host, addr, err)
@@ -648,11 +831,11 @@ func (s *session) broadcastProducerDone(sp core.StreamSpec, uowIdx int) {
 		if err != nil {
 			// A consumer host we cannot reach would wait for this marker
 			// forever; surface the failure instead of hanging the run.
-			s.fail(fmt.Errorf("dist: end-of-work for %s undeliverable: %w", sp.Name, err))
+			s.failTransport(e.Host, fmt.Errorf("dist: end-of-work for %s undeliverable: %w", sp.Name, err))
 			continue
 		}
 		if err := c.send(&frame{Kind: kindProducerDone, UOWIdx: uowIdx, Stream: sp.Name}); err != nil {
-			s.fail(fmt.Errorf("dist: end-of-work for %s undeliverable: %w", sp.Name, err))
+			s.failTransport(e.Host, fmt.Errorf("dist: end-of-work for %s undeliverable: %w", sp.Name, err))
 		}
 	}
 }

@@ -1,0 +1,336 @@
+// Package faults is a deterministic, seeded fault-injection layer for the
+// distributed engine's chaos tests and -faults CLI flags. A Plan is parsed
+// from a compact spec string and instantiated as one Injector per process;
+// the transport layer (internal/dist's conn and dial paths) consults the
+// injector through nil-by-default hooks, so the production hot path pays
+// only a nil pointer comparison when injection is off.
+//
+// Spec grammar — directives separated by ';':
+//
+//	seed=N                    seed the plan's PRNG (default 1)
+//	faildial=N                fail the first N dial attempts
+//	drop=STREAM:NTH           drop the NTH data frame sent on STREAM
+//	dup=STREAM:NTH            duplicate the NTH data frame sent on STREAM
+//	delay=STREAM:NTH:DUR      delay the NTH data frame on STREAM by DUR
+//	droppct=STREAM:PCT        drop PCT percent of STREAM's data frames (PRNG)
+//	kill=data:N               hard-close every connection and the listener
+//	                          after N data frames received (process crash)
+//	wedge=data:N:DUR          after N data frames received, stop heartbeats
+//	                          and stall frame handling for DUR (frozen
+//	                          process; detected only by heartbeat timeout)
+//
+// Counted directives (drop, dup, delay, kill, wedge) are fully
+// deterministic given a frame arrival order; droppct is deterministic with
+// respect to the seeded PRNG and the per-stream send sequence.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type dirKind uint8
+
+const (
+	dirFailDial dirKind = iota + 1
+	dirDrop
+	dirDup
+	dirDelay
+	dirDropPct
+	dirKill
+	dirWedge
+)
+
+type directive struct {
+	kind   dirKind
+	stream string
+	n      int           // occurrence / count threshold
+	pct    float64       // droppct probability in [0,1]
+	dur    time.Duration // delay / wedge duration
+}
+
+// Plan is an immutable, parsed fault plan. One Plan can instantiate any
+// number of independent Injectors (one per simulated process).
+type Plan struct {
+	seed int64
+	dirs []directive
+	spec string
+}
+
+// ParsePlan parses a fault spec string (see the package comment for the
+// grammar). An empty spec yields a plan that injects nothing.
+func ParsePlan(spec string) (*Plan, error) {
+	p := &Plan{seed: 1, spec: spec}
+	for _, raw := range strings.Split(spec, ";") {
+		d := strings.TrimSpace(raw)
+		if d == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(d, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: directive %q: want key=value", d)
+		}
+		if err := p.parseDirective(key, val); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func (p *Plan) parseDirective(key, val string) error {
+	fields := strings.Split(val, ":")
+	switch key {
+	case "seed":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("faults: seed=%q: %v", val, err)
+		}
+		p.seed = n
+	case "faildial":
+		n, err := positiveInt(val)
+		if err != nil {
+			return fmt.Errorf("faults: faildial=%q: %v", val, err)
+		}
+		p.dirs = append(p.dirs, directive{kind: dirFailDial, n: n})
+	case "drop", "dup":
+		if len(fields) != 2 {
+			return fmt.Errorf("faults: %s=%q: want STREAM:NTH", key, val)
+		}
+		n, err := positiveInt(fields[1])
+		if err != nil {
+			return fmt.Errorf("faults: %s=%q: %v", key, val, err)
+		}
+		k := dirDrop
+		if key == "dup" {
+			k = dirDup
+		}
+		p.dirs = append(p.dirs, directive{kind: k, stream: fields[0], n: n})
+	case "delay":
+		if len(fields) != 3 {
+			return fmt.Errorf("faults: delay=%q: want STREAM:NTH:DUR", val)
+		}
+		n, err := positiveInt(fields[1])
+		if err != nil {
+			return fmt.Errorf("faults: delay=%q: %v", val, err)
+		}
+		dur, err := time.ParseDuration(fields[2])
+		if err != nil || dur <= 0 {
+			return fmt.Errorf("faults: delay=%q: bad duration %q", val, fields[2])
+		}
+		p.dirs = append(p.dirs, directive{kind: dirDelay, stream: fields[0], n: n, dur: dur})
+	case "droppct":
+		if len(fields) != 2 {
+			return fmt.Errorf("faults: droppct=%q: want STREAM:PCT", val)
+		}
+		pct, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || pct < 0 || pct > 100 {
+			return fmt.Errorf("faults: droppct=%q: percentage must be in [0,100]", val)
+		}
+		p.dirs = append(p.dirs, directive{kind: dirDropPct, stream: fields[0], pct: pct / 100})
+	case "kill":
+		if len(fields) != 2 || fields[0] != "data" {
+			return fmt.Errorf("faults: kill=%q: want data:N", val)
+		}
+		n, err := positiveInt(fields[1])
+		if err != nil {
+			return fmt.Errorf("faults: kill=%q: %v", val, err)
+		}
+		p.dirs = append(p.dirs, directive{kind: dirKill, n: n})
+	case "wedge":
+		if len(fields) != 3 || fields[0] != "data" {
+			return fmt.Errorf("faults: wedge=%q: want data:N:DUR", val)
+		}
+		n, err := positiveInt(fields[1])
+		if err != nil {
+			return fmt.Errorf("faults: wedge=%q: %v", val, err)
+		}
+		dur, err := time.ParseDuration(fields[2])
+		if err != nil || dur <= 0 {
+			return fmt.Errorf("faults: wedge=%q: bad duration %q", val, fields[2])
+		}
+		p.dirs = append(p.dirs, directive{kind: dirWedge, n: n, dur: dur})
+	default:
+		return errUnknown(key)
+	}
+	return nil
+}
+
+func errUnknown(key string) error {
+	return fmt.Errorf("faults: unknown directive %q (want seed, faildial, drop, dup, delay, droppct, kill, wedge)", key)
+}
+
+func positiveInt(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("count must be positive, got %d", n)
+	}
+	return n, nil
+}
+
+// String returns the original spec the plan was parsed from.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	return p.spec
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.dirs) == 0 }
+
+// Injector instantiates the plan for one process, with fresh counters and a
+// PRNG seeded from the plan. All methods are safe on a nil *Injector (every
+// hook in the transport is nil-by-default) and safe for concurrent use.
+func (p *Plan) Injector() *Injector {
+	if p == nil {
+		return nil
+	}
+	return &Injector{
+		plan: p,
+		rng:  rand.New(rand.NewSource(p.seed)),
+		sent: make(map[string]int),
+	}
+}
+
+// SendAction tells the transport what to do with one outgoing data frame.
+type SendAction struct {
+	Drop  bool
+	Dup   bool
+	Delay time.Duration
+}
+
+// Injector holds one process's live fault state.
+type Injector struct {
+	plan *Plan
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	dials      int
+	dataRecvd  int
+	sent       map[string]int // per-stream data frames sent
+	wedgeUntil time.Time
+	killed     bool
+	onKill     func()
+}
+
+// OnKill registers the callback fired (once, without the injector lock held)
+// when a kill directive triggers — typically Worker.Kill.
+func (in *Injector) OnKill(fn func()) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.onKill = fn
+	in.mu.Unlock()
+}
+
+// FailDial returns a non-nil error for each of the plan's first N dial
+// attempts (counted across all addresses), nil afterwards.
+func (in *Injector) FailDial() error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.dials++
+	for _, d := range in.plan.dirs {
+		if d.kind == dirFailDial && in.dials <= d.n {
+			return fmt.Errorf("faults: injected dial failure %d of %d", in.dials, d.n)
+		}
+	}
+	return nil
+}
+
+// DataSent accounts one outgoing data frame on stream and returns the
+// injected action (zero value = pass through untouched).
+func (in *Injector) DataSent(stream string) SendAction {
+	if in == nil {
+		return SendAction{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sent[stream]++
+	nth := in.sent[stream]
+	var act SendAction
+	for _, d := range in.plan.dirs {
+		if d.stream != stream {
+			continue
+		}
+		switch d.kind {
+		case dirDrop:
+			if nth == d.n {
+				act.Drop = true
+			}
+		case dirDup:
+			if nth == d.n {
+				act.Dup = true
+			}
+		case dirDelay:
+			if nth == d.n {
+				act.Delay = d.dur
+			}
+		case dirDropPct:
+			if in.rng.Float64() < d.pct {
+				act.Drop = true
+			}
+		}
+	}
+	return act
+}
+
+// FrameReceived accounts one received frame (isData marks data-plane frames,
+// the unit kill/wedge thresholds count). It returns kill=true exactly once
+// when a kill directive fires — the registered OnKill callback has already
+// run — and a positive stall duration while a wedge is in effect.
+func (in *Injector) FrameReceived(isData bool) (kill bool, stall time.Duration) {
+	if in == nil {
+		return false, 0
+	}
+	in.mu.Lock()
+	if isData {
+		in.dataRecvd++
+	}
+	now := time.Now()
+	var fire func()
+	for _, d := range in.plan.dirs {
+		switch d.kind {
+		case dirKill:
+			if isData && !in.killed && in.dataRecvd >= d.n {
+				in.killed = true
+				kill = true
+				fire = in.onKill
+			}
+		case dirWedge:
+			if isData && in.wedgeUntil.IsZero() && in.dataRecvd >= d.n {
+				in.wedgeUntil = now.Add(d.dur)
+			}
+		}
+	}
+	if !in.wedgeUntil.IsZero() && now.Before(in.wedgeUntil) {
+		stall = in.wedgeUntil.Sub(now)
+	}
+	in.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+	return kill, stall
+}
+
+// Wedged reports whether the process is inside a wedge window; the worker's
+// heartbeat sender consults it so a wedged worker goes silent, the way a
+// frozen process would.
+func (in *Injector) Wedged() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return !in.wedgeUntil.IsZero() && time.Now().Before(in.wedgeUntil)
+}

@@ -1,0 +1,225 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePlanEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", ";;", " ; "} {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", spec, err)
+		}
+		if !p.Empty() {
+			t.Fatalf("ParsePlan(%q): want empty plan", spec)
+		}
+		if p.Injector() == nil {
+			t.Fatalf("ParsePlan(%q): empty plan should still yield an injector", spec)
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	bad := []string{
+		"bogus=1",
+		"drop=stream",        // missing NTH
+		"drop=stream:0",      // non-positive
+		"drop=stream:x",      // non-numeric
+		"delay=stream:1",     // missing duration
+		"delay=stream:1:abc", // bad duration
+		"delay=stream:1:-1s", // non-positive duration
+		"droppct=stream:101",
+		"droppct=stream:-1",
+		"kill=5",        // missing data: prefix
+		"kill=frames:5", // wrong unit
+		"wedge=data:5",  // missing duration
+		"faildial=0",
+		"seed=abc",
+		"noequals",
+	}
+	for _, spec := range bad {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if err := in.FailDial(); err != nil {
+		t.Fatalf("nil FailDial: %v", err)
+	}
+	if act := in.DataSent("s"); act != (SendAction{}) {
+		t.Fatalf("nil DataSent: %+v", act)
+	}
+	if kill, stall := in.FrameReceived(true); kill || stall != 0 {
+		t.Fatalf("nil FrameReceived: kill=%v stall=%v", kill, stall)
+	}
+	if in.Wedged() {
+		t.Fatal("nil Wedged: want false")
+	}
+	in.OnKill(func() {}) // must not panic
+}
+
+func TestFailDial(t *testing.T) {
+	p, err := ParsePlan("faildial=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Injector()
+	for i := 0; i < 2; i++ {
+		if err := in.FailDial(); err == nil {
+			t.Fatalf("dial %d: want injected failure", i+1)
+		}
+	}
+	if err := in.FailDial(); err != nil {
+		t.Fatalf("dial 3: want success, got %v", err)
+	}
+}
+
+func TestDropDupDelayTargetNthFrame(t *testing.T) {
+	p, err := ParsePlan("drop=a:2; dup=b:1; delay=a:3:50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Injector()
+	// Stream a: frame1 clean, frame2 dropped, frame3 delayed.
+	if act := in.DataSent("a"); act != (SendAction{}) {
+		t.Fatalf("a#1: %+v", act)
+	}
+	if act := in.DataSent("a"); !act.Drop || act.Dup || act.Delay != 0 {
+		t.Fatalf("a#2: %+v", act)
+	}
+	if act := in.DataSent("a"); act.Drop || act.Dup || act.Delay != 50*time.Millisecond {
+		t.Fatalf("a#3: %+v", act)
+	}
+	// Stream b: frame1 duplicated, frame2 clean.
+	if act := in.DataSent("b"); !act.Dup || act.Drop {
+		t.Fatalf("b#1: %+v", act)
+	}
+	if act := in.DataSent("b"); act != (SendAction{}) {
+		t.Fatalf("b#2: %+v", act)
+	}
+	// Unrelated stream untouched.
+	if act := in.DataSent("c"); act != (SendAction{}) {
+		t.Fatalf("c#1: %+v", act)
+	}
+}
+
+func TestDropPctDeterministicPerSeed(t *testing.T) {
+	run := func(seed string) []bool {
+		p, err := ParsePlan("seed=" + seed + "; droppct=s:50")
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := p.Injector()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.DataSent("s").Drop
+		}
+		return out
+	}
+	a, b := run("7"), run("7")
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d: same seed diverged", i)
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("droppct=50 dropped %d/%d frames; want a mix", drops, len(a))
+	}
+}
+
+func TestKillFiresOnceAndRunsCallback(t *testing.T) {
+	p, err := ParsePlan("kill=data:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Injector()
+	fired := 0
+	in.OnKill(func() { fired++ })
+	for i := 1; i <= 2; i++ {
+		if kill, _ := in.FrameReceived(true); kill {
+			t.Fatalf("frame %d: premature kill", i)
+		}
+	}
+	if kill, _ := in.FrameReceived(false); kill {
+		t.Fatal("control frame must not advance the data count to the threshold")
+	}
+	if kill, _ := in.FrameReceived(true); !kill {
+		t.Fatal("frame 3: want kill")
+	}
+	if kill, _ := in.FrameReceived(true); kill {
+		t.Fatal("kill must fire exactly once")
+	}
+	if fired != 1 {
+		t.Fatalf("OnKill fired %d times, want 1", fired)
+	}
+}
+
+func TestWedgeWindow(t *testing.T) {
+	p, err := ParsePlan("wedge=data:2:100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Injector()
+	if in.Wedged() {
+		t.Fatal("wedged before threshold")
+	}
+	in.FrameReceived(true)
+	if _, stall := in.FrameReceived(true); stall <= 0 {
+		t.Fatal("frame 2: want a stall inside the wedge window")
+	}
+	if !in.Wedged() {
+		t.Fatal("want Wedged inside the window")
+	}
+	time.Sleep(120 * time.Millisecond)
+	if in.Wedged() {
+		t.Fatal("wedge window should have expired")
+	}
+	if _, stall := in.FrameReceived(true); stall != 0 {
+		t.Fatal("no stall after the window expires")
+	}
+}
+
+func TestSeparateInjectorsAreIndependent(t *testing.T) {
+	p, err := ParsePlan("drop=s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := p.Injector(), p.Injector()
+	if act := a.DataSent("s"); !act.Drop {
+		t.Fatal("a#1: want drop")
+	}
+	if act := b.DataSent("s"); !act.Drop {
+		t.Fatal("b must have its own counters: want drop on its first frame")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	spec := "seed=3; kill=data:10"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != spec {
+		t.Fatalf("String() = %q, want %q", p.String(), spec)
+	}
+	var nilPlan *Plan
+	if nilPlan.String() != "" || !nilPlan.Empty() || nilPlan.Injector() != nil {
+		t.Fatal("nil plan must be inert")
+	}
+}
+
+func TestUnknownDirectiveErrorListsGrammar(t *testing.T) {
+	_, err := ParsePlan("frobnicate=1")
+	if err == nil || !strings.Contains(err.Error(), "frobnicate") {
+		t.Fatalf("want error naming the directive, got %v", err)
+	}
+}

@@ -1,0 +1,52 @@
+// Package leakcheck is a stdlib-only goroutine-leak guard for tests. It
+// records the goroutine count when a test starts and, at cleanup, polls
+// until the count settles back to (near) the baseline — flusher, reader,
+// and heartbeat goroutines from a distributed run must all have exited.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// slack tolerates runtime-internal goroutines (finalizer, test timers)
+// that come and go independently of the code under test.
+const slack = 2
+
+// Check installs the guard. Call it FIRST in a test, before any helper
+// that registers its own t.Cleanup (cleanups run LIFO, so the guard's
+// cleanup then runs last, after the helpers have torn everything down).
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // the failure is the story; a leak report would bury it
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d goroutines, started with %d (+%d slack)\n%s",
+			n, base, slack, truncate(buf, 16<<10))
+	})
+}
+
+func truncate(b []byte, max int) string {
+	if len(b) <= max {
+		return string(b)
+	}
+	return fmt.Sprintf("%s\n... (%d more bytes)", b[:max], len(b)-max)
+}

@@ -1,0 +1,33 @@
+package leakcheck
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCheckPassesWhenGoroutinesSettle exercises the happy path: a goroutine
+// that exits before cleanup must not trip the guard, even if it is still
+// running at cleanup entry (the guard polls).
+func TestCheckPassesWhenGoroutinesSettle(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate([]byte("short"), 10); got != "short" {
+		t.Fatalf("truncate small: %q", got)
+	}
+	long := make([]byte, 100)
+	for i := range long {
+		long[i] = 'x'
+	}
+	got := truncate(long, 10)
+	if len(got) >= 100 || got[:10] != "xxxxxxxxxx" {
+		t.Fatalf("truncate large: %q", got)
+	}
+}

@@ -31,6 +31,9 @@ type Kind uint8
 // ProcessStart/ProcessEnd bracket one filter copy's Process call for a unit
 // of work; StallStart/StallEnd bracket time a copy spends blocked on a full
 // or empty stream queue (Note says which side: "read" or "write").
+// HostDown/UOWRetry are failure-model events from the distributed
+// coordinator: a host declared dead (Note names it) and a unit of work
+// re-dispatched on a shrunk placement.
 const (
 	KindEnqueue Kind = iota + 1
 	KindPick
@@ -40,6 +43,8 @@ const (
 	KindProcessEnd
 	KindStallStart
 	KindStallEnd
+	KindHostDown
+	KindUOWRetry
 )
 
 var kindNames = [...]string{
@@ -51,6 +56,8 @@ var kindNames = [...]string{
 	KindProcessEnd:   "process-end",
 	KindStallStart:   "stall-start",
 	KindStallEnd:     "stall-end",
+	KindHostDown:     "host-down",
+	KindUOWRetry:     "uow-retry",
 }
 
 // String returns the event kind's schema name.
