@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"datacutter/internal/core"
+	"datacutter/internal/exec"
 	"datacutter/internal/experiments"
 	"datacutter/internal/isoviz"
 	"datacutter/internal/obs"
@@ -40,6 +41,8 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids")
 		trace   = flag.String("trace", "", "write Chrome trace_event JSON to this file")
 		metrics = flag.Bool("metrics", false, "print the metrics registry snapshot after the run")
+		policy  = flag.String("policy", "DD", "demo pipeline default writer policy: RR | WRR | DD | DD/<k>")
+		streams = flag.String("stream-policy", "", "demo pipeline per-stream overrides, e.g. 'triangles=DD/8,pixels=WRR'")
 	)
 	flag.Parse()
 
@@ -100,7 +103,7 @@ func main() {
 		ids = []string{*exp}
 	case o != nil:
 		// Tracing with no experiment: run the built-in demo pipeline.
-		if err := runDemo(o); err != nil {
+		if err := runDemo(o, *policy, *streams); err != nil {
 			fatal(err)
 		}
 		finish()
@@ -126,9 +129,18 @@ func main() {
 
 // runDemo executes a quickstart-sized isosurface pipeline on the real
 // (goroutine) engine under the observer: a 97^3 synthetic field through
-// read+extract (2 copies) -> raster (4 copies) -> merge with the
-// demand-driven policy. Every filter copy produces trace events.
-func runDemo(o *obs.Observer) error {
+// read+extract (2 copies) -> raster (4 copies) -> merge, with the writer
+// policy selected by -policy / -stream-policy (demand driven by default).
+// Every filter copy produces trace events.
+func runDemo(o *obs.Observer, policy, streamSpec string) error {
+	perStream, err := exec.ParseStreamPolicies(streamSpec)
+	if err != nil {
+		return err
+	}
+	cfg, err := exec.ParsePolicies(policy, perStream)
+	if err != nil {
+		return err
+	}
 	field := volume.NewPlumeField(42, 4)
 	source := isoviz.NewFieldSource(field, 97, 97, 97, 4, 4, 4)
 	spec := isoviz.PipelineSpec{
@@ -147,9 +159,10 @@ func runDemo(o *obs.Observer) error {
 		Camera: isoviz.DefaultView(0).Camera,
 	}
 	runner, err := core.NewRunner(spec.Build(), placement, core.Options{
-		Policy: core.DemandDriven(),
-		UOWs:   []any{view},
-		Obs:    o,
+		Policy:       cfg.Default,
+		StreamPolicy: cfg.PerStream,
+		UOWs:         []any{view},
+		Obs:          o,
 	})
 	if err != nil {
 		return err

@@ -28,6 +28,7 @@ import (
 
 	"datacutter/internal/core"
 	"datacutter/internal/dist"
+	"datacutter/internal/exec"
 	"datacutter/internal/faults"
 	"datacutter/internal/geom"
 	"datacutter/internal/isoviz"
@@ -43,7 +44,8 @@ func main() {
 		size    = flag.Int("size", 512, "output image width and height")
 		iso     = flag.Float64("iso", 0.5, "isosurface value")
 		steps   = flag.Int("timesteps", 1, "consecutive timesteps to render")
-		policy  = flag.String("policy", "DD", "writer policy: RR | WRR | DD | DD/<k>")
+		policy  = flag.String("policy", "DD", "default writer policy: RR | WRR | DD | DD/<k>")
+		streams = flag.String("stream-policy", "", "per-stream policy overrides, e.g. 'triangles=DD/8,pixels=WRR'")
 		grid    = flag.Int("grid", 65, "synthetic grid samples per axis (without -dir)")
 		debug   = flag.String("debug-addr", "", "serve coordinator /metrics and /debug/pprof on this address during the run")
 		metrics = flag.Bool("metrics", false, "print the coordinator metrics snapshot after the run")
@@ -145,8 +147,14 @@ func main() {
 		}
 	}
 
+	streamPolicy, err := exec.ParseStreamPolicies(*streams)
+	if err != nil {
+		fatal(err)
+	}
+
 	opts := dist.Options{
 		Policy:            *policy,
+		StreamPolicy:      streamPolicy,
 		MaxUOWRetries:     *retries,
 		HeartbeatInterval: *hbInterval,
 		HeartbeatMisses:   *hbMisses,

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"datacutter/internal/exec"
 	"datacutter/internal/obs"
 )
 
@@ -45,14 +46,14 @@ func (o *Options) Validate() error {
 	return nil
 }
 
+// policies bundles the default + per-stream overrides into the shared
+// resolution logic (override > default > RR) used by all three engines.
+func (o *Options) policies() exec.PolicyConfig {
+	return exec.PolicyConfig{Default: o.Policy, PerStream: o.StreamPolicy}
+}
+
 func (o *Options) policyFor(stream string) Policy {
-	if p, ok := o.StreamPolicy[stream]; ok && p != nil {
-		return p
-	}
-	if o.Policy != nil {
-		return o.Policy
-	}
-	return RoundRobin()
+	return o.policies().For(stream)
 }
 
 func (o *Options) queueCap() int {
@@ -164,12 +165,13 @@ func (r *Runner) Run() (*Stats, error) {
 }
 
 // delivery is one buffer in flight, carrying the DD ack path back to the
-// producing copy.
+// producing copy's sliding window (nil for zero-overhead policies).
 type delivery struct {
 	buf       Buffer
-	ackCh     chan int
+	acks      exec.AckChan
 	targetIdx int
-	// ackEvery is the producer policy's ack coalescing factor (>= 1).
+	// ackEvery is the producer policy's ack coalescing factor (>= 1 when
+	// acks is non-nil).
 	ackEvery int
 }
 
@@ -187,8 +189,8 @@ type streamRT struct {
 	hosts     []string // consumer copy-set hosts, placement order
 	copies    []int    // consumer copies per host
 	chans     []chan delivery
-	recvCount []int64 // atomic, per target
-	producers int32   // atomic: unfinished producer copies
+	counts    *exec.Counts    // per-target deliveries, shared by producer copies
+	producers *exec.Countdown // end-of-work: last producer closes the queues
 	bufBytes  int
 	metrics   *streamMetrics // nil unless Options.Obs is set
 
@@ -230,13 +232,13 @@ func (r *Runner) runUOW(uow int, work any) error {
 	// Build per-stream runtime state.
 	streams := make(map[string]*streamRT)
 	for _, sp := range r.g.Streams() {
-		st := &streamRT{spec: sp, producers: int32(r.pl.TotalCopies(sp.From))}
+		st := &streamRT{spec: sp, producers: exec.NewCountdown(r.pl.TotalCopies(sp.From))}
 		for _, e := range r.pl.Of(sp.To) {
 			st.hosts = append(st.hosts, e.Host)
 			st.copies = append(st.copies, e.Copies)
 			st.chans = append(st.chans, make(chan delivery, qcap))
 		}
-		st.recvCount = make([]int64, len(st.hosts))
+		st.counts = exec.NewCounts(len(st.hosts))
 		if reg := r.opts.Obs.Registry(); reg != nil {
 			st.metrics = &streamMetrics{
 				buffers: reg.Counter("core.stream." + sp.Name + ".buffers"),
@@ -256,15 +258,16 @@ func (r *Runner) runUOW(uow int, work any) error {
 	for _, name := range r.g.Filters() {
 		for _, ci := range r.copies[name] {
 			c := &runCtx{
-				r:       r,
-				ci:      ci,
-				uow:     uow,
-				work:    work,
-				done:    done,
-				inputs:  make(map[string]chan delivery),
-				inputRT: make(map[string]*streamRT),
-				writers: make(map[string]*writerRT),
-				o:       r.opts.Obs,
+				r:        r,
+				ci:       ci,
+				uow:      uow,
+				work:     work,
+				done:     done,
+				inputs:   make(map[string]chan delivery),
+				inputRT:  make(map[string]*streamRT),
+				writers:  make(map[string]*exec.StreamWriter),
+				outputRT: make(map[string]*streamRT),
+				o:        r.opts.Obs,
 			}
 			if reg := r.opts.Obs.Registry(); reg != nil {
 				c.readStallH = reg.Histogram("core.read_stall_seconds")
@@ -286,20 +289,21 @@ func (r *Runner) runUOW(uow int, work any) error {
 			for _, sp := range r.g.Outputs(name) {
 				st := streams[sp.Name]
 				infos := make([]TargetInfo, len(st.hosts))
-				maxInFlight := 8
 				for i, h := range st.hosts {
 					infos[i] = TargetInfo{Host: h, Copies: st.copies[i], Local: h == ci.host}
-					maxInFlight += qcap + st.copies[i]
 				}
-				w := r.opts.policyFor(sp.Name).NewWriter(infos)
-				wr := &writerRT{st: st, w: w, unacked: make([]int, len(st.hosts))}
-				if w.WantsAcks() {
-					// Sized so a consumer's ack send can never block: at
-					// most (queue capacity + copies) buffers per target can
-					// be un-acked from this producer at once.
-					wr.ackCh = make(chan int, maxInFlight)
+				port := &chanPort{c: c, st: st, stream: sp.Name}
+				sw := exec.NewStreamWriter(sp.Name, r.opts.policyFor(sp.Name), infos, port, st.counts,
+					exec.Meta{Obs: r.opts.Obs, Filter: ci.name, Copy: ci.globalIdx, Host: ci.host, UOW: uow})
+				if sw.WantsAcks() {
+					// Sized (exec.AckCap) so a consumer's ack send can never
+					// block: at most (queue capacity + copies) buffers per
+					// target can be un-acked from this producer at once.
+					port.acks = exec.NewAckChan(exec.AckCap(infos, qcap))
+					sw.BindAckSource(port.acks)
 				}
-				c.writers[sp.Name] = wr
+				c.writers[sp.Name] = sw
+				c.outputRT[sp.Name] = st
 			}
 			ctxs = append(ctxs, c)
 		}
@@ -333,7 +337,7 @@ func (r *Runner) runUOW(uow int, work any) error {
 			// End-of-work: this copy will write no more buffers.
 			for _, sp := range r.g.Outputs(c.ci.name) {
 				st := streams[sp.Name]
-				if atomic.AddInt32(&st.producers, -1) == 0 {
+				if st.producers.Done() {
 					for _, ch := range st.chans {
 						close(ch)
 					}
@@ -356,10 +360,7 @@ func (r *Runner) runUOW(uow int, work any) error {
 
 	// Fold per-target receive counts into stats.
 	for name, st := range streams {
-		ss := r.stats.Streams[name]
-		for i, h := range st.hosts {
-			ss.PerTargetHost[h] += atomic.LoadInt64(&st.recvCount[i])
-		}
+		st.counts.Fold(st.hosts, r.stats.Streams[name].PerTargetHost)
 	}
 	return nil
 }
@@ -425,12 +426,39 @@ func (r *Runner) runPhase(ctxs []*runCtx, ab *abort, f func(*runCtx) error) erro
 	return ab.err()
 }
 
-// writerRT is per-(producer copy, stream) state.
-type writerRT struct {
-	st      *streamRT
-	w       Writer
-	unacked []int
-	ackCh   chan int
+// chanPort binds the shared stream-writer runtime (exec.StreamWriter) to
+// this engine's transport: a buffered Go channel per copy set. Deliver owns
+// everything transport-side of the pick — backpressure stalls,
+// cancellation, stream stats, and the enqueue trace event.
+type chanPort struct {
+	c      *runCtx
+	st     *streamRT
+	stream string
+	acks   exec.AckChan // non-nil when the policy wants acks
+}
+
+func (p *chanPort) Deliver(idx int, b Buffer, ackEvery int) error {
+	c := p.c
+	d := delivery{buf: b, targetIdx: idx}
+	if ackEvery > 0 {
+		d.acks = p.acks
+		d.ackEvery = ackEvery
+	}
+	if err := c.enqueue(p.st, p.stream, idx, d); err != nil {
+		return err
+	}
+	ss := c.r.stats.Streams[p.stream]
+	atomic.AddInt64(&ss.Buffers, 1)
+	atomic.AddInt64(&ss.Bytes, int64(b.Size))
+	atomic.AddInt64(&c.r.stats.Filters[c.ci.name].BuffersOut, 1)
+	if c.o != nil {
+		if m := p.st.metrics; m != nil {
+			m.buffers.Inc()
+			m.bytes.Add(int64(b.Size))
+		}
+		c.o.Emit(obs.Event{Kind: obs.KindEnqueue, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, Stream: p.stream, Target: p.st.hosts[idx], Bytes: b.Size, UOW: c.uow})
+	}
+	return nil
 }
 
 // runCtx implements Ctx for the real engine.
@@ -441,9 +469,10 @@ type runCtx struct {
 	work any
 	done chan struct{}
 
-	inputs  map[string]chan delivery
-	inputRT map[string]*streamRT
-	writers map[string]*writerRT
+	inputs   map[string]chan delivery
+	inputRT  map[string]*streamRT
+	writers  map[string]*exec.StreamWriter
+	outputRT map[string]*streamRT
 
 	// o is the attached observer (nil = disabled; every use is guarded or
 	// nil-receiver safe, so the off cost is a pointer comparison).
@@ -454,14 +483,14 @@ type runCtx struct {
 	readBlocked  float64
 	writeBlocked float64
 
-	// ackPending coalesces acks per (stream, ack channel, target) for
-	// batched-ack policies.
-	ackPending map[ackPendingKey]int
+	// acks coalesces consumer-side acknowledgments per (stream, ack
+	// channel, target) for batched-ack policies.
+	acks *exec.Coalescer[ackPendingKey]
 }
 
 type ackPendingKey struct {
 	stream string
-	ch     chan int
+	ch     exec.AckChan
 	target int
 }
 
@@ -507,7 +536,7 @@ func (c *runCtx) finishRead(stream string, t0 time.Time, d delivery, ok bool) (B
 		c.flushAcks()
 		return Buffer{}, false
 	}
-	if d.ackCh != nil {
+	if d.acks != nil {
 		c.ack(stream, d)
 	}
 	atomic.AddInt64(&c.r.stats.Filters[c.ci.name].BuffersIn, 1)
@@ -520,28 +549,16 @@ func (c *runCtx) emitStall(k obs.Kind, stream, dir string) {
 }
 
 // ack acknowledges one consumed buffer as processing begins (paper §2),
-// coalescing per the producer policy's batch factor. The ack channel is
-// sized so sends cannot block.
+// coalescing per the producer policy's batch factor (exec.Coalescer). The
+// ack channel is sized (exec.AckCap) so sends cannot block.
 func (c *runCtx) ack(stream string, d delivery) {
-	if d.ackEvery > 1 {
-		if c.ackPending == nil {
-			c.ackPending = make(map[ackPendingKey]int)
-		}
-		key := ackPendingKey{stream: stream, ch: d.ackCh, target: d.targetIdx}
-		c.ackPending[key]++
-		if c.ackPending[key] < d.ackEvery {
-			return
-		}
-		n := c.ackPending[key]
-		delete(c.ackPending, key)
-		for i := 0; i < n; i++ {
-			d.ackCh <- d.targetIdx
-		}
-		c.ackSent(stream, n)
-		return
+	if c.acks == nil {
+		c.acks = exec.NewCoalescer[ackPendingKey](func(key ackPendingKey, n int) {
+			key.ch.Ack(key.target, n)
+			c.ackSent(key.stream, n)
+		})
 	}
-	d.ackCh <- d.targetIdx
-	c.ackSent(stream, 1)
+	c.acks.Ack(ackPendingKey{stream: stream, ch: d.acks, target: d.targetIdx}, d.ackEvery)
 }
 
 // ackSent accounts one acknowledgment message covering n buffers.
@@ -558,69 +575,29 @@ func (c *runCtx) ackSent(stream string, n int) {
 // flushAcks releases coalesced acknowledgments at end-of-work (each flush
 // counts as one acknowledgment message, as it would on the wire).
 func (c *runCtx) flushAcks() {
-	for key, n := range c.ackPending {
-		delete(c.ackPending, key)
-		for i := 0; i < n; i++ {
-			key.ch <- key.target
-		}
-		c.ackSent(key.stream, n)
+	if c.acks != nil {
+		c.acks.Flush()
 	}
 }
 
+// Write hands the buffer to the shared stream-writer runtime: ack drain,
+// policy pick, and window update happen in exec.StreamWriter; the chanPort
+// Deliver callback brings the buffer back into this engine's channels.
 func (c *runCtx) Write(stream string, b Buffer) error {
-	wr, ok := c.writers[stream]
+	sw, ok := c.writers[stream]
 	if !ok {
 		panic(fmt.Sprintf("core: filter %s writes unknown output stream %q", c.ci.name, stream))
 	}
-	// Fold in any pending acknowledgments before choosing a target.
-	if wr.ackCh != nil {
-	drain:
-		for {
-			select {
-			case i := <-wr.ackCh:
-				wr.unacked[i]--
-			default:
-				break drain
-			}
-		}
-	}
-	idx := wr.w.Pick(wr.unacked)
-	d := delivery{buf: b, targetIdx: idx}
-	if wr.ackCh != nil {
-		d.ackCh = wr.ackCh
-		d.ackEvery = AckBatchOf(wr.w)
-	}
-	if c.o != nil {
-		c.o.Emit(obs.Event{Kind: obs.KindPick, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, Stream: stream, Target: wr.st.hosts[idx], UOW: c.uow})
-	}
-	if err := c.enqueue(wr, stream, idx, d); err != nil {
-		return err
-	}
-	if wr.ackCh != nil {
-		wr.unacked[idx]++
-	}
-	atomic.AddInt64(&wr.st.recvCount[idx], 1)
-	ss := c.r.stats.Streams[stream]
-	atomic.AddInt64(&ss.Buffers, 1)
-	atomic.AddInt64(&ss.Bytes, int64(b.Size))
-	atomic.AddInt64(&c.r.stats.Filters[c.ci.name].BuffersOut, 1)
-	if c.o != nil {
-		if m := wr.st.metrics; m != nil {
-			m.buffers.Inc()
-			m.bytes.Add(int64(b.Size))
-		}
-		c.o.Emit(obs.Event{Kind: obs.KindEnqueue, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, Stream: stream, Target: wr.st.hosts[idx], Bytes: b.Size, UOW: c.uow})
-	}
-	return nil
+	return sw.Write(b)
 }
 
 // enqueue places a delivery on the chosen copy-set queue, tracing a stall
 // span when the queue is full and observability is on.
-func (c *runCtx) enqueue(wr *writerRT, stream string, idx int, d delivery) error {
+func (c *runCtx) enqueue(st *streamRT, stream string, idx int, d delivery) error {
 	t0 := time.Now()
 	if c.o != nil {
 		select {
-		case wr.st.chans[idx] <- d:
+		case st.chans[idx] <- d:
 			c.writeBlocked += time.Since(t0).Seconds()
 			return nil
 		case <-c.done:
@@ -635,7 +612,7 @@ func (c *runCtx) enqueue(wr *writerRT, stream string, idx int, d delivery) error
 		}()
 	}
 	select {
-	case wr.st.chans[idx] <- d:
+	case st.chans[idx] <- d:
 		c.writeBlocked += time.Since(t0).Seconds()
 	case <-c.done:
 		c.writeBlocked += time.Since(t0).Seconds()
@@ -648,8 +625,8 @@ func (c *runCtx) Compute(float64)     {} // real work is real on this engine
 func (c *runCtx) ChargeDisk(int, int) {}
 
 func (c *runCtx) DeclareBuffer(stream string, minBytes, maxBytes int) {
-	if wr, ok := c.writers[stream]; ok {
-		wr.st.declare(minBytes, maxBytes)
+	if st, ok := c.outputRT[stream]; ok {
+		st.declare(minBytes, maxBytes)
 		return
 	}
 	if st, ok := c.inputRT[stream]; ok {
@@ -660,8 +637,8 @@ func (c *runCtx) DeclareBuffer(stream string, minBytes, maxBytes int) {
 }
 
 func (c *runCtx) BufferBytes(stream string) int {
-	if wr, ok := c.writers[stream]; ok {
-		return wr.st.bufBytes
+	if st, ok := c.outputRT[stream]; ok {
+		return st.bufBytes
 	}
 	if st, ok := c.inputRT[stream]; ok {
 		return st.bufBytes

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"datacutter/internal/leakcheck"
 )
 
 // source emits ints 0..N-1, one per buffer.
@@ -90,6 +92,7 @@ func checkDoubled(t *testing.T, got []int, n int) {
 }
 
 func TestPipelineSingleCopies(t *testing.T) {
+	leakcheck.Check(t)
 	g, got := pipelineGraph(100)
 	pl := NewPlacement().
 		Place("S", "h0", 1).
@@ -108,6 +111,7 @@ func TestPipelineSingleCopies(t *testing.T) {
 func TestPipelineTransparentCopiesEveryPolicy(t *testing.T) {
 	for _, pol := range []Policy{RoundRobin(), WeightedRoundRobin(), DemandDriven()} {
 		t.Run(pol.Name(), func(t *testing.T) {
+			leakcheck.Check(t)
 			g, got := pipelineGraph(500)
 			pl := NewPlacement().
 				Place("S", "h0", 1).
@@ -139,6 +143,7 @@ func TestPipelineTransparentCopiesEveryPolicy(t *testing.T) {
 }
 
 func TestWRRDeliversProportionally(t *testing.T) {
+	leakcheck.Check(t)
 	g, got := pipelineGraph(600)
 	pl := NewPlacement().
 		Place("S", "h0", 1).
@@ -161,6 +166,7 @@ func TestWRRDeliversProportionally(t *testing.T) {
 }
 
 func TestDDGeneratesAcks(t *testing.T) {
+	leakcheck.Check(t)
 	g, got := pipelineGraph(200)
 	pl := NewPlacement().
 		Place("S", "h0", 1).
@@ -199,6 +205,7 @@ func TestRRIgnoresAcks(t *testing.T) {
 }
 
 func TestMultipleUOWs(t *testing.T) {
+	leakcheck.Check(t)
 	g, got := pipelineGraph(40)
 	pl := NewPlacement().
 		Place("S", "h0", 1).Place("D", "h0", 2).Place("C", "h0", 1)
@@ -434,6 +441,7 @@ func TestCopyIdentity(t *testing.T) {
 }
 
 func TestStatsBuffersAndBytes(t *testing.T) {
+	leakcheck.Check(t)
 	g, _ := pipelineGraph(64)
 	pl := NewPlacement().Place("S", "h0", 1).Place("D", "h0", 1).Place("C", "h0", 1)
 	r, _ := NewRunner(g, pl, Options{})
@@ -453,6 +461,7 @@ func TestStatsBuffersAndBytes(t *testing.T) {
 }
 
 func TestFanInMultipleInputStreams(t *testing.T) {
+	leakcheck.Check(t)
 	// Two sources feed one collector over distinct streams.
 	var mu sync.Mutex
 	got := &[]int{}
@@ -494,6 +503,7 @@ func (c *fanInCollector) Process(ctx Ctx) error {
 }
 
 func TestDDDirectsLoadAwayFromSlowConsumer(t *testing.T) {
+	leakcheck.Check(t)
 	// One fast and one artificially slow consumer copy set; DD should send
 	// clearly more buffers to the fast host than RR's even split.
 	run := func(pol Policy) map[string]int64 {

@@ -12,21 +12,20 @@
 // internal/simrt.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"datacutter/internal/exec"
+)
 
 // Buffer is the unit of data carried by a stream: a fixed-size container
 // written by a producer filter and consumed by exactly one copy of the
-// consumer filter.
-type Buffer struct {
-	// Payload is the application data. Real filters put actual data here
-	// (voxels, triangles, pixel runs); model filters used on the simulated
-	// engine put workload descriptors here.
-	Payload any
-	// Size is the buffer's size in bytes, used for accounting and, on the
-	// simulated engine, for transfer-cost modeling. It should reflect the
-	// payload's serialized size.
-	Size int
-}
+// consumer filter. Payload holds the application data (voxels, triangles,
+// pixel runs — or workload descriptors on the simulated engine); Size is
+// the serialized size in bytes, used for accounting and transfer-cost
+// modeling. The type is an alias for exec.Buffer, the unit the shared
+// stream-writer runtime moves.
+type Buffer = exec.Buffer
 
 // Filter is a user-defined component. The runtime drives each copy of a
 // filter through work cycles (units of work): Init, then Process until all

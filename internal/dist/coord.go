@@ -45,6 +45,11 @@ func RunObserved(addrs map[string]string, spec GraphSpec, placement []PlacementE
 	if opts.Policy != "" && core.PolicyByName(opts.Policy) == nil {
 		return nil, fmt.Errorf("dist: unknown policy %q", opts.Policy)
 	}
+	for stream, name := range opts.StreamPolicy {
+		if core.PolicyByName(name) == nil {
+			return nil, fmt.Errorf("dist: unknown policy %q for stream %q", name, stream)
+		}
+	}
 	for _, e := range placement {
 		if _, ok := addrs[e.Host]; !ok {
 			return nil, fmt.Errorf("dist: placement host %q has no worker address", e.Host)

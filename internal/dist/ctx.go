@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"datacutter/internal/core"
+	"datacutter/internal/exec"
 	"datacutter/internal/obs"
 )
 
@@ -19,9 +20,9 @@ type dctx struct {
 	readStallH  *obs.Histogram
 	writeStallH *obs.Histogram
 
-	// ackPending coalesces acknowledgments per (producer copy, stream,
-	// target) for batched-ack policies.
-	ackPending map[ackPendKey]int
+	// acks coalesces acknowledgments per (producer copy, stream, target)
+	// for batched-ack policies (exec.Coalescer).
+	acks *exec.Coalescer[ackPendKey]
 
 	// pendRel holds, per input stream, the release of the zero-copy wire
 	// buffer backing the buffer most recently delivered to this copy. It is
@@ -106,29 +107,97 @@ func (d *dctx) emitStall(k obs.Kind, stream, dir string) {
 	d.o.Emit(obs.Event{Kind: k, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: stream, UOW: d.u.index, Note: dir})
 }
 
+// distPort binds the shared stream-writer runtime (exec.StreamWriter) to
+// the distributed engine: a same-host pick lands on the shared copy-set
+// queue, a remote pick is framed and sent on the peer's data connection
+// (where blocking is TCP backpressure). The port lives in uowState with
+// its writer — dctx instances are rebuilt per phase, the write path is
+// per unit of work.
+type distPort struct {
+	s       *session
+	u       *uowState
+	c       *dcopy
+	stream  string
+	targets []core.TargetInfo
+	acks    exec.AckChan // non-nil when the policy wants acks
+	// writeStallH is resolved at writer construction (nil = obs disabled).
+	writeStallH *obs.Histogram
+}
+
+func (p *distPort) Deliver(idx int, b core.Buffer, ackEvery int) error {
+	s, u, o := p.s, p.u, p.s.w.obsrv
+	target := p.targets[idx]
+	if target.Host == s.setup.Host {
+		// Same-host delivery: straight into the shared copy-set queue.
+		dv := delivery{
+			buf: b, fromHost: s.setup.Host, producerCopy: p.c.globalIdx,
+			targetIdx: idx, stream: p.stream,
+		}
+		if ackEvery > 0 {
+			dv.ackEvery = ackEvery
+			dv.localAck = p.acks
+		}
+		if err := p.enqueueLocal(dv); err != nil {
+			return err
+		}
+		if o != nil {
+			o.Emit(obs.Event{Kind: obs.KindEnqueue, Filter: p.c.name, Copy: p.c.globalIdx, Host: s.setup.Host, Stream: p.stream, Target: target.Host, Bytes: b.Size, UOW: u.index})
+		}
+	} else {
+		c, err := s.peer(target.Host)
+		if err != nil {
+			s.failTransport(target.Host, err)
+			return core.ErrCancelled
+		}
+		// The payload is serialized by the conn via the codec registry
+		// (fast path for registered types, gob otherwise), outside the
+		// connection's write lock.
+		if err := c.send(dataFrame(u.index, p.stream, p.c.globalIdx, idx, ackEvery, b.Size, b.Payload)); err != nil {
+			s.failTransport(target.Host, fmt.Errorf("dist: sending buffer for %s to %s: %w", p.stream, target.Host, err))
+			return core.ErrCancelled
+		}
+		if m := s.w.metrics(); m != nil {
+			m.txDataFrames.Inc()
+			m.txDataBytes.Add(int64(b.Size))
+		}
+		if o != nil {
+			o.Emit(obs.Event{Kind: obs.KindSend, Filter: p.c.name, Copy: p.c.globalIdx, Host: s.setup.Host, Stream: p.stream, Target: target.Host, Bytes: b.Size, UOW: u.index})
+		}
+	}
+	u.statMu.Lock()
+	u.buffers[p.stream]++
+	u.bytes[p.stream] += int64(b.Size)
+	u.statMu.Unlock()
+	return nil
+}
+
 // enqueueLocal places a same-host delivery on the shared copy-set queue,
 // wrapping an actual block in a write-stall span.
-func (d *dctx) enqueueLocal(stream string, dv delivery) error {
-	q := d.u.queues[stream]
-	if d.o != nil {
+func (p *distPort) enqueueLocal(dv delivery) error {
+	s, o := p.s, p.s.w.obsrv
+	q := p.u.queues[p.stream]
+	emit := func(k obs.Kind) {
+		o.Emit(obs.Event{Kind: k, Filter: p.c.name, Copy: p.c.globalIdx, Host: s.setup.Host, Stream: p.stream, UOW: p.u.index, Note: "write"})
+	}
+	if o != nil {
 		select {
 		case q <- dv:
 			return nil
-		case <-d.s.failedCh:
+		case <-s.failedCh:
 			return core.ErrCancelled
 		default:
 		}
 		t0 := time.Now()
-		d.emitStall(obs.KindStallStart, stream, "write")
+		emit(obs.KindStallStart)
 		defer func() {
-			d.writeStallH.Observe(time.Since(t0).Seconds())
-			d.emitStall(obs.KindStallEnd, stream, "write")
+			p.writeStallH.Observe(time.Since(t0).Seconds())
+			emit(obs.KindStallEnd)
 		}()
 	}
 	select {
 	case q <- dv:
 		return nil
-	case <-d.s.failedCh:
+	case <-s.failedCh:
 		return core.ErrCancelled
 	}
 }
@@ -136,154 +205,59 @@ func (d *dctx) enqueueLocal(stream string, dv delivery) error {
 // ack acknowledges one consumed buffer, locally or over the wire,
 // coalescing per the producer's batch factor.
 func (d *dctx) ack(dv delivery) {
+	if d.acks == nil {
+		d.acks = exec.NewCoalescer[ackPendKey](d.sendAck)
+	}
 	key := ackPendKey{
 		stream: dv.stream, producerCopy: dv.producerCopy,
 		targetIdx: dv.targetIdx, fromHost: dv.fromHost, hasLocal: dv.localAck != nil,
 	}
-	n := 1
-	if dv.ackEvery > 1 {
-		if d.ackPending == nil {
-			d.ackPending = make(map[ackPendKey]int)
-		}
-		d.ackPending[key]++
-		if d.ackPending[key] < dv.ackEvery {
-			return
-		}
-		n = d.ackPending[key]
-		delete(d.ackPending, key)
-	}
-	d.sendAck(key, dv, n)
+	d.acks.Ack(key, dv.ackEvery)
 }
 
-func (d *dctx) sendAck(key ackPendKey, dv delivery, n int) {
+func (d *dctx) sendAck(key ackPendKey, n int) {
 	d.u.statMu.Lock()
 	d.u.ackCount[key.stream]++
 	d.u.statMu.Unlock()
 	if d.o != nil {
-		d.o.Emit(obs.Event{Kind: obs.KindAck, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: key.stream, Target: dv.fromHost, N: n, UOW: d.u.index})
+		d.o.Emit(obs.Event{Kind: obs.KindAck, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: key.stream, Target: key.fromHost, N: n, UOW: d.u.index})
 	}
-	if dv.localAck != nil {
-		select {
-		case dv.localAck <- [2]int{dv.targetIdx, n}:
-		default:
+	if key.hasLocal {
+		// Local acks go straight to the producer's window channel; Offer
+		// drops on overflow (the channel is sized so that cannot happen
+		// without fault-injected duplication).
+		if ch, ok := d.u.acks[copyStream{key.producerCopy, key.stream}]; ok {
+			ch.Offer(key.targetIdx, n)
 		}
 		return
 	}
-	c, err := d.s.peer(dv.fromHost)
+	c, err := d.s.peer(key.fromHost)
 	if err != nil {
 		return
 	}
 	if m := d.s.w.metrics(); m != nil {
 		m.txAckFrames.Inc()
 	}
-	_ = c.send(&frame{Kind: kindAck, UOWIdx: d.u.index, Stream: key.stream, Copy: dv.producerCopy, Target: dv.targetIdx, AckN: n})
+	_ = c.send(&frame{Kind: kindAck, UOWIdx: d.u.index, Stream: key.stream, Copy: key.producerCopy, Target: key.targetIdx, AckN: n})
 }
 
+// flushAcks releases coalesced acknowledgments at end-of-work so producer
+// windows drain even when a batch is incomplete.
 func (d *dctx) flushAcks() {
-	for key, n := range d.ackPending {
-		delete(d.ackPending, key)
-		if d.o != nil {
-			d.o.Emit(obs.Event{Kind: obs.KindAck, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: key.stream, Target: key.fromHost, N: n, UOW: d.u.index, Note: "flush"})
-		}
-		if key.hasLocal {
-			// Local acks need the channel; recover it from the writer map.
-			if ch, ok := d.u.acks[copyStream{key.producerCopy, key.stream}]; ok {
-				select {
-				case ch <- [2]int{key.targetIdx, n}:
-				default:
-				}
-			}
-			continue
-		}
-		if c, err := d.s.peer(key.fromHost); err == nil {
-			if m := d.s.w.metrics(); m != nil {
-				m.txAckFrames.Inc()
-			}
-			_ = c.send(&frame{Kind: kindAck, UOWIdx: d.u.index, Stream: key.stream, Copy: key.producerCopy, Target: key.targetIdx, AckN: n})
-		}
+	if d.acks != nil {
+		d.acks.Flush()
 	}
 }
 
+// Write hands the buffer to the shared stream-writer runtime: ack drain,
+// policy pick, and window update happen in exec.StreamWriter; the distPort
+// Deliver callback routes the buffer to the local queue or the wire.
 func (d *dctx) Write(stream string, b core.Buffer) error {
-	key := copyStream{d.c.globalIdx, stream}
-	dw := d.u.writers[key]
-	if dw == nil {
+	sw := d.u.writers[copyStream{d.c.globalIdx, stream}]
+	if sw == nil {
 		panic(fmt.Sprintf("dist: filter %s writes unknown stream %q", d.c.name, stream))
 	}
-	// Fold in pending acknowledgments.
-	if ch, ok := d.u.acks[key]; ok {
-	drain:
-		for {
-			select {
-			case a := <-ch:
-				dw.unacked[a[0]] -= a[1]
-			default:
-				break drain
-			}
-		}
-	}
-	idx := dw.writer.Pick(dw.unacked)
-	target := dw.targets[idx]
-	if dw.writer.WantsAcks() {
-		dw.unacked[idx]++
-	}
-	if d.o != nil {
-		d.o.Emit(obs.Event{Kind: obs.KindPick, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: stream, Target: target.Host, UOW: d.u.index})
-	}
-
-	if target.Host == d.s.setup.Host {
-		// Same-host delivery: straight into the shared copy-set queue.
-		dv := delivery{
-			buf: b, fromHost: d.s.setup.Host, producerCopy: d.c.globalIdx,
-			targetIdx: idx, stream: stream,
-		}
-		if dw.writer.WantsAcks() {
-			dv.ackEvery = dw.ackEvery
-			dv.localAck = d.u.acks[key]
-		}
-		if err := d.enqueueLocal(stream, dv); err != nil {
-			return err
-		}
-		if d.o != nil {
-			d.o.Emit(obs.Event{Kind: obs.KindEnqueue, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: stream, Target: target.Host, Bytes: b.Size, UOW: d.u.index})
-		}
-	} else {
-		c, err := d.s.peer(target.Host)
-		if err != nil {
-			d.s.failTransport(target.Host, err)
-			return core.ErrCancelled
-		}
-		ackEvery := 0
-		if dw.writer.WantsAcks() {
-			ackEvery = dw.ackEvery
-		}
-		// The payload is serialized by the conn via the codec registry
-		// (fast path for registered types, gob otherwise), outside the
-		// connection's write lock.
-		if err := c.send(dataFrame(d.u.index, stream, d.c.globalIdx, idx, ackEvery, b.Size, b.Payload)); err != nil {
-			d.s.failTransport(target.Host, fmt.Errorf("dist: sending buffer for %s to %s: %w", stream, target.Host, err))
-			return core.ErrCancelled
-		}
-		if m := d.s.w.metrics(); m != nil {
-			m.txDataFrames.Inc()
-			m.txDataBytes.Add(int64(b.Size))
-		}
-		if d.o != nil {
-			d.o.Emit(obs.Event{Kind: obs.KindSend, Filter: d.c.name, Copy: d.c.globalIdx, Host: d.s.setup.Host, Stream: stream, Target: target.Host, Bytes: b.Size, UOW: d.u.index})
-		}
-	}
-
-	d.u.statMu.Lock()
-	d.u.buffers[stream]++
-	d.u.bytes[stream] += int64(b.Size)
-	per := d.u.perTarget[stream]
-	if per == nil {
-		per = make(map[string]int64)
-		d.u.perTarget[stream] = per
-	}
-	per[target.Host]++
-	d.u.statMu.Unlock()
-	return nil
+	return sw.Write(b)
 }
 
 func (d *dctx) Compute(float64)     {} // real work is real on this engine

@@ -1,0 +1,87 @@
+package dist_test
+
+import (
+	"strings"
+	"testing"
+
+	"datacutter/internal/dist"
+	"datacutter/internal/leakcheck"
+)
+
+// A per-stream override must survive the gob setup frame and actually steer
+// the workers' writers: with a DD session default but a WRR override on the
+// one stream, the distribution is the exact WRR split and no acknowledgment
+// traffic exists (WRR is ack-free; had the override been dropped anywhere
+// between Options, the setup frame, and the worker's writer construction,
+// DD would have produced acks).
+func TestDistributedStreamPolicyOverrideRoundTrip(t *testing.T) {
+	leakcheck.Check(t)
+	addrs, workers := startWorkers(t, 2)
+	const n = 120
+	st, err := dist.Run(addrs, intGraph(n), []dist.PlacementEntry{
+		{Filter: "S", Host: "host0", Copies: 1},
+		{Filter: "K", Host: "host0", Copies: 1},
+		{Filter: "K", Host: "host1", Copies: 2},
+	}, dist.Options{
+		Policy:       "DD",
+		StreamPolicy: map[string]string{"ints": "WRR"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := st.Streams["ints"].PerTargetHost
+	if per["host0"] != n/3 || per["host1"] != 2*n/3 {
+		t.Fatalf("override not applied, distribution %v, want host0:%d host1:%d", per, n/3, 2*n/3)
+	}
+	if st.Streams["ints"].Acks != 0 {
+		t.Fatalf("WRR override produced %d acks — DD default leaked through", st.Streams["ints"].Acks)
+	}
+	total := 0
+	for _, host := range []string{"host0", "host1"} {
+		for _, inst := range workers[host].Instances("K") {
+			total += inst.(*intSink).Seen
+		}
+	}
+	if total != n {
+		t.Fatalf("delivered %d of %d", total, n)
+	}
+}
+
+// The reverse direction: an ack-free default with a DD override on the
+// stream must produce acknowledgments.
+func TestDistributedStreamPolicyOverrideEnablesAcks(t *testing.T) {
+	leakcheck.Check(t)
+	addrs, _ := startWorkers(t, 2)
+	const n = 120
+	st, err := dist.Run(addrs, intGraph(n), []dist.PlacementEntry{
+		{Filter: "S", Host: "host0", Copies: 1},
+		{Filter: "K", Host: "host0", Copies: 1},
+		{Filter: "K", Host: "host1", Copies: 1},
+	}, dist.Options{
+		Policy:       "RR",
+		StreamPolicy: map[string]string{"ints": "DD/4"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Streams["ints"].Acks == 0 {
+		t.Fatal("DD/4 override produced no acks — RR default leaked through")
+	}
+}
+
+// The coordinator must reject a bad per-stream policy name before any
+// worker sees the session.
+func TestDistributedStreamPolicyRejected(t *testing.T) {
+	leakcheck.Check(t)
+	addrs, _ := startWorkers(t, 1)
+	_, err := dist.Run(addrs, intGraph(5), []dist.PlacementEntry{
+		{Filter: "S", Host: "host0", Copies: 1},
+		{Filter: "K", Host: "host0", Copies: 1},
+	}, dist.Options{StreamPolicy: map[string]string{"ints": "bogus"}}, nil)
+	if err == nil {
+		t.Fatal("bogus stream policy accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown policy") || !strings.Contains(err.Error(), "ints") {
+		t.Fatalf("unhelpful rejection: %v", err)
+	}
+}

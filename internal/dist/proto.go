@@ -56,9 +56,14 @@ type PlacementEntry struct {
 
 // Options configures a distributed run.
 type Options struct {
-	Policy      string // policy name (core.PolicyByName); default RR
-	QueueCap    int    // per-copy-set queue capacity (default 8)
-	BufferBytes int    // default stream buffer size (default 256 KiB)
+	Policy string // default policy name (core.PolicyByName); default RR
+	// StreamPolicy overrides the writer policy for individual streams by
+	// name ("RR" | "WRR" | "DD" | "DD/<k>"). Carried to every worker in
+	// the setup frame; the coordinator rejects the run up front if any
+	// name fails core.PolicyByName.
+	StreamPolicy map[string]string
+	QueueCap     int // per-copy-set queue capacity (default 8)
+	BufferBytes  int // default stream buffer size (default 256 KiB)
 
 	// Failure model. Zero values select the defaults below; recovery is
 	// opt-in — with MaxUOWRetries at its default of 0, a lost host fails

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"datacutter/internal/core"
+	"datacutter/internal/exec"
 	"datacutter/internal/faults"
 	"datacutter/internal/obs"
 )
@@ -398,7 +399,7 @@ type delivery struct {
 	producerCopy int
 	targetIdx    int
 	ackEvery     int
-	localAck     chan [2]int // non-nil for same-host deliveries
+	localAck     exec.AckChan // non-nil for same-host deliveries
 	// release recycles the pooled wire buffer a zero-copy payload aliases;
 	// the consumer's ctx calls it when the filter copy finishes the buffer.
 	release func()
@@ -438,31 +439,31 @@ type uowState struct {
 	index int
 	work  any
 
-	queues        map[string]chan delivery
-	producersLeft map[string]int
-	writers       map[copyStream]*dwriter
-	acks          map[copyStream]chan [2]int
+	queues map[string]chan delivery
+	// producersLeft counts down a stream's unfinished producer copies;
+	// the exact zero edge closes the local queue (duplicated producer-done
+	// frames from fault injection cannot double-close it). The map itself
+	// is immutable once the unit of work is published.
+	producersLeft map[string]*exec.Countdown
+	writers       map[copyStream]*exec.StreamWriter
+	acks          map[copyStream]exec.AckChan
+	// counts tallies per-target deliveries per produced stream, shared by
+	// this host's producer copies; targetHosts names the targets for the
+	// finalize-time fold into wireStats.PerTarget.
+	counts      map[string]*exec.Counts
+	targetHosts map[string][]string
 
 	declMu sync.Mutex
 	decls  map[string][2]int
 	sizes  map[string]int
 
 	// stats (atomics / mutex-guarded)
-	statMu    sync.Mutex
-	buffers   map[string]int64
-	bytes     map[string]int64
-	ackCount  map[string]int64
-	perTarget map[string]map[string]int64
-	busy      map[string][]float64
-	busyIdx   map[string]map[int]int // filter -> globalIdx -> slot
-}
-
-type dwriter struct {
-	stream   string
-	targets  []core.TargetInfo
-	writer   core.Writer
-	unacked  []int
-	ackEvery int
+	statMu   sync.Mutex
+	buffers  map[string]int64
+	bytes    map[string]int64
+	ackCount map[string]int64
+	busy     map[string][]float64
+	busyIdx  map[string]map[int]int // filter -> globalIdx -> slot
 }
 
 func newSession(w *Worker, setup *setupMsg) (*session, error) {
@@ -638,11 +639,16 @@ func (s *session) qcap() int {
 	return 8
 }
 
-func (s *session) policy() core.Policy {
-	if p := core.PolicyByName(s.setup.Opts.Policy); p != nil {
-		return p
+// policies resolves the session's writer-policy configuration (default +
+// per-stream overrides). The names were validated coordinator-side before
+// setup shipped; a name that somehow fails here falls back to Round Robin
+// via the zero config rather than crashing mid-session.
+func (s *session) policies() exec.PolicyConfig {
+	cfg, err := exec.ParsePolicies(s.setup.Opts.Policy, s.setup.Opts.StreamPolicy)
+	if err != nil {
+		return exec.PolicyConfig{}
 	}
-	return core.RoundRobin()
+	return cfg
 }
 
 // initUOW builds per-UOW plumbing and runs every local copy's Init.
@@ -659,15 +665,16 @@ func (s *session) initUOW(msg *uowMsg) (map[string][2]int, error) {
 		index:         msg.Index,
 		work:          work,
 		queues:        make(map[string]chan delivery),
-		producersLeft: make(map[string]int),
-		writers:       make(map[copyStream]*dwriter),
-		acks:          make(map[copyStream]chan [2]int),
+		producersLeft: make(map[string]*exec.Countdown),
+		writers:       make(map[copyStream]*exec.StreamWriter),
+		acks:          make(map[copyStream]exec.AckChan),
+		counts:        make(map[string]*exec.Counts),
+		targetHosts:   make(map[string][]string),
 		decls:         make(map[string][2]int),
 		sizes:         make(map[string]int),
 		buffers:       make(map[string]int64),
 		bytes:         make(map[string]int64),
 		ackCount:      make(map[string]int64),
-		perTarget:     make(map[string]map[string]int64),
 		busy:          make(map[string][]float64),
 		busyIdx:       make(map[string]map[int]int),
 	}
@@ -681,28 +688,40 @@ func (s *session) initUOW(msg *uowMsg) (map[string][2]int, error) {
 		}
 		if consumesHere {
 			u.queues[sp.Name] = make(chan delivery, s.qcap())
-			u.producersLeft[sp.Name] = s.totalOf[sp.From]
+			u.producersLeft[sp.Name] = exec.NewCountdown(s.totalOf[sp.From])
 		}
 	}
-	// Writers and ack channels for local producer copies.
-	pol := s.policy()
+	// Stream writers (the shared internal/exec runtime bound to a wire
+	// port) and ack channels for local producer copies.
+	pol := s.policies()
 	for _, c := range s.copies {
 		for _, sp := range s.outputsOf(c.name) {
 			targets := s.consumerTargets(sp, s.setup.Host)
-			wr := pol.NewWriter(targets)
-			dw := &dwriter{
-				stream: sp.Name, targets: targets, writer: wr,
-				unacked: make([]int, len(targets)), ackEvery: core.AckBatchOf(wr),
+			if u.counts[sp.Name] == nil {
+				u.counts[sp.Name] = exec.NewCounts(len(targets))
+				hosts := make([]string, len(targets))
+				for i, t := range targets {
+					hosts[i] = t.Host
+				}
+				u.targetHosts[sp.Name] = hosts
 			}
 			key := copyStream{c.globalIdx, sp.Name}
-			u.writers[key] = dw
-			if wr.WantsAcks() {
-				size := 8
-				for _, t := range targets {
-					size += s.qcap() + t.Copies
-				}
-				u.acks[key] = make(chan [2]int, size*4)
+			port := &distPort{s: s, u: u, c: c, stream: sp.Name, targets: targets}
+			if reg := s.w.obsrv.Registry(); reg != nil {
+				port.writeStallH = reg.Histogram("dist.write_stall_seconds")
 			}
+			sw := exec.NewStreamWriter(sp.Name, pol.For(sp.Name), targets, port, u.counts[sp.Name],
+				exec.Meta{Obs: s.w.obsrv, Filter: c.name, Copy: c.globalIdx, Host: s.setup.Host, UOW: u.index})
+			if sw.WantsAcks() {
+				// 4x the never-block bound: inbound wire acks are shed with
+				// Offer on overflow, so headroom trades memory for fewer
+				// conservative drops under fault-injected duplication.
+				ch := exec.NewAckChan(4 * exec.AckCap(targets, s.qcap()))
+				u.acks[key] = ch
+				port.acks = ch
+				sw.BindAckSource(ch)
+			}
+			u.writers[key] = sw
 		}
 	}
 	s.uowMu.Lock()
@@ -840,8 +859,8 @@ func (s *session) broadcastProducerDone(sp core.StreamSpec, uowIdx int) {
 	}
 }
 
-// producerDone decrements a stream's live-producer count, closing the
-// local queue at zero.
+// producerDone decrements a stream's live-producer countdown, closing the
+// local queue exactly once at zero.
 func (s *session) producerDone(stream string, uowIdx int) {
 	s.uowMu.Lock()
 	u := s.uow
@@ -849,18 +868,14 @@ func (s *session) producerDone(stream string, uowIdx int) {
 	if u == nil || u.index != uowIdx {
 		return
 	}
-	u.statMu.Lock()
-	left, ok := u.producersLeft[stream]
+	cd, ok := u.producersLeft[stream]
 	if !ok {
-		u.statMu.Unlock()
 		return
 	}
-	left--
-	u.producersLeft[stream] = left
-	q := u.queues[stream]
-	u.statMu.Unlock()
-	if left == 0 && q != nil {
-		close(q)
+	if cd.Done() {
+		if q := u.queues[stream]; q != nil {
+			close(q)
+		}
 	}
 }
 
@@ -896,11 +911,18 @@ func (s *session) finalize() (*wireStats, error) {
 	if finErr != nil {
 		return nil, finErr
 	}
+	// Fold the shared runtime's per-target tallies into the wire shape.
+	perTarget := make(map[string]map[string]int64, len(u.counts))
+	for stream, counts := range u.counts {
+		per := make(map[string]int64)
+		counts.Fold(u.targetHosts[stream], per)
+		perTarget[stream] = per
+	}
 	u.statMu.Lock()
 	defer u.statMu.Unlock()
 	ws := &wireStats{
 		StreamBuffers: u.buffers, StreamBytes: u.bytes, StreamAcks: u.ackCount,
-		PerTarget: u.perTarget, FilterBusy: u.busy,
+		PerTarget: perTarget, FilterBusy: u.busy,
 	}
 	return ws, nil
 }
@@ -965,12 +987,8 @@ func (s *session) dispatchPeer(f *frame) {
 		if u == nil || u.index != f.UOWIdx {
 			return
 		}
-		key := copyStream{f.Copy, f.Stream}
-		if ch, ok := u.acks[key]; ok {
-			select {
-			case ch <- [2]int{f.Target, f.AckN}:
-			default: // counter channel overflow: drop (conservative)
-			}
+		if ch, ok := u.acks[copyStream{f.Copy, f.Stream}]; ok {
+			ch.Offer(f.Target, f.AckN) // overflow: drop (conservative)
 		}
 	case kindProducerDone:
 		s.producerDone(f.Stream, f.UOWIdx)

@@ -18,6 +18,7 @@ import (
 
 	"datacutter/internal/cluster"
 	"datacutter/internal/core"
+	"datacutter/internal/exec"
 	"datacutter/internal/obs"
 	"datacutter/internal/sim"
 )
@@ -68,13 +69,7 @@ func (o *Options) validate() error {
 }
 
 func (o *Options) policyFor(stream string) core.Policy {
-	if p, ok := o.StreamPolicy[stream]; ok && p != nil {
-		return p
-	}
-	if o.Policy != nil {
-		return o.Policy
-	}
-	return core.RoundRobin()
+	return exec.PolicyConfig{Default: o.Policy, PerStream: o.StreamPolicy}.For(stream)
 }
 
 func (o *Options) queueCap() int {
@@ -203,14 +198,18 @@ type delivery struct {
 	buf    core.Buffer
 	sender *writerState
 	target int
+	// ackEvery is the producer policy's ack coalescing factor (> 0 when
+	// the policy wants acks).
+	ackEvery int
 }
 
 type streamRT struct {
-	spec   core.StreamSpec
-	hosts  []string
-	copies []int
-	chans  []*sim.Chan[delivery]
-	alive  int // unfinished producer copies
+	spec      core.StreamSpec
+	hosts     []string
+	copies    []int
+	chans     []*sim.Chan[delivery]
+	counts    *exec.Counts    // per-target deliveries, folded into stats
+	producers *exec.Countdown // end-of-work: last producer closes the queues
 
 	declMin, declMax int
 	bufBytes         int
@@ -232,23 +231,29 @@ func (s *streamRT) resolve(def int) {
 	s.bufBytes = b
 }
 
+// writerState is one producer copy's write path for one stream: the shared
+// stream-writer runtime plus this engine's ack source. The sim kernel is
+// cooperative, so acknowledgments land in a plain AckSeq (appended by the
+// spawned ack process after its wire transfer completes, drained by the
+// StreamWriter at the next pick).
 type writerState struct {
-	st      *streamRT
-	w       core.Writer
-	unacked []int
-	host    string // producer copy's host
+	st   *streamRT
+	sw   *exec.StreamWriter
+	acks *exec.AckSeq // non-nil when the policy wants acks
+	host string       // producer copy's host
 }
 
 func (r *Runner) runUOW(uow int, work any) error {
 	k := r.cl.Kernel()
 	streams := make(map[string]*streamRT)
 	for _, sp := range r.g.Streams() {
-		st := &streamRT{spec: sp, alive: r.pl.TotalCopies(sp.From)}
+		st := &streamRT{spec: sp, producers: exec.NewCountdown(r.pl.TotalCopies(sp.From))}
 		for _, e := range r.pl.Of(sp.To) {
 			st.hosts = append(st.hosts, e.Host)
 			st.copies = append(st.copies, e.Copies)
 			st.chans = append(st.chans, sim.NewChan[delivery](k, sp.Name+"@"+e.Host, r.opts.queueCap()))
 		}
+		st.counts = exec.NewCounts(len(st.hosts))
 		if reg := r.opts.Obs.Registry(); reg != nil {
 			st.ctrBuffers = reg.Counter("simrt.stream." + sp.Name + ".buffers")
 			st.ctrBytes = reg.Counter("simrt.stream." + sp.Name + ".bytes")
@@ -288,12 +293,15 @@ func (r *Runner) runUOW(uow int, work any) error {
 				for i, h := range st.hosts {
 					infos[i] = core.TargetInfo{Host: h, Copies: st.copies[i], Local: h == ci.host}
 				}
-				c.writers[sp.Name] = &writerState{
-					st:      st,
-					w:       r.opts.policyFor(sp.Name).NewWriter(infos),
-					unacked: make([]int, len(st.hosts)),
-					host:    ci.host,
+				ws := &writerState{st: st, host: ci.host}
+				ws.sw = exec.NewStreamWriter(sp.Name, r.opts.policyFor(sp.Name), infos,
+					&simPort{c: c, ws: ws, stream: sp.Name}, st.counts,
+					exec.Meta{Obs: r.opts.Obs, Filter: ci.name, Copy: ci.globalIdx, Host: ci.host, UOW: uow})
+				if ws.sw.WantsAcks() {
+					ws.acks = &exec.AckSeq{}
+					ws.sw.BindAckSource(ws.acks)
 				}
+				c.writers[sp.Name] = ws
 			}
 			ctxs = append(ctxs, c)
 		}
@@ -326,8 +334,7 @@ func (r *Runner) runUOW(uow int, work any) error {
 			c.readBlocked, c.writeBlocked, c.netSeconds = 0, 0, 0
 			for _, sp := range r.g.Outputs(c.ci.name) {
 				st := streams[sp.Name]
-				st.alive--
-				if st.alive == 0 {
+				if st.producers.Done() {
 					for _, ch := range st.chans {
 						ch.Close()
 					}
@@ -338,11 +345,17 @@ func (r *Runner) runUOW(uow int, work any) error {
 			}
 		})
 	}
-	if err := k.Run(); err != nil {
+	runErr := k.Run()
+	// Fold per-target delivery counts into stats before any error return,
+	// so a failed run still reports what was delivered.
+	for name, st := range streams {
+		st.counts.Fold(st.hosts, r.stats.Streams[name].PerTargetHost)
+	}
+	if runErr != nil {
 		if r.firstErr != nil {
 			return r.firstErr
 		}
-		return err
+		return runErr
 	}
 	if r.firstErr != nil {
 		return r.firstErr
@@ -406,9 +419,9 @@ type simCtx struct {
 	diskPending     *sim.Chan[struct{}]
 	diskOutstanding int
 
-	// ackPending coalesces acknowledgments per (producer writer, target)
-	// when the policy batches them (core.AckBatcher).
-	ackPending map[ackKey]int
+	// acks coalesces acknowledgments per (producer writer, target) when
+	// the policy batches them (exec.Coalescer).
+	acks *exec.Coalescer[ackKey]
 }
 
 type ackKey struct {
@@ -428,11 +441,11 @@ func (c *simCtx) Read(stream string) (core.Buffer, bool) {
 	c.readBlocked += float64(c.p.Now() - t0)
 	c.emitStallSpan(t0, stream, "read", c.readStallH)
 	if !ok {
-		c.flushAcks(stream)
+		c.flushAcks()
 		return core.Buffer{}, false
 	}
-	if d.sender != nil && d.sender.w.WantsAcks() {
-		c.ack(stream, d.sender, d.target)
+	if d.ackEvery > 0 {
+		c.ack(d.sender, d.target, d.ackEvery)
 	}
 	c.r.stats.Filters[c.ci.name].BuffersIn++
 	return d.buf, true
@@ -443,30 +456,22 @@ func (c *simCtx) Read(stream string) (core.Buffer, bool) {
 // producer's counter drops (paper §2: the ack indicates the buffer is
 // being processed). Batched-ack policies coalesce k buffers into one
 // message (the paper's §6 follow-up for reducing DD overhead).
-func (c *simCtx) ack(stream string, ws *writerState, target int) {
-	k := core.AckBatchOf(ws.w)
-	n := 1
-	if k > 1 {
-		if c.ackPending == nil {
-			c.ackPending = make(map[ackKey]int)
-		}
-		key := ackKey{ws, target}
-		c.ackPending[key]++
-		if c.ackPending[key] < k {
-			return
-		}
-		n = c.ackPending[key]
-		delete(c.ackPending, key)
+func (c *simCtx) ack(ws *writerState, target, every int) {
+	if c.acks == nil {
+		c.acks = exec.NewCoalescer[ackKey](func(key ackKey, n int) {
+			c.sendAck(key.ws, key.target, n)
+		})
 	}
-	c.sendAck(stream, ws, target, n)
+	c.acks.Ack(ackKey{ws, target}, every)
 }
 
-func (c *simCtx) sendAck(stream string, ws *writerState, target, n int) {
+func (c *simCtx) sendAck(ws *writerState, target, n int) {
+	stream := ws.st.spec.Name
 	from, to := c.ci.host, ws.host
 	ab := c.r.opts.ackBytes()
 	c.p.Kernel().Spawn("ack", func(p *sim.Proc) {
 		c.r.cl.Transfer(p, from, to, ab)
-		ws.unacked[target] -= n
+		ws.acks.Ack(target, n)
 	})
 	c.r.stats.Streams[stream].Acks++
 	if c.o != nil {
@@ -498,25 +503,35 @@ func (c *simCtx) emitStallSpan(t0 sim.Time, stream, dir string, h *obs.Histogram
 
 // flushAcks releases coalesced acknowledgments (called at end-of-work so
 // producers' counters settle even when a batch is incomplete).
-func (c *simCtx) flushAcks(stream string) {
-	for key, n := range c.ackPending {
-		delete(c.ackPending, key)
-		c.sendAck(stream, key.ws, key.target, n)
+func (c *simCtx) flushAcks() {
+	if c.acks != nil {
+		c.acks.Flush()
 	}
 }
 
+// Write hands the buffer to the shared stream-writer runtime: ack drain,
+// policy pick, and window update happen in exec.StreamWriter; the simPort
+// Deliver callback models the wire transfer and enqueue in virtual time.
 func (c *simCtx) Write(stream string, b core.Buffer) error {
 	ws, ok := c.writers[stream]
 	if !ok {
 		panic(fmt.Sprintf("simrt: filter %s writes unknown output stream %q", c.ci.name, stream))
 	}
-	idx := ws.w.Pick(ws.unacked)
-	if ws.w.WantsAcks() {
-		ws.unacked[idx]++
-	}
-	if c.o != nil {
-		c.o.Emit(obs.Event{Kind: obs.KindPick, Filter: c.ci.name, Copy: c.ci.globalIdx, Host: c.ci.host, Stream: stream, Target: ws.st.hosts[idx], UOW: c.uow})
-	}
+	return ws.sw.Write(b)
+}
+
+// simPort binds the shared stream-writer runtime to the simulated engine:
+// Deliver occupies sender and receiver NICs for the buffer's wire time,
+// then enqueues on the target copy set's sim channel (blocking there is
+// consumer backpressure, traced as a write stall).
+type simPort struct {
+	c      *simCtx
+	ws     *writerState
+	stream string
+}
+
+func (p *simPort) Deliver(idx int, b core.Buffer, ackEvery int) error {
+	c, ws, stream := p.c, p.ws, p.stream
 	// Wire time: occupy the NICs for the buffer's transfer.
 	t0 := c.p.Now()
 	c.r.cl.Transfer(c.p, c.ci.host, ws.st.hosts[idx], b.Size)
@@ -526,14 +541,13 @@ func (c *simCtx) Write(stream string, b core.Buffer) error {
 	}
 	// Enqueue; blocking here is backpressure from a full consumer queue.
 	t0 = c.p.Now()
-	ws.st.chans[idx].Send(c.p, delivery{buf: b, sender: ws, target: idx})
+	ws.st.chans[idx].Send(c.p, delivery{buf: b, sender: ws, target: idx, ackEvery: ackEvery})
 	c.writeBlocked += float64(c.p.Now() - t0)
 	c.emitStallSpan(t0, stream, "write", c.writeStallH)
 
 	ss := c.r.stats.Streams[stream]
 	ss.Buffers++
 	ss.Bytes += int64(b.Size)
-	ss.PerTargetHost[ws.st.hosts[idx]]++
 	c.r.stats.Filters[c.ci.name].BuffersOut++
 	if c.o != nil {
 		ws.st.ctrBuffers.Inc()

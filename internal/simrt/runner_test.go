@@ -7,6 +7,7 @@ import (
 
 	"datacutter/internal/cluster"
 	"datacutter/internal/core"
+	"datacutter/internal/leakcheck"
 	"datacutter/internal/sim"
 )
 
@@ -95,6 +96,7 @@ func buildPipeline(n, size int, cost float64) (*core.Graph, *modelSink) {
 }
 
 func TestSimPipelineDeliversEverything(t *testing.T) {
+	leakcheck.Check(t)
 	k := sim.NewKernel()
 	cl := uniformCluster(k, "h0", "h1", "h2")
 	g, sink := buildPipeline(100, 1000, 0.01)
@@ -166,6 +168,7 @@ func TestSimNetworkDominatedMakespan(t *testing.T) {
 }
 
 func TestSimDDShiftsLoadToFastHost(t *testing.T) {
+	leakcheck.Check(t)
 	// Worker copies on a fast host and a 4x-loaded host. DD must deliver
 	// clearly more buffers to the fast host; RR stays even.
 	run := func(pol core.Policy) map[string]int64 {
@@ -221,6 +224,7 @@ func TestSimDDFasterThanRRUnderImbalance(t *testing.T) {
 }
 
 func TestSimWRRProportions(t *testing.T) {
+	leakcheck.Check(t)
 	k := sim.NewKernel()
 	cl := uniformCluster(k, "src", "h1", "h2")
 	g, _ := buildPipeline(300, 100, 0.001)
@@ -240,6 +244,7 @@ func TestSimWRRProportions(t *testing.T) {
 }
 
 func TestSimDeterminism(t *testing.T) {
+	leakcheck.Check(t)
 	run := func() (float64, map[string]int64) {
 		k := sim.NewKernel()
 		cl := uniformCluster(k, "src", "a", "b")
@@ -269,6 +274,7 @@ func TestSimDeterminism(t *testing.T) {
 }
 
 func TestSimAcksConsumeNetwork(t *testing.T) {
+	leakcheck.Check(t)
 	// Same workload, DD vs RR: DD must move strictly more messages (the
 	// acks) through the cluster.
 	run := func(pol core.Policy) int64 {
@@ -292,6 +298,7 @@ func TestSimAcksConsumeNetwork(t *testing.T) {
 }
 
 func TestSimMultiUOW(t *testing.T) {
+	leakcheck.Check(t)
 	k := sim.NewKernel()
 	cl := uniformCluster(k, "h0")
 	g, sink := buildPipeline(20, 100, 0.001)
