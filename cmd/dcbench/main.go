@@ -43,6 +43,7 @@ func main() {
 		metrics = flag.Bool("metrics", false, "print the metrics registry snapshot after the run")
 		policy  = flag.String("policy", "DD", "demo pipeline default writer policy: RR | WRR | DD | DD/<k>")
 		streams = flag.String("stream-policy", "", "demo pipeline per-stream overrides, e.g. 'triangles=DD/8,pixels=WRR'")
+		seed    = flag.Int64("seed", 42, "demo pipeline synthetic-field seed")
 	)
 	flag.Parse()
 
@@ -103,7 +104,7 @@ func main() {
 		ids = []string{*exp}
 	case o != nil:
 		// Tracing with no experiment: run the built-in demo pipeline.
-		if err := runDemo(o, *policy, *streams); err != nil {
+		if err := runDemo(o, *policy, *streams, *seed); err != nil {
 			fatal(err)
 		}
 		finish()
@@ -130,9 +131,10 @@ func main() {
 // runDemo executes a quickstart-sized isosurface pipeline on the real
 // (goroutine) engine under the observer: a 97^3 synthetic field through
 // read+extract (2 copies) -> raster (4 copies) -> merge, with the writer
-// policy selected by -policy / -stream-policy (demand driven by default).
-// Every filter copy produces trace events.
-func runDemo(o *obs.Observer, policy, streamSpec string) error {
+// policy selected by -policy / -stream-policy (demand driven by default)
+// and the synthetic field derived from -seed. Every filter copy produces
+// trace events.
+func runDemo(o *obs.Observer, policy, streamSpec string, seed int64) error {
 	perStream, err := exec.ParseStreamPolicies(streamSpec)
 	if err != nil {
 		return err
@@ -141,7 +143,7 @@ func runDemo(o *obs.Observer, policy, streamSpec string) error {
 	if err != nil {
 		return err
 	}
-	field := volume.NewPlumeField(42, 4)
+	field := volume.NewPlumeField(seed, 4)
 	source := isoviz.NewFieldSource(field, 97, 97, 97, 4, 4, 4)
 	spec := isoviz.PipelineSpec{
 		Config: isoviz.ReadExtract,

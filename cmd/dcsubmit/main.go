@@ -16,7 +16,10 @@
 // survivors); -hb-interval / -hb-misses tune the heartbeat liveness budget
 // and -dialtimeout the per-attempt dial timeout everywhere. -faults installs
 // a coordinator-side deterministic fault plan (see internal/faults) for
-// chaos experiments, e.g. injected dial failures.
+// chaos experiments, e.g. injected dial failures. -seed pins both the fault
+// plan's random source and the synthetic field, so a chaos run is
+// reproducible from the command line alone; an explicit seed= directive
+// inside -faults still wins.
 package main
 
 import (
@@ -56,6 +59,7 @@ func main() {
 		hbMisses    = flag.Int("hb-misses", 0, "missed heartbeat intervals before a host is declared dead (default 3)")
 		dialTimeout = flag.Duration("dialtimeout", 0, "per-attempt dial timeout, coordinator and worker peer mesh (default 10s)")
 		faultSpec   = flag.String("faults", "", "coordinator-side deterministic fault plan, e.g. 'faildial=2'")
+		seed        = flag.Int64("seed", 0, "seed for the -faults plan and the synthetic field (0 = embedded defaults)")
 	)
 	flag.Parse()
 	if *wirebuf > 0 {
@@ -93,8 +97,12 @@ func main() {
 		}
 		re = dist.FilterSpec{Name: "RE", Kind: isoviz.KindREStore, Params: raw}
 	} else {
+		fieldSeed := int64(2002)
+		if *seed != 0 {
+			fieldSeed = *seed
+		}
 		raw, err := json.Marshal(isoviz.FieldREParams{
-			Seed: 2002, Plumes: 5,
+			Seed: fieldSeed, Plumes: 5,
 			GX: *grid, GY: *grid, GZ: *grid, BX: 4, BY: 4, BZ: 4,
 		})
 		if err != nil {
@@ -161,7 +169,13 @@ func main() {
 		DialTimeout:       *dialTimeout,
 	}
 	if *faultSpec != "" {
-		plan, err := faults.ParsePlan(*faultSpec)
+		// Prepend so a later, explicit seed= directive in the plan still
+		// overrides (the parser applies the last one it sees).
+		planSpec := *faultSpec
+		if *seed != 0 {
+			planSpec = fmt.Sprintf("seed=%d; %s", *seed, planSpec)
+		}
+		plan, err := faults.ParsePlan(planSpec)
 		if err != nil {
 			fatal(err)
 		}

@@ -9,6 +9,7 @@ import (
 	"datacutter/internal/dataset"
 	"datacutter/internal/geom"
 	"datacutter/internal/isoviz"
+	"datacutter/internal/leakcheck"
 	"datacutter/internal/mcubes"
 	"datacutter/internal/render"
 	"datacutter/internal/sim"
@@ -24,6 +25,7 @@ func testView() isoviz.View {
 }
 
 func TestRunLocalMatchesDirectRender(t *testing.T) {
+	leakcheck.Check(t)
 	src := testSrc()
 	view := testView()
 	want := render.NewZBuffer(view.Width, view.Height)
@@ -47,6 +49,7 @@ func TestRunLocalMatchesDirectRender(t *testing.T) {
 }
 
 func TestRunLocalMatchesPipeline(t *testing.T) {
+	leakcheck.Check(t)
 	// The baseline and the component-based implementation must agree on
 	// output (they compute the same rendering).
 	src := testSrc()
@@ -74,6 +77,7 @@ func TestRunLocalMatchesPipeline(t *testing.T) {
 }
 
 func TestRunLocalPropagatesErrors(t *testing.T) {
+	leakcheck.Check(t)
 	src := testSrc()
 	bad := &failingSource{FieldSource: src}
 	view := testView()
@@ -119,6 +123,7 @@ func simWorkload(t *testing.T) *isoviz.Workload {
 }
 
 func TestRunSimCompletes(t *testing.T) {
+	leakcheck.Check(t)
 	cl, hosts := simCluster(4)
 	w := simWorkload(t)
 	dist := dataset.DistributeEven(w.DS.Files, hosts, 1)
@@ -138,6 +143,7 @@ func TestRunSimCompletes(t *testing.T) {
 }
 
 func TestRunSimScalesWithNodes(t *testing.T) {
+	leakcheck.Check(t)
 	w := simWorkload(t)
 	// A small output frame keeps the serial merge phase negligible so this
 	// measures compute scaling (at large frames the merge node bounds
@@ -169,6 +175,7 @@ func TestRunSimScalesWithNodes(t *testing.T) {
 // background jobs on some nodes (static partition cannot shed load), and
 // degrades worse than a demand-driven DataCutter configuration.
 func TestRunSimDegradesWithBackgroundLoad(t *testing.T) {
+	leakcheck.Check(t)
 	w := simWorkload(t)
 	mk := func(bg int) float64 {
 		cl, hosts := simCluster(4)
@@ -195,6 +202,7 @@ func TestRunSimDegradesWithBackgroundLoad(t *testing.T) {
 }
 
 func TestRunSimValidation(t *testing.T) {
+	leakcheck.Check(t)
 	cl, _ := simCluster(2)
 	w := simWorkload(t)
 	if _, err := RunSim(cl, SimOptions{W: w, Hosts: nil}); err == nil {
@@ -206,6 +214,7 @@ func TestRunSimValidation(t *testing.T) {
 }
 
 func TestRunSimMultiUOW(t *testing.T) {
+	leakcheck.Check(t)
 	cl, hosts := simCluster(2)
 	w := simWorkload(t)
 	dist := dataset.DistributeEven(w.DS.Files, hosts, 1)

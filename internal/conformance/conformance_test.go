@@ -1,0 +1,193 @@
+package conformance
+
+import (
+	"flag"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"datacutter/internal/core"
+	"datacutter/internal/leakcheck"
+)
+
+// -conformance.seed reruns (and, on failure, shrinks) a single seed — the
+// flag a failure report's reproduction command uses.
+var seedFlag = flag.Int64("conformance.seed", -1, "run a single conformance seed instead of the sweep")
+
+func conformanceSeeds() []int64 {
+	if *seedFlag >= 0 {
+		return []int64{*seedFlag}
+	}
+	n := 60 // -short still clears the acceptance floor of 50 seeds per engine pair
+	if !testing.Short() {
+		n = 150
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	return seeds
+}
+
+// failReport renders a conformance failure: the original violation, the
+// shrunk minimal reproduction, and the one-line repro command.
+func failReport(t *testing.T, seed int64, fail *Failure, opts Options) {
+	t.Helper()
+	min, mf := Shrink(fail.Spec, opts, 0)
+	shrunk := "shrink could not reproduce the failure (flaky?)"
+	if mf != nil {
+		shrunk = mf.Error()
+	}
+	t.Fatalf("conformance violation at seed %d:\n%v\n\nshrunk reproduction (%d filters, %d streams):\n%v\n\nreproduce with:\n  %s",
+		seed, fail, len(min.Filters), len(min.Streams), shrunk, ReproCommand(seed))
+}
+
+// TestConformance is the differential sweep: every seed's generated
+// pipeline must satisfy every oracle on all three engines.
+func TestConformance(t *testing.T) {
+	for _, seed := range conformanceSeeds() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			leakcheck.Check(t)
+			s := Generate(seed, GenConfig{})
+			if fail := Check(s, Options{}); fail != nil {
+				failReport(t, seed, fail, Options{})
+			}
+		})
+	}
+}
+
+// TestConformanceFaults sweeps the relaxed oracle: a deterministic worker
+// kill mid-run, recovery via UOW replanning, at-least-once delivery with
+// nothing unexpected. Seeds without a guaranteed-to-fire kill victim are
+// skipped; the sweep fails if every seed were to skip.
+func TestConformanceFaults(t *testing.T) {
+	n := int64(12)
+	if !testing.Short() {
+		n = 30
+	}
+	if *seedFlag >= 0 {
+		n = 1
+	}
+	ran := 0
+	for i := int64(0); i < n; i++ {
+		seed := i
+		if *seedFlag >= 0 {
+			seed = *seedFlag
+		}
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			leakcheck.Check(t)
+			s := Generate(seed, GenConfig{})
+			fail, ok := CheckFaults(s)
+			if !ok {
+				t.Skipf("seed %d: no qualifying kill victim", seed)
+			}
+			ran++
+			if fail != nil {
+				t.Fatalf("fault-mode violation at seed %d:\n%v\n\nreproduce with:\n  %s",
+					seed, fail, ReproCommand(seed))
+			}
+		})
+	}
+	if ran == 0 && *seedFlag < 0 {
+		t.Fatalf("no seed in 0..%d produced a qualifying kill victim", n-1)
+	}
+}
+
+// TestConformanceShrinksInjectedViolation tests the harness against
+// itself: discard every ack count before the oracle diff — a violation on
+// any pipeline with demand-driven traffic — and require the shrinker to
+// reduce the first failing seed to a minimal two-filter, one-stream
+// reproduction with a printable repro command.
+func TestConformanceShrinksInjectedViolation(t *testing.T) {
+	leakcheck.Check(t)
+	opts := Options{
+		Engines: []string{"core"},
+		Perturb: func(_ string, st *core.Stats) {
+			for _, ss := range st.Streams {
+				ss.Acks = 0
+			}
+		},
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		s := Generate(seed, GenConfig{})
+		fail := Check(s, opts)
+		if fail == nil {
+			continue // no demand-driven stream with traffic on this seed
+		}
+		min, mf := Shrink(s, opts, 0)
+		if mf == nil {
+			t.Fatalf("shrink lost the injected violation for seed %d", seed)
+		}
+		if len(min.Filters) > 3 {
+			t.Fatalf("shrunk to %d filters, want <= 3:\n%s", len(min.Filters), min)
+		}
+		if len(min.Streams) != 1 {
+			t.Fatalf("shrunk to %d streams, want 1:\n%s", len(min.Streams), min)
+		}
+		repro := ReproCommand(seed)
+		if !strings.Contains(repro, fmt.Sprintf("-conformance.seed=%d", seed)) {
+			t.Fatalf("repro command %q does not pin the seed", repro)
+		}
+		t.Logf("seed %d shrank to:\n%srepro: %s", seed, min, repro)
+		return
+	}
+	t.Fatal("no seed in 0..49 generated a demand-driven stream to violate")
+}
+
+// Same seed, same spec — the whole harness rests on this.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		a, b := Generate(seed, GenConfig{}), Generate(seed, GenConfig{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d generated two different specs:\n%s\n%s", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d generated an invalid spec: %v\n%s", seed, err, a)
+		}
+	}
+}
+
+// The model's conservation totals must match a hand-computed diamond.
+func TestStreamTotalsDiamond(t *testing.T) {
+	s := &Spec{
+		Filters: []Filter{
+			{Name: "A", Role: RoleSource, Emit: 3},
+			{Name: "T", Role: RoleTransform},
+			{Name: "K", Role: RoleSink},
+		},
+		Streams: []Stream{
+			{Name: "s0", From: "A", To: "T", Policy: "RR"},
+			{Name: "s1", From: "A", To: "K", Policy: "RR"},
+			{Name: "s2", From: "T", To: "K", Policy: "RR"},
+		},
+		Placement: []Place{
+			{Filter: "A", Host: "h0", Copies: 2},
+			{Filter: "T", Host: "h0", Copies: 1},
+			{Filter: "K", Host: "h0", Copies: 1},
+		},
+		Hosts:    []Host{{Name: "h0", Speed: 1}},
+		UOWs:     1,
+		QueueCap: 16,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	totals := streamTotals(s)
+	// A: 2 copies x 3 buffers on each output; T forwards its 6 to s2.
+	want := map[string]int{"s0": 6, "s1": 6, "s2": 6}
+	if !reflect.DeepEqual(totals, want) {
+		t.Fatalf("totals %v, want %v", totals, want)
+	}
+	m := buildModel(s)
+	wantIDs := map[string]int{}
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 3; i++ {
+			wantIDs[fmt.Sprintf("A.%d#%d>T", c, i)] = 1
+		}
+	}
+	if !reflect.DeepEqual(m.ids["s2"], wantIDs) {
+		t.Fatalf("s2 multiset %v, want %v", m.ids["s2"], wantIDs)
+	}
+}

@@ -1,0 +1,188 @@
+package conformance
+
+import (
+	"fmt"
+	"time"
+
+	"datacutter/internal/cluster"
+	"datacutter/internal/core"
+	"datacutter/internal/dist"
+	"datacutter/internal/faults"
+	"datacutter/internal/obs"
+	"datacutter/internal/sim"
+	"datacutter/internal/simrt"
+)
+
+// The three engine adapters build observationally equivalent runs from one
+// Spec: same graph, same placement (entry order preserved — it defines
+// copy-set target order and global copy indices on every engine), same
+// per-stream policies, same queue capacity, same unit-of-work count.
+
+func buildGraph(s *Spec, rec *Recorder) *core.Graph {
+	g := core.NewGraph()
+	for _, f := range s.Filters {
+		f := f
+		g.AddFilter(f.Name, func() core.Filter { return newConfFilter(s, f, rec) })
+	}
+	for _, st := range s.Streams {
+		g.Connect(st.From, st.To, st.Name)
+	}
+	return g
+}
+
+func buildPlacement(s *Spec) *core.Placement {
+	pl := core.NewPlacement()
+	for _, p := range s.Placement {
+		pl.Place(p.Filter, p.Host, p.Copies)
+	}
+	return pl
+}
+
+func policyNames(s *Spec) map[string]string {
+	out := make(map[string]string, len(s.Streams))
+	for _, st := range s.Streams {
+		out[st.Name] = st.Policy
+	}
+	return out
+}
+
+func corePolicies(s *Spec) map[string]core.Policy {
+	out := make(map[string]core.Policy, len(s.Streams))
+	for _, st := range s.Streams {
+		out[st.Name] = core.PolicyByName(st.Policy)
+	}
+	return out
+}
+
+func uowList(s *Spec) []any {
+	out := make([]any, s.UOWs)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func runCore(s *Spec, rec *Recorder) (*core.Stats, error) {
+	r, err := core.NewRunner(buildGraph(s, rec), buildPlacement(s), core.Options{
+		Policy:       core.RoundRobin(),
+		StreamPolicy: corePolicies(s),
+		QueueCap:     s.QueueCap,
+		UOWs:         uowList(s),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+func runSimrt(s *Spec, rec *Recorder) (*core.Stats, error) {
+	cl := cluster.New(sim.NewKernel())
+	for _, h := range s.Hosts {
+		cl.AddHost(cluster.HostSpec{
+			Name: h.Name, Cores: 1, Speed: h.Speed, NICBandwidth: 100e6,
+			Disks: []cluster.DiskSpec{{SeekSeconds: 0.001, Bandwidth: 50e6}},
+		})
+	}
+	r, err := simrt.NewRunner(buildGraph(s, rec), buildPlacement(s), cl, simrt.Options{
+		Policy:       core.RoundRobin(),
+		StreamPolicy: corePolicies(s),
+		QueueCap:     s.QueueCap,
+		UOWs:         uowList(s),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// runDist executes the spec on the distributed engine over TCP loopback:
+// one in-process worker per spec host. plans optionally installs a
+// deterministic fault plan (internal/faults grammar) on named hosts before
+// the workers accept their first connection; tune optionally adjusts the
+// coordinator options (fault-mode runs enable retries and fast
+// heartbeats); reg, when non-nil, collects the coordinator's metrics so
+// fault-mode callers can assert recovery actually happened
+// (coord.uow_retries).
+func runDist(s *Spec, rec *Recorder, plans map[string]string, tune func(*dist.Options), reg *obs.Registry) (*core.Stats, error) {
+	tok := registerRecorder(rec)
+	defer releaseRecorder(tok)
+
+	addrs := make(map[string]string, len(s.Hosts))
+	var workers []*dist.Worker
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	for _, h := range s.Hosts {
+		w, err := dist.NewWorker("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		workers = append(workers, w)
+		if spec := plans[h.Name]; spec != "" {
+			plan, err := faults.ParsePlan(spec)
+			if err != nil {
+				return nil, err
+			}
+			w.SetFaults(plan.Injector())
+		}
+		go w.Serve()
+		addrs[h.Name] = w.Addr()
+	}
+
+	filters := make([]dist.FilterSpec, 0, len(s.Filters))
+	for _, f := range s.Filters {
+		fs, err := newConfFilter(s, f, rec).distSpec(tok)
+		if err != nil {
+			return nil, err
+		}
+		filters = append(filters, fs)
+	}
+	streams := make([]core.StreamSpec, 0, len(s.Streams))
+	for _, st := range s.Streams {
+		streams = append(streams, core.StreamSpec{Name: st.Name, From: st.From, To: st.To})
+	}
+	entries := make([]dist.PlacementEntry, 0, len(s.Placement))
+	for _, p := range s.Placement {
+		entries = append(entries, dist.PlacementEntry{Filter: p.Filter, Host: p.Host, Copies: p.Copies})
+	}
+
+	opts := dist.Options{
+		Policy:       "RR",
+		StreamPolicy: policyNames(s),
+		QueueCap:     s.QueueCap,
+	}
+	if tune != nil {
+		tune(&opts)
+	}
+	g := dist.GraphSpec{Filters: filters, Streams: streams}
+	if reg != nil {
+		return dist.RunObserved(addrs, g, entries, opts, uowList(s), obs.New(nil, reg))
+	}
+	return dist.Run(addrs, g, entries, opts, uowList(s))
+}
+
+// faultTune is the coordinator configuration every fault-mode run uses:
+// recovery on (UOW retries + replanning) and heartbeats fast enough that a
+// killed loopback worker is declared dead in well under a second.
+func faultTune(o *dist.Options) {
+	o.MaxUOWRetries = 3
+	o.HeartbeatInterval = 100 * time.Millisecond
+	o.HeartbeatMisses = 5
+}
+
+// engineNames in canonical order.
+var engineNames = []string{"core", "simrt", "dist"}
+
+func runEngine(engine string, s *Spec, rec *Recorder) (*core.Stats, error) {
+	switch engine {
+	case "core":
+		return runCore(s, rec)
+	case "simrt":
+		return runSimrt(s, rec)
+	case "dist":
+		return runDist(s, rec, nil, nil, nil)
+	}
+	return nil, fmt.Errorf("conformance: unknown engine %q", engine)
+}

@@ -1,0 +1,331 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"datacutter/internal/core"
+	"datacutter/internal/exec"
+)
+
+// The oracle model predicts, for a Spec, everything that must hold on
+// every engine:
+//
+//   - per-stream buffer totals — exact on any engine for any policy, by
+//     conservation (sources emit a fixed count per copy; transforms
+//     forward everything to everything);
+//   - the delivered-identity multiset per consumer per unit of work —
+//     also exact for any policy, because identities encode provenance and
+//     transparent copies must not change what is delivered, only where;
+//   - per-target-host delivery counts — exact whenever the writes feeding
+//     a stream are per-copy deterministic and the policy ignores acks
+//     (RR/WRR): the model replays the very exec.Policy writer the engines
+//     run (exec.ReplayCounts), so the expected split is the production
+//     pick sequence, not a re-implementation;
+//   - acknowledgment-count bounds for the demand-driven family;
+//   - end-of-work exactly once per consumer copy per input per UOW.
+//
+// Exactness propagates: a transform's own writes are per-copy
+// deterministic only if every input stream's per-copy-set split is exact
+// AND each of its placement entries holds a single copy (buffers route to
+// a copy set; with >1 copies per entry, which copy consumed — and so which
+// copy's writers fire — depends on scheduling).
+type model struct {
+	spec   *Spec
+	totals map[string]int            // buffers per stream per UOW (always exact)
+	ids    map[string]map[string]int // identity multiset per stream per UOW (always exact)
+	// perHost is the exact per-target-host split per UOW, nil for streams
+	// where only conservation holds (DD family, or non-deterministic
+	// producer writes).
+	perHost map[string]map[string]int64
+	// ackLo/ackHi bound Stats.Acks per stream over the whole run.
+	ackLo, ackHi map[string]int64
+	// remoteIn counts, per host, the exactly-known data frames per UOW
+	// arriving from other hosts — used to pick kill victims in fault mode.
+	remoteIn map[string]int
+}
+
+// ddEvery returns the ack batch size of a policy name (1 for plain DD)
+// and whether the policy is ack-driven at all.
+func ddEvery(name string) (int, bool) {
+	if name == "DD" {
+		return 1, true
+	}
+	if rest, ok := strings.CutPrefix(name, "DD/"); ok {
+		k, err := strconv.Atoi(rest)
+		if err == nil && k >= 1 {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// targetInfos expands a consumer's placement entries into the TargetInfo
+// slice every engine hands the policy (one entry per copy set, spec
+// order). Local is irrelevant for the ack-free policies the model replays.
+func targetInfos(s *Spec, consumer string) []core.TargetInfo {
+	entries := s.entriesOf(consumer)
+	out := make([]core.TargetInfo, len(entries))
+	for i, e := range entries {
+		out[i] = core.TargetInfo{Host: e.Host, Copies: e.Copies}
+	}
+	return out
+}
+
+func buildModel(s *Spec) *model {
+	m := &model{
+		spec:     s,
+		totals:   streamTotals(s),
+		ids:      map[string]map[string]int{},
+		perHost:  map[string]map[string]int64{},
+		ackLo:    map[string]int64{},
+		ackHi:    map[string]int64{},
+		remoteIn: map[string]int{},
+	}
+	u := int64(s.UOWs)
+
+	// copyWrites[f][c] is how many buffers copy c of f writes on EACH of
+	// its output streams per UOW; nil when scheduling-dependent.
+	copyWrites := map[string][]int{}
+	// recvByEntry[f][e] accumulates exact arrivals at placement entry e of
+	// consumer f; recvExact[f] goes false the moment any input is inexact.
+	recvByEntry := map[string][]int{}
+	recvExact := map[string]bool{}
+	recvIDs := map[string]map[string]int{}
+	for _, f := range s.Filters {
+		recvByEntry[f.Name] = make([]int, len(s.entriesOf(f.Name)))
+		recvExact[f.Name] = true
+		recvIDs[f.Name] = map[string]int{}
+	}
+
+	for _, f := range s.Filters { // spec order is topological
+		// What this filter writes per copy per output stream.
+		switch f.Role {
+		case RoleSource:
+			w := make([]int, s.totalCopies(f.Name))
+			for c := range w {
+				w[c] = f.Emit
+			}
+			copyWrites[f.Name] = w
+		case RoleTransform:
+			exact := recvExact[f.Name]
+			for _, e := range s.entriesOf(f.Name) {
+				if e.Copies != 1 {
+					exact = false
+				}
+			}
+			if exact {
+				copyWrites[f.Name] = recvByEntry[f.Name] // entry == copy
+			}
+		}
+
+		// This filter's output identities per UOW.
+		var outIDs map[string]int
+		switch f.Role {
+		case RoleSource:
+			outIDs = map[string]int{}
+			for c := 0; c < s.totalCopies(f.Name); c++ {
+				for i := 0; i < f.Emit; i++ {
+					outIDs[fmt.Sprintf("%s.%d#%d", f.Name, c, i)]++
+				}
+			}
+		case RoleTransform:
+			outIDs = map[string]int{}
+			for id, n := range recvIDs[f.Name] {
+				outIDs[id+">"+f.Name] += n
+			}
+		}
+
+		for _, st := range s.outputsOf(f.Name) {
+			m.ids[st.Name] = outIDs
+			for id, n := range outIDs {
+				recvIDs[st.To][id] += n
+			}
+			total := int64(m.totals[st.Name])
+			if k, dd := ddEvery(st.Policy); dd {
+				m.ackLo[st.Name] = u * ((total + int64(k) - 1) / int64(k))
+				m.ackHi[st.Name] = u * total
+				recvExact[st.To] = false
+				continue
+			}
+			m.ackLo[st.Name], m.ackHi[st.Name] = 0, 0
+			writes := copyWrites[f.Name]
+			if writes == nil {
+				recvExact[st.To] = false
+				continue
+			}
+			// Replay the production writer per producing copy (each copy
+			// owns a fresh writer per stream on every engine).
+			pol := core.PolicyByName(st.Policy)
+			targets := targetInfos(s, st.To)
+			perEntry := make([]int, len(targets))
+			hostOf := copyHosts(s, f.Name)
+			for c, n := range writes {
+				for ti, cnt := range exec.ReplayCounts(pol, targets, n) {
+					perEntry[ti] += cnt
+					if targets[ti].Host != hostOf[c] {
+						m.remoteIn[targets[ti].Host] += cnt
+					}
+				}
+			}
+			ph := map[string]int64{}
+			for ti, cnt := range perEntry {
+				if cnt != 0 {
+					ph[targets[ti].Host] += int64(cnt)
+				}
+				recvByEntry[st.To][ti] += cnt
+			}
+			m.perHost[st.Name] = ph
+		}
+	}
+	return m
+}
+
+// copyHosts returns the host of each global copy index of a filter
+// (placement entries expand in order on every engine).
+func copyHosts(s *Spec, filter string) []string {
+	var out []string
+	for _, e := range s.entriesOf(filter) {
+		for c := 0; c < e.Copies; c++ {
+			out = append(out, e.Host)
+		}
+	}
+	return out
+}
+
+// expectedDeliveries builds the full delivery multiset the Recorder must
+// hold after a clean run: every stream's identity multiset, at the
+// stream's consumer, once per unit of work.
+func (m *model) expectedDeliveries() map[DeliveryKey]int {
+	out := map[DeliveryKey]int{}
+	for _, st := range m.spec.Streams {
+		for u := 0; u < m.spec.UOWs; u++ {
+			for id, n := range m.ids[st.Name] {
+				out[DeliveryKey{st.To, st.Name, u, id}] = n
+			}
+		}
+	}
+	return out
+}
+
+// expectedEOW: every consumer copy sees end-of-work exactly once per input
+// stream per unit of work.
+func (m *model) expectedEOW() map[EOWKey]int {
+	out := map[EOWKey]int{}
+	for _, st := range m.spec.Streams {
+		for u := 0; u < m.spec.UOWs; u++ {
+			out[EOWKey{st.To, st.Name, u}] = m.spec.totalCopies(st.To)
+		}
+	}
+	return out
+}
+
+// checkRun diffs one engine's run against the model. It returns a list of
+// human-readable oracle violations (empty = conformant). relaxed selects
+// the fault-mode oracle: delivery becomes at-least-once (every expected
+// identity delivered, nothing unexpected, end-of-work at least once per
+// copy) and the scheduling-sensitive stats oracles are skipped, because
+// retried units of work legitimately re-deliver.
+func checkRun(m *model, st *core.Stats, rec *Recorder, relaxed bool) []string {
+	var v []string
+	u := int64(m.spec.UOWs)
+
+	if !relaxed {
+		for _, sp := range m.spec.Streams {
+			ss := st.Streams[sp.Name]
+			if ss == nil {
+				v = append(v, fmt.Sprintf("stream %s: no stats", sp.Name))
+				continue
+			}
+			want := u * int64(m.totals[sp.Name])
+			if ss.Buffers != want {
+				v = append(v, fmt.Sprintf("stream %s: %d buffers, want %d", sp.Name, ss.Buffers, want))
+			}
+			var sum int64
+			for _, n := range ss.PerTargetHost {
+				sum += n
+			}
+			if sum != want {
+				v = append(v, fmt.Sprintf("stream %s: per-host deliveries sum to %d, want %d (%v)",
+					sp.Name, sum, want, ss.PerTargetHost))
+			}
+			if exact := m.perHost[sp.Name]; exact != nil {
+				wantPer := map[string]int64{}
+				for h, n := range exact {
+					wantPer[h] = u * n
+				}
+				if !equalHostCounts(ss.PerTargetHost, wantPer) {
+					v = append(v, fmt.Sprintf("stream %s (%s): per-host split %v, want %v",
+						sp.Name, sp.Policy, ss.PerTargetHost, wantPer))
+				}
+			}
+			if lo, hi := m.ackLo[sp.Name], m.ackHi[sp.Name]; ss.Acks < lo || ss.Acks > hi {
+				v = append(v, fmt.Sprintf("stream %s (%s): %d acks, want %d..%d",
+					sp.Name, sp.Policy, ss.Acks, lo, hi))
+			}
+		}
+	}
+
+	wantDel := m.expectedDeliveries()
+	gotDel := rec.Deliveries()
+	for k, want := range wantDel {
+		got := gotDel[k]
+		bad := got != want
+		if relaxed {
+			bad = got < want
+		}
+		if bad {
+			v = append(v, fmt.Sprintf("delivery %s/%s uow=%d id=%q: %d, want %s%d",
+				k.Consumer, k.Stream, k.UOW, k.ID, got, relaxedPrefix(relaxed), want))
+		}
+	}
+	for k, got := range gotDel {
+		if _, ok := wantDel[k]; !ok {
+			v = append(v, fmt.Sprintf("unexpected delivery %s/%s uow=%d id=%q (x%d)",
+				k.Consumer, k.Stream, k.UOW, k.ID, got))
+		}
+	}
+
+	wantEOW := m.expectedEOW()
+	gotEOW := rec.EOW()
+	for k, want := range wantEOW {
+		got := gotEOW[k]
+		bad := got != want
+		if relaxed {
+			bad = got < want
+		}
+		if bad {
+			v = append(v, fmt.Sprintf("end-of-work %s/%s uow=%d: seen by %d copies, want %s%d",
+				k.Consumer, k.Stream, k.UOW, got, relaxedPrefix(relaxed), want))
+		}
+	}
+	for k, got := range gotEOW {
+		if _, ok := wantEOW[k]; !ok {
+			v = append(v, fmt.Sprintf("unexpected end-of-work %s/%s uow=%d (x%d)", k.Consumer, k.Stream, k.UOW, got))
+		}
+	}
+
+	sort.Strings(v)
+	return v
+}
+
+func relaxedPrefix(relaxed bool) string {
+	if relaxed {
+		return ">= "
+	}
+	return ""
+}
+
+func equalHostCounts(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for h, n := range a {
+		if b[h] != n {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,474 @@
+// Package conformance is a deterministic, seed-driven property-testing
+// harness for the three execution engines. It generates random-but-valid
+// pipeline graphs (fan-in/fan-out, mixed writer policies, transparent copy
+// counts, heterogeneous host placements, mixed payload wire types), runs
+// each graph on internal/core, internal/simrt, and internal/dist over TCP
+// loopback, and diffs every engine against a shared reference model:
+// multiset equality of delivered buffers per consumer filter, exact RR/WRR
+// per-target distributions (replayed through the very exec.Policy writers
+// the engines use), demand-driven ack-count bounds, exactly-once
+// end-of-work per consumer copy, and zero goroutine leaks. A failing seed
+// is greedily shrunk to a minimal reproduction (see shrink.go).
+//
+// Everything is derived from a Spec, which is in turn derived from a seed:
+// the same seed always produces the same graph, placement, policies, and
+// payloads, so one integer reproduces any failure
+// (go test ./internal/conformance -run 'TestConformance$' -conformance.seed=N).
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"datacutter/internal/core"
+)
+
+// Wire selects how a stream's payload identities travel: as a string (the
+// dist gob fallback), as []byte (dist's zero-copy built-in codec), or as
+// []float32 (dist's bulk little-endian built-in codec). On core and simrt
+// the value is passed through unchanged; on dist it exercises the PR 2
+// codec registry end to end.
+type Wire uint8
+
+const (
+	WireString Wire = iota
+	WireBytes
+	WireFloats
+)
+
+func (w Wire) String() string {
+	switch w {
+	case WireString:
+		return "string"
+	case WireBytes:
+		return "bytes"
+	case WireFloats:
+		return "floats"
+	}
+	return fmt.Sprintf("wire(%d)", uint8(w))
+}
+
+// Role classifies a conformance filter.
+type Role uint8
+
+const (
+	// RoleSource emits Emit deterministic buffers per copy per unit of work
+	// on every output stream.
+	RoleSource Role = iota + 1
+	// RoleTransform forwards every buffer it reads to every output stream,
+	// appending its own name to the payload identity.
+	RoleTransform
+	// RoleSink consumes and records; it has no outputs.
+	RoleSink
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleSource:
+		return "source"
+	case RoleTransform:
+		return "transform"
+	case RoleSink:
+		return "sink"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// Filter is one conformance filter: a source, transform, or sink.
+type Filter struct {
+	Name string
+	Role Role
+	Emit int // buffers per copy per UOW per output stream (sources only)
+}
+
+// Stream is one logical stream with its writer policy and wire type.
+type Stream struct {
+	Name   string
+	From   string
+	To     string
+	Policy string // "RR" | "WRR" | "DD" | "DD/<k>"
+	Wire   Wire
+}
+
+// Place assigns transparent copies of a filter to a host.
+type Place struct {
+	Filter string
+	Host   string
+	Copies int
+}
+
+// Host is one simulated/loopback host; Speed feeds the simrt cluster model
+// (heterogeneous CPUs change scheduling timing, never semantics).
+type Host struct {
+	Name  string
+	Speed float64
+}
+
+// Spec is a fully deterministic description of one conformance pipeline:
+// everything the three engines need to construct observationally equivalent
+// runs, plus the knobs the oracle model consumes.
+type Spec struct {
+	Seed      int64 // provenance; 0 for hand-built specs
+	Filters   []Filter
+	Streams   []Stream
+	Placement []Place
+	Hosts     []Host
+	UOWs      int
+	// QueueCap is the per-copy-set queue capacity. The generator sizes it
+	// above the largest per-stream buffer count so that a filter draining
+	// its input streams sequentially can never deadlock a producer.
+	QueueCap int
+}
+
+// filter returns the named filter spec, or nil.
+func (s *Spec) filter(name string) *Filter {
+	for i := range s.Filters {
+		if s.Filters[i].Name == name {
+			return &s.Filters[i]
+		}
+	}
+	return nil
+}
+
+// entriesOf returns the placement entries for a filter, in spec order —
+// the copy-set target order every engine uses.
+func (s *Spec) entriesOf(filter string) []Place {
+	var out []Place
+	for _, p := range s.Placement {
+		if p.Filter == filter {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// totalCopies returns the number of transparent copies of a filter.
+func (s *Spec) totalCopies(filter string) int {
+	n := 0
+	for _, p := range s.Placement {
+		if p.Filter == filter {
+			n += p.Copies
+		}
+	}
+	return n
+}
+
+// inputsOf / outputsOf list a filter's streams in spec order.
+func (s *Spec) inputsOf(filter string) []Stream {
+	var out []Stream
+	for _, st := range s.Streams {
+		if st.To == filter {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+func (s *Spec) outputsOf(filter string) []Stream {
+	var out []Stream
+	for _, st := range s.Streams {
+		if st.From == filter {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// hostNames returns the spec's host names in order.
+func (s *Spec) hostNames() []string {
+	out := make([]string, len(s.Hosts))
+	for i, h := range s.Hosts {
+		out[i] = h.Name
+	}
+	return out
+}
+
+// Clone deep-copies the spec (shrinking mutates candidates freely).
+func (s *Spec) Clone() *Spec {
+	c := *s
+	c.Filters = append([]Filter(nil), s.Filters...)
+	c.Streams = append([]Stream(nil), s.Streams...)
+	c.Placement = append([]Place(nil), s.Placement...)
+	c.Hosts = append([]Host(nil), s.Hosts...)
+	return &c
+}
+
+// Validate checks the spec is runnable: the graph must be valid under the
+// engine-neutral rules (core.Graph.Validate), every filter placed, every
+// policy known, and every count positive.
+func (s *Spec) Validate() error {
+	if len(s.Filters) == 0 {
+		return fmt.Errorf("conformance: spec has no filters")
+	}
+	if s.UOWs < 1 {
+		return fmt.Errorf("conformance: UOWs must be >= 1, got %d", s.UOWs)
+	}
+	if s.QueueCap < 1 {
+		return fmt.Errorf("conformance: QueueCap must be >= 1, got %d", s.QueueCap)
+	}
+	seen := map[string]bool{}
+	for _, f := range s.Filters {
+		if seen[f.Name] {
+			return fmt.Errorf("conformance: duplicate filter %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Role == RoleSource && f.Emit < 1 {
+			return fmt.Errorf("conformance: source %q emits %d buffers", f.Name, f.Emit)
+		}
+	}
+	hosts := map[string]bool{}
+	for _, h := range s.Hosts {
+		if hosts[h.Name] {
+			return fmt.Errorf("conformance: duplicate host %q", h.Name)
+		}
+		hosts[h.Name] = true
+	}
+	for _, st := range s.Streams {
+		if core.PolicyByName(st.Policy) == nil {
+			return fmt.Errorf("conformance: stream %s: unknown policy %q", st.Name, st.Policy)
+		}
+		if st.Wire > WireFloats {
+			return fmt.Errorf("conformance: stream %s: unknown wire type %d", st.Name, st.Wire)
+		}
+	}
+	for _, p := range s.Placement {
+		if s.filter(p.Filter) == nil {
+			return fmt.Errorf("conformance: placement for unknown filter %q", p.Filter)
+		}
+		if !hosts[p.Host] {
+			return fmt.Errorf("conformance: placement on unknown host %q", p.Host)
+		}
+		if p.Copies < 1 {
+			return fmt.Errorf("conformance: filter %q on %q has %d copies", p.Filter, p.Host, p.Copies)
+		}
+	}
+	// The engine-neutral graph rules (unique streams, known endpoints,
+	// acyclicity) and full placement, checked exactly the way every engine
+	// will check them.
+	g := core.NewGraph()
+	for _, f := range s.Filters {
+		g.AddFilter(f.Name, func() core.Filter { return nil })
+	}
+	for _, st := range s.Streams {
+		g.Connect(st.From, st.To, st.Name)
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	pl := core.NewPlacement()
+	for _, p := range s.Placement {
+		pl.Place(p.Filter, p.Host, p.Copies)
+	}
+	return pl.Validate(g)
+}
+
+// String renders a compact, reproducible description — the form printed in
+// failure reports and shrink traces.
+func (s *Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec(seed=%d uows=%d qcap=%d)\n", s.Seed, s.UOWs, s.QueueCap)
+	fmt.Fprintf(&b, "  hosts:")
+	for _, h := range s.Hosts {
+		fmt.Fprintf(&b, " %s(x%g)", h.Name, h.Speed)
+	}
+	b.WriteString("\n")
+	for _, f := range s.Filters {
+		fmt.Fprintf(&b, "  filter %-4s %s", f.Name, f.Role)
+		if f.Role == RoleSource {
+			fmt.Fprintf(&b, " emit=%d", f.Emit)
+		}
+		fmt.Fprintf(&b, " @")
+		for _, p := range s.entriesOf(f.Name) {
+			fmt.Fprintf(&b, " %s:%d", p.Host, p.Copies)
+		}
+		b.WriteString("\n")
+	}
+	for _, st := range s.Streams {
+		fmt.Fprintf(&b, "  stream %-4s %s -> %s  policy=%s wire=%s\n", st.Name, st.From, st.To, st.Policy, st.Wire)
+	}
+	return b.String()
+}
+
+// GenConfig bounds the generator. The zero value selects the defaults in
+// parentheses — sized so a -short run of dozens of seeds on all three
+// engines (dist included) finishes in seconds.
+type GenConfig struct {
+	MaxHosts   int      // distinct hosts (3)
+	MaxSources int      // source filters (2)
+	MaxMids    int      // transform filters, may be 0 (2)
+	MaxSinks   int      // sink filters (2)
+	MaxCopies  int      // transparent copies per placement entry (3)
+	MaxEmit    int      // buffers per source copy per UOW per stream (10)
+	MaxUOWs    int      // units of work (2)
+	Policies   []string // policy pool (RR, WRR, DD, DD/2, DD/4)
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	def := func(v *int, d int) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	def(&c.MaxHosts, 3)
+	def(&c.MaxSources, 2)
+	def(&c.MaxMids, 3) // 0..2 transforms: Intn(MaxMids)
+	def(&c.MaxSinks, 2)
+	def(&c.MaxCopies, 3)
+	def(&c.MaxEmit, 10)
+	def(&c.MaxUOWs, 2)
+	if len(c.Policies) == 0 {
+		c.Policies = []string{"RR", "WRR", "DD", "DD/2", "DD/4"}
+	}
+	return c
+}
+
+var hostSpeeds = []float64{0.5, 1, 2}
+
+// Generate derives a valid Spec from a seed. The construction is layered —
+// filters are indexed sources < transforms < sinks and streams only flow
+// from lower to higher index — so every generated graph is acyclic by
+// construction, and Validate holds for every seed.
+func Generate(seed int64, cfg GenConfig) *Spec {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	s := &Spec{Seed: seed, UOWs: 1 + rng.Intn(cfg.MaxUOWs)}
+
+	nHosts := 1 + rng.Intn(cfg.MaxHosts)
+	for i := 0; i < nHosts; i++ {
+		s.Hosts = append(s.Hosts, Host{
+			Name:  fmt.Sprintf("h%d", i),
+			Speed: hostSpeeds[rng.Intn(len(hostSpeeds))],
+		})
+	}
+
+	nSrc := 1 + rng.Intn(cfg.MaxSources)
+	nMid := rng.Intn(cfg.MaxMids)
+	nSink := 1 + rng.Intn(cfg.MaxSinks)
+	for i := 0; i < nSrc; i++ {
+		s.Filters = append(s.Filters, Filter{
+			Name: fmt.Sprintf("F%d", len(s.Filters)), Role: RoleSource,
+			Emit: 2 + rng.Intn(cfg.MaxEmit-1),
+		})
+	}
+	for i := 0; i < nMid; i++ {
+		s.Filters = append(s.Filters, Filter{Name: fmt.Sprintf("F%d", len(s.Filters)), Role: RoleTransform})
+	}
+	for i := 0; i < nSink; i++ {
+		s.Filters = append(s.Filters, Filter{Name: fmt.Sprintf("F%d", len(s.Filters)), Role: RoleSink})
+	}
+
+	// Streams: every transform and sink picks 1-2 distinct producers among
+	// the lower-indexed sources and transforms (fan-in); afterwards, any
+	// source or transform left without an output stream is wired to a
+	// random higher-indexed consumer (so no filter is dead weight).
+	addStream := func(from, to int) {
+		s.Streams = append(s.Streams, Stream{
+			Name:   fmt.Sprintf("s%d", len(s.Streams)),
+			From:   s.Filters[from].Name,
+			To:     s.Filters[to].Name,
+			Policy: cfg.Policies[rng.Intn(len(cfg.Policies))],
+			Wire:   Wire(rng.Intn(3)),
+		})
+	}
+	hasEdge := func(from, to int) bool {
+		for _, st := range s.Streams {
+			if st.From == s.Filters[from].Name && st.To == s.Filters[to].Name {
+				return true
+			}
+		}
+		return false
+	}
+	for to := nSrc; to < len(s.Filters); to++ {
+		eligible := to // producers are indices < to among sources+transforms
+		if eligible > nSrc+nMid {
+			eligible = nSrc + nMid
+		}
+		wants := 1 + rng.Intn(2)
+		if wants > eligible {
+			wants = eligible
+		}
+		for _, from := range rng.Perm(eligible)[:wants] {
+			addStream(from, to)
+		}
+	}
+	for from := 0; from < nSrc+nMid; from++ {
+		if len(s.outputsOf(s.Filters[from].Name)) > 0 {
+			continue
+		}
+		// Wire to a random consumer after this filter; sinks always exist.
+		lo := from + 1
+		if lo < nSrc {
+			lo = nSrc
+		}
+		to := lo + rng.Intn(len(s.Filters)-lo)
+		if !hasEdge(from, to) {
+			addStream(from, to)
+		}
+	}
+
+	// Placement: 1..nHosts distinct hosts per filter, 1..MaxCopies each.
+	for _, f := range s.Filters {
+		n := 1 + rng.Intn(nHosts)
+		for _, hi := range rng.Perm(nHosts)[:n] {
+			s.Placement = append(s.Placement, Place{
+				Filter: f.Name, Host: s.Hosts[hi].Name, Copies: 1 + rng.Intn(cfg.MaxCopies),
+			})
+		}
+	}
+	s.normalizeHosts()
+
+	// Queue capacity above the largest per-stream per-UOW buffer count, so
+	// a whole stream fits in any single copy-set queue and sequential
+	// draining of inputs can never deadlock a producer (see filters.go).
+	max := 0
+	for _, total := range streamTotals(s) {
+		if total > max {
+			max = total
+		}
+	}
+	s.QueueCap = max + 4
+	if s.QueueCap < 8 {
+		s.QueueCap = 8
+	}
+	return s
+}
+
+// normalizeHosts drops hosts no placement references (shrinking removes
+// placements; dist must not start workers for unused hosts).
+func (s *Spec) normalizeHosts() {
+	used := map[string]bool{}
+	for _, p := range s.Placement {
+		used[p.Host] = true
+	}
+	var hosts []Host
+	for _, h := range s.Hosts {
+		if used[h.Name] {
+			hosts = append(hosts, h)
+		}
+	}
+	s.Hosts = hosts
+}
+
+// streamTotals returns each stream's per-UOW buffer count, propagated
+// through the DAG: sources write Emit x copies, transforms forward every
+// buffer they receive to every output. Totals are exact on every engine
+// regardless of policy — conservation is scheduling-independent.
+func streamTotals(s *Spec) map[string]int {
+	totals := make(map[string]int, len(s.Streams))
+	recv := map[string]int{}
+	for _, f := range s.Filters { // spec order is topological by construction
+		var writes int
+		switch f.Role {
+		case RoleSource:
+			writes = f.Emit * s.totalCopies(f.Name)
+		default:
+			writes = recv[f.Name]
+		}
+		for _, st := range s.outputsOf(f.Name) {
+			totals[st.Name] = writes
+			recv[st.To] += writes
+		}
+	}
+	return totals
+}

@@ -85,6 +85,84 @@ func TestReplanMergesDuplicateEntries(t *testing.T) {
 	}
 }
 
+func TestReplanSingleSurvivor(t *testing.T) {
+	// Everything collapses onto the one host left standing, totals intact.
+	in := []PlacementEntry{
+		{Filter: "F", Host: "a", Copies: 2},
+		{Filter: "F", Host: "b", Copies: 1},
+		{Filter: "G", Host: "b", Copies: 3},
+		{Filter: "G", Host: "c", Copies: 2},
+		{Filter: "H", Host: "a", Copies: 1},
+	}
+	out, err := replanPlacement(in, map[string]bool{"a": true, "b": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []PlacementEntry{
+		{Filter: "F", Host: "c", Copies: 3},
+		{Filter: "G", Host: "c", Copies: 5},
+		{Filter: "H", Host: "c", Copies: 1},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %+v, want %+v", out, want)
+	}
+}
+
+func TestReplanAllButCoordinatorDead(t *testing.T) {
+	// Only the coordinator-side host remains: the survivor selection must
+	// fold every filter onto it even when it never ran most of them, and
+	// per-filter copy totals must be preserved exactly.
+	in := []PlacementEntry{
+		{Filter: "Src", Host: "coord", Copies: 1},
+		{Filter: "F", Host: "w1", Copies: 2},
+		{Filter: "F", Host: "w2", Copies: 2},
+		{Filter: "K", Host: "w2", Copies: 3},
+	}
+	out, err := replanPlacement(in, map[string]bool{"w1": true, "w2": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []PlacementEntry{
+		{Filter: "Src", Host: "coord", Copies: 1},
+		{Filter: "F", Host: "coord", Copies: 4},
+		{Filter: "K", Host: "coord", Copies: 3},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %+v, want %+v", out, want)
+	}
+}
+
+func TestReplanWeightedHosts(t *testing.T) {
+	// Surviving hosts with unequal copy counts (the WRR weights) keep
+	// their relative weight and absorb orphans in first-appearance order:
+	// the per-filter total is conserved and redistribution is by position,
+	// not proportional to existing weight.
+	in := []PlacementEntry{
+		{Filter: "F", Host: "big", Copies: 4},
+		{Filter: "F", Host: "small", Copies: 1},
+		{Filter: "F", Host: "dying", Copies: 3},
+	}
+	out, err := replanPlacement(in, map[string]bool{"dying": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 orphans round-robin over (big, small): big +2, small +1.
+	want := []PlacementEntry{
+		{Filter: "F", Host: "big", Copies: 6},
+		{Filter: "F", Host: "small", Copies: 2},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %+v, want %+v", out, want)
+	}
+	total := 0
+	for _, pe := range out {
+		total += pe.Copies
+	}
+	if total != 8 {
+		t.Fatalf("copy total %d, want 8 (replan must preserve TotalCopies)", total)
+	}
+}
+
 func TestReplanDeterministic(t *testing.T) {
 	in := []PlacementEntry{
 		{Filter: "F", Host: "a", Copies: 5},

@@ -1,0 +1,30 @@
+package exec
+
+// ReplayPicks returns the target-index sequence a fresh Writer for p
+// produces over n picks with an all-zero (and never-updated) unacked
+// window. For the ack-free policies (RR, WRR) this is exactly the
+// distribution any engine must produce, because their Pick ignores the
+// window entirely; it is the reference model the conformance harness
+// (internal/conformance) diffs every engine against. For ack-driven
+// policies the sequence is only what a producer would do if no
+// acknowledgment ever arrived, which is not an engine invariant — callers
+// wanting exact oracles should gate on p.NewWriter(...).WantsAcks().
+func ReplayPicks(p Policy, targets []TargetInfo, n int) []int {
+	w := p.NewWriter(targets)
+	unacked := make([]int, len(targets))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = w.Pick(unacked)
+	}
+	return out
+}
+
+// ReplayCounts folds ReplayPicks into per-target totals: counts[i] is how
+// many of the n picks landed on targets[i].
+func ReplayCounts(p Policy, targets []TargetInfo, n int) []int {
+	counts := make([]int, len(targets))
+	for _, idx := range ReplayPicks(p, targets, n) {
+		counts[idx]++
+	}
+	return counts
+}

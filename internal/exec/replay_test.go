@@ -1,0 +1,53 @@
+package exec_test
+
+import (
+	"reflect"
+	"testing"
+
+	"datacutter/internal/exec"
+)
+
+func replayTargets() []exec.TargetInfo {
+	return []exec.TargetInfo{
+		{Host: "hostA", Copies: 1},
+		{Host: "hostB", Copies: 2},
+	}
+}
+
+func TestReplayCountsRR(t *testing.T) {
+	// Round robin ignores weights: an even split regardless of copies.
+	got := exec.ReplayCounts(exec.RoundRobin(), replayTargets(), 96)
+	if want := []int{48, 48}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("RR counts %v, want %v", got, want)
+	}
+}
+
+func TestReplayCountsWRR(t *testing.T) {
+	// Weighted round robin splits proportionally to copy counts — the
+	// same 32/64 split the cross-engine equivalence suite pins down.
+	got := exec.ReplayCounts(exec.WeightedRoundRobin(), replayTargets(), 96)
+	if want := []int{32, 64}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("WRR counts %v, want %v", got, want)
+	}
+}
+
+func TestReplayPicksDeterministic(t *testing.T) {
+	for _, p := range []exec.Policy{exec.RoundRobin(), exec.WeightedRoundRobin()} {
+		a := exec.ReplayPicks(p, replayTargets(), 41)
+		b := exec.ReplayPicks(p, replayTargets(), 41)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: two replays differ: %v vs %v", p.Name(), a, b)
+		}
+		if len(a) != 41 {
+			t.Fatalf("%s: %d picks, want 41", p.Name(), len(a))
+		}
+		counts := exec.ReplayCounts(p, replayTargets(), 41)
+		sum := 0
+		for _, n := range counts {
+			sum += n
+		}
+		if sum != 41 {
+			t.Fatalf("%s: counts %v sum to %d, want 41", p.Name(), counts, sum)
+		}
+	}
+}

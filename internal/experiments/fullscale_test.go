@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"datacutter/internal/leakcheck"
 	"os"
 	"testing"
 )
@@ -8,6 +9,7 @@ import (
 // TestFullScaleAll runs every experiment at paper scale when
 // DATACUTTER_FULL=1 (slow; used to generate EXPERIMENTS.md data).
 func TestFullScaleAll(t *testing.T) {
+	leakcheck.Check(t)
 	if os.Getenv("DATACUTTER_FULL") == "" {
 		t.Skip("set DATACUTTER_FULL=1 for paper-scale runs")
 	}

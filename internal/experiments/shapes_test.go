@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"datacutter/internal/leakcheck"
 	"datacutter/internal/tablefmt"
 )
 
@@ -36,6 +37,7 @@ func cellI(t *testing.T, tb *tablefmt.Table, row, col int) int64 {
 }
 
 func TestTable1Shape(t *testing.T) {
+	leakcheck.Check(t)
 	res, err := Run("table1", Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -57,6 +59,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
+	leakcheck.Check(t)
 	res, err := Run("table2", Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -77,6 +80,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
+	leakcheck.Check(t)
 	res, err := Run("fig4", Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -101,6 +105,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
+	leakcheck.Check(t)
 	res, err := Run("fig5", Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +125,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	leakcheck.Check(t)
 	res, err := Run("table3", Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +149,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
+	leakcheck.Check(t)
 	res, err := Run("table4", Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -169,6 +176,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestTable5Shape(t *testing.T) {
+	leakcheck.Check(t)
 	res, err := Run("table5", Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -185,6 +193,7 @@ func TestTable5Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
+	leakcheck.Check(t)
 	res, err := Run("fig7", Quick)
 	if err != nil {
 		t.Fatal(err)

@@ -1,8 +1,13 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"datacutter/internal/leakcheck"
+)
 
 func TestQuickSmokeAll(t *testing.T) {
+	leakcheck.Check(t)
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 
 	"datacutter/internal/core"
 	"datacutter/internal/geom"
+	"datacutter/internal/leakcheck"
 	"datacutter/internal/mcubes"
 	"datacutter/internal/render"
 	"datacutter/internal/volume"
@@ -72,6 +73,7 @@ func placeAll(g *core.Graph, copies map[string][]core.PlaceEntry) *core.Placemen
 }
 
 func TestFullPipelineMatchesReference(t *testing.T) {
+	leakcheck.Check(t)
 	src := testSource()
 	view := testView(96)
 	want := renderReference(t, src, view)
@@ -94,6 +96,7 @@ func TestFullPipelineMatchesReference(t *testing.T) {
 // writer policy distributes buffers (§1: "the final output is consistent
 // regardless of how many copies of various filters are instantiated").
 func TestOutputInvariantUnderCopiesAndPolicies(t *testing.T) {
+	leakcheck.Check(t)
 	src := testSource()
 	view := testView(72)
 	want := renderReference(t, src, view)
@@ -120,6 +123,7 @@ func TestOutputInvariantUnderCopiesAndPolicies(t *testing.T) {
 }
 
 func TestAllConfigurationsProduceSameImage(t *testing.T) {
+	leakcheck.Check(t)
 	src := testSource()
 	view := testView(80)
 	want := renderReference(t, src, view)
@@ -148,6 +152,7 @@ func TestAllConfigurationsProduceSameImage(t *testing.T) {
 }
 
 func TestTimestepsRenderDifferently(t *testing.T) {
+	leakcheck.Check(t)
 	src := testSource()
 	v0, v5 := testView(64), testView(64)
 	v0.Timestep, v5.Timestep = 0, 5
@@ -176,6 +181,7 @@ func TestTimestepsRenderDifferently(t *testing.T) {
 // Table 1's shape: the active-pixel version sends many more Ra->M buffers
 // than the z-buffer version, but a smaller total volume.
 func TestActivePixelTradeoffVsZBuffer(t *testing.T) {
+	leakcheck.Check(t)
 	src := testSource()
 	view := testView(256)
 	run := func(alg Algorithm) *core.StreamStats {
@@ -212,6 +218,7 @@ func (s *errSource) Load(i, ts int) (*volume.Volume, error) {
 }
 
 func TestSourceErrorPropagates(t *testing.T) {
+	leakcheck.Check(t)
 	src := &errSource{FieldSource: testSource(), failAt: 5}
 	view := testView(32)
 	spec := PipelineSpec{Config: FullPipeline, Alg: ActivePixel, Source: src, Assign: AssignByCopy(src.Chunks())}
@@ -227,6 +234,7 @@ func TestSourceErrorPropagates(t *testing.T) {
 }
 
 func TestWrongUOWTypeFails(t *testing.T) {
+	leakcheck.Check(t)
 	src := testSource()
 	spec := PipelineSpec{Config: ReadExtract, Alg: ZBuffer, Source: src, Assign: AssignByCopy(src.Chunks())}
 	pl := core.NewPlacement().Place("RE", "h0", 1).Place("Ra", "h0", 1).Place("M", "h0", 1)

@@ -7,6 +7,7 @@ import (
 	"datacutter/internal/cluster"
 	"datacutter/internal/core"
 	"datacutter/internal/dataset"
+	"datacutter/internal/leakcheck"
 	"datacutter/internal/sim"
 	"datacutter/internal/simrt"
 )
@@ -135,6 +136,7 @@ func (r *simrtRun) run(t *testing.T, cl *cluster.Cluster, view View) (*core.Stat
 }
 
 func TestModelPipelineRunsOnSimCluster(t *testing.T) {
+	leakcheck.Check(t)
 	ds := testDataset(t)
 	for _, cfg := range []Config{FullPipeline, CombinedAll, ReadExtract, ExtractRaster} {
 		for _, alg := range []Algorithm{ZBuffer, ActivePixel} {
@@ -155,6 +157,7 @@ func TestModelPipelineRunsOnSimCluster(t *testing.T) {
 // Table 1's shape must hold in the model too: AP ships more, smaller
 // buffers than ZB.
 func TestModelAPvsZBTransport(t *testing.T) {
+	leakcheck.Check(t)
 	ds := testDataset(t)
 	view := DefaultView(0.35)
 	view.Width, view.Height = 1024, 1024
@@ -173,6 +176,7 @@ func TestModelAPvsZBTransport(t *testing.T) {
 // Table 3's shape: under background load on half the hosts, DD shifts E->Ra
 // buffers toward the unloaded hosts; RR does not.
 func TestModelDDShiftsBuffersUnderLoad(t *testing.T) {
+	leakcheck.Check(t)
 	ds := testDataset(t)
 	view := DefaultView(0.35)
 	share := func(pol core.Policy, bg int) (loaded, unloaded int64) {
@@ -204,6 +208,7 @@ func TestModelDDShiftsBuffersUnderLoad(t *testing.T) {
 
 // DD must beat RR on makespan under load imbalance (Table 4's shape).
 func TestModelDDBeatsRRUnderLoad(t *testing.T) {
+	leakcheck.Check(t)
 	ds := testDataset(t)
 	view := DefaultView(0.35)
 	mk := func(pol core.Policy) float64 {
@@ -218,6 +223,7 @@ func TestModelDDBeatsRRUnderLoad(t *testing.T) {
 }
 
 func TestModelDeterminism(t *testing.T) {
+	leakcheck.Check(t)
 	ds := testDataset(t)
 	view := DefaultView(0.35)
 	mk := func() float64 {
@@ -234,6 +240,7 @@ func TestModelDeterminism(t *testing.T) {
 // filters on the same dataset (within the estimator's resolution-scaling
 // error).
 func TestModelBufferCountsTrackRealPipeline(t *testing.T) {
+	leakcheck.Check(t)
 	// Real run on the in-memory source.
 	ds := testDataset(t)
 	src := NewFieldSource(ds.Field(), 65, 65, 65, 4, 4, 4)

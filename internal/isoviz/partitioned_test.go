@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"datacutter/internal/core"
+	"datacutter/internal/leakcheck"
 )
 
 func runPartitioned(t *testing.T, bands int, copiesPerBand int, view View) (*core.Stats, *MergeFilter) {
@@ -39,6 +40,7 @@ func runPartitioned(t *testing.T, bands int, copiesPerBand int, view View) (*cor
 // count, including bands that do not divide the height, and with
 // replication within bands.
 func TestPartitionedPipelineExact(t *testing.T) {
+	leakcheck.Check(t)
 	src := testSource()
 	view := testView(90) // 90 not divisible by 4 or 7
 	want := renderReference(t, src, view)
@@ -60,6 +62,7 @@ func TestPartitionedPipelineExact(t *testing.T) {
 // ships each winning pixel once — its merge traffic does not grow with
 // parallelism.
 func TestPartitionedReducesMergeTraffic(t *testing.T) {
+	leakcheck.Check(t)
 	src := testSource()
 	view := testView(128)
 	const par = 6
@@ -95,6 +98,7 @@ func TestPartitionedReducesMergeTraffic(t *testing.T) {
 // Band routing duplicates only triangles that straddle band borders: total
 // routed triangles stay well below bands x extracted.
 func TestPartitionedRoutingDuplicationBounded(t *testing.T) {
+	leakcheck.Check(t)
 	src := testSource()
 	view := testView(96)
 	st, _ := runPartitioned(t, 8, 1, view)
@@ -122,6 +126,7 @@ func TestPartitionedRoutingDuplicationBounded(t *testing.T) {
 }
 
 func TestPartitionedBadBandCount(t *testing.T) {
+	leakcheck.Check(t)
 	src := testSource()
 	view := testView(32)
 	spec := PartitionedSpec{Bands: 1, Source: src, Assign: AssignByCopy(src.Chunks())}

@@ -5,11 +5,13 @@ import (
 
 	"datacutter/internal/core"
 	"datacutter/internal/dataset"
+	"datacutter/internal/leakcheck"
 )
 
 // The real pipeline fed from an on-disk store must produce the same image
 // as the in-memory field source (the store holds exact sampled data).
 func TestStoreSourceMatchesFieldSource(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	m := dataset.Meta{
 		GX: 33, GY: 33, GZ: 33, BX: 3, BY: 3, BZ: 3,
@@ -84,6 +86,7 @@ func TestAssignByDistributionSplitsWithinHost(t *testing.T) {
 
 // sendZBuffer must cover every pixel exactly once across its chunks.
 func TestZBufferChunkingCoversFrame(t *testing.T) {
+	leakcheck.Check(t)
 	src := testSource()
 	view := testView(96)
 	spec := PipelineSpec{Config: ReadExtract, Alg: ZBuffer, Source: src, Assign: AssignByCopy(src.Chunks())}
