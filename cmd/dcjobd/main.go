@@ -1,0 +1,144 @@
+// Command dcjobd runs the persistent multi-tenant job server: it accepts
+// pipeline submissions over HTTP, queues them under per-tenant quotas, and
+// coordinates each job over a shared mesh of persistent dcworker processes
+// (workers register themselves with -register; each job's frames carry its
+// job id, so many jobs share one mesh safely).
+//
+//	dcjobd -listen :8080 -journal /var/lib/dc/jobs.jsonl &
+//	dcworker -listen :9101 -persistent -host data1 -register http://localhost:8080 &
+//	dcworker -listen :9102 -persistent -host viz   -register http://localhost:8080 &
+//	dcsubmit -server http://localhost:8080 -size 256
+//
+// The HTTP surface is documented on jobd.Server.Handler: POST/GET /jobs,
+// GET /jobs/{id}(,/events,/metrics), POST/GET /workers, GET /status, plus
+// the layered obs endpoints /healthz, /metrics, and /debug/pprof.
+//
+// With -journal, every submission is appended to a JSONL write-ahead log
+// before it is acknowledged; a restarted server replays the log and re-runs
+// any job that had not finished. SIGINT/SIGTERM drain gracefully: new
+// submissions are refused, running jobs get -drain-timeout to finish, and
+// the final metrics snapshot is printed before exit.
+//
+// Per-tenant quotas use the grammar 'tenant=maxRunning:maxQueued:maxBytes'
+// (0 = unlimited), e.g. -quotas 'teamA=1:4:0,teamB=2:16:1048576'; -quota
+// sets the default for unlisted tenants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"datacutter/internal/jobd"
+	"datacutter/internal/obs"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:8080", "HTTP API address")
+		journal      = flag.String("journal", "", "write-ahead job journal path (JSONL; empty disables persistence)")
+		maxRunning   = flag.Int("max-concurrent", 0, "max concurrently running jobs across all tenants (default 4)")
+		defQuota     = flag.String("quota", "", "default per-tenant quota as maxRunning:maxQueued:maxBytes (0 = unlimited)")
+		quotas       = flag.String("quotas", "", "per-tenant overrides, e.g. 'teamA=1:4:0,teamB=2:16:1048576'")
+		probe        = flag.Duration("probe-interval", 0, "worker health-probe period (default 2s)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	cfg := jobd.Config{
+		MaxRunning:    *maxRunning,
+		JournalPath:   *journal,
+		ProbeInterval: *probe,
+		Registry:      obs.NewRegistry(),
+	}
+	if *defQuota != "" {
+		q, err := parseQuota(*defQuota)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.DefaultQuota = q
+	}
+	if *quotas != "" {
+		cfg.Quotas = map[string]jobd.Quota{}
+		for _, entry := range strings.Split(*quotas, ",") {
+			tenant, spec, ok := strings.Cut(entry, "=")
+			if !ok {
+				fatal(fmt.Errorf("bad -quotas entry %q (want tenant=maxRunning:maxQueued:maxBytes)", entry))
+			}
+			q, err := parseQuota(spec)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Quotas[tenant] = q
+		}
+	}
+
+	s, err := jobd.NewServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Addr: *listen, Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("dcjobd serving on http://%s/ (journal: %s)\n", *listen, orNone(*journal))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case got := <-sig:
+		fmt.Printf("dcjobd: %s — draining (up to %s for running jobs)\n", got, *drainTimeout)
+	}
+	if !s.Drain(*drainTimeout) {
+		fmt.Fprintln(os.Stderr, "dcjobd: drain timed out with jobs still running")
+	}
+	srv.Close()
+	fmt.Println("dcjobd final metrics snapshot:")
+	cfg.Registry.WriteJSON(os.Stdout)
+	fmt.Println()
+	s.Close()
+}
+
+// parseQuota decodes maxRunning:maxQueued:maxBytes; trailing fields may be
+// omitted ("2" caps running only).
+func parseQuota(spec string) (jobd.Quota, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) > 3 {
+		return jobd.Quota{}, fmt.Errorf("bad quota %q (want maxRunning:maxQueued:maxBytes)", spec)
+	}
+	var q jobd.Quota
+	for i, p := range parts {
+		n, err := strconv.ParseInt(p, 10, 64)
+		if err != nil || n < 0 {
+			return jobd.Quota{}, fmt.Errorf("bad quota %q: field %d", spec, i+1)
+		}
+		switch i {
+		case 0:
+			q.MaxRunning = int(n)
+		case 1:
+			q.MaxQueued = int(n)
+		case 2:
+			q.MaxQueuedBytes = n
+		}
+	}
+	return q, nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dcjobd:", err)
+	os.Exit(1)
+}

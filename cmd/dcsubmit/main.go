@@ -20,14 +20,29 @@
 // plan's random source and the synthetic field, so a chaos run is
 // reproducible from the command line alone; an explicit seed= directive
 // inside -faults still wins.
+//
+// Against a dcjobd server, -server submits the same pipeline as a job over
+// HTTP instead of coordinating directly: the worker mesh comes from the
+// server's registry (so -workers is not needed), the submission queues
+// under -tenant's quota, and dcsubmit polls until the job finishes:
+//
+//	dcsubmit -server http://localhost:8080 -tenant teamA -size 256
+//
+// -faults is refused with -server (the server is the coordinator and owns
+// its own fault plan); heartbeat, retry, and policy tuning still applies —
+// it travels inside the job's options.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"datacutter/internal/core"
 	"datacutter/internal/dist"
@@ -35,6 +50,7 @@ import (
 	"datacutter/internal/faults"
 	"datacutter/internal/geom"
 	"datacutter/internal/isoviz"
+	"datacutter/internal/jobd"
 	"datacutter/internal/obs"
 )
 
@@ -60,25 +76,42 @@ func main() {
 		dialTimeout = flag.Duration("dialtimeout", 0, "per-attempt dial timeout, coordinator and worker peer mesh (default 10s)")
 		faultSpec   = flag.String("faults", "", "coordinator-side deterministic fault plan, e.g. 'faildial=2'")
 		seed        = flag.Int64("seed", 0, "seed for the -faults plan and the synthetic field (0 = embedded defaults)")
+
+		server = flag.String("server", "", "dcjobd base URL; submit as a job over HTTP instead of coordinating directly")
+		tenant = flag.String("tenant", "", "tenant name for -server submissions")
+		name   = flag.String("name", "isoviz", "job name for -server submissions")
 	)
 	flag.Parse()
 	if *wirebuf > 0 {
 		dist.SetWireBufferSize(*wirebuf)
 	}
-	if *workers == "" {
-		fmt.Fprintln(os.Stderr, "dcsubmit: -workers is required")
+	if *server != "" && *faultSpec != "" {
+		fatal(fmt.Errorf("-faults is coordinator-side; with -server the job server coordinates"))
+	}
+	if *server == "" && *workers == "" {
+		fmt.Fprintln(os.Stderr, "dcsubmit: -workers is required (or -server)")
 		flag.Usage()
 		os.Exit(2)
 	}
 	addrs := map[string]string{}
 	var hosts []string
-	for _, pair := range strings.Split(*workers, ",") {
-		host, addr, ok := strings.Cut(pair, "=")
-		if !ok {
-			fatal(fmt.Errorf("bad -workers entry %q (want host=addr)", pair))
+	if *server != "" {
+		for _, w := range fetchWorkers(*server) {
+			addrs[w.Host] = w.Addr
+			hosts = append(hosts, w.Host)
 		}
-		addrs[host] = addr
-		hosts = append(hosts, host)
+		if len(hosts) == 0 {
+			fatal(fmt.Errorf("server %s has no registered workers", *server))
+		}
+	} else {
+		for _, pair := range strings.Split(*workers, ",") {
+			host, addr, ok := strings.Cut(pair, "=")
+			if !ok {
+				fatal(fmt.Errorf("bad -workers entry %q (want host=addr)", pair))
+			}
+			addrs[host] = addr
+			hosts = append(hosts, host)
+		}
 	}
 	mergeHost := *merge
 	if mergeHost == "" {
@@ -181,9 +214,19 @@ func main() {
 		}
 		opts = opts.WithFaults(plan.Injector())
 	}
-	stats, err := dist.RunObserved(addrs, spec, placement, opts, uows, o)
-	if err != nil {
-		fatal(err)
+	var stats *core.Stats
+	if *server != "" {
+		stats = submitJob(*server, jobd.JobSpec{
+			Name: *name, Tenant: *tenant,
+			Graph: spec, Placement: placement, Options: opts,
+			UOWs: encodeUOWs(uows),
+		})
+	} else {
+		st, err := dist.RunObserved(addrs, spec, placement, opts, uows, o)
+		if err != nil {
+			fatal(err)
+		}
+		stats = st
 	}
 	if *metrics {
 		fmt.Println("coordinator metrics snapshot:")
@@ -197,6 +240,96 @@ func main() {
 		fmt.Printf("  stream %-10s %6d buffers %9.2f MB %6d acks  per host: %v\n",
 			name, ss.Buffers, float64(ss.Bytes)/1e6, ss.Acks, ss.PerTargetHost)
 	}
+}
+
+// fetchWorkers lists the server's registered workers (host-ordered).
+func fetchWorkers(server string) []struct{ Host, Addr string } {
+	resp, err := http.Get(server + "/workers")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("GET %s/workers: %s: %s", server, resp.Status, body))
+	}
+	var out []struct{ Host, Addr string }
+	if err := json.Unmarshal(body, &out); err != nil {
+		fatal(fmt.Errorf("GET %s/workers: %w", server, err))
+	}
+	return out
+}
+
+func encodeUOWs(uows []any) []dist.RawUOW {
+	out := make([]dist.RawUOW, 0, len(uows))
+	for _, u := range uows {
+		raw, err := dist.EncodeUOW(u)
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, raw)
+	}
+	return out
+}
+
+// submitJob POSTs the spec to a dcjobd server and polls until the job
+// leaves the queue and finishes, returning its aggregated stats.
+func submitJob(server string, spec jobd.JobSpec) *core.Stats {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := http.Post(server+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	reply, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		fatal(fmt.Errorf("POST %s/jobs: %s: %s", server, resp.Status, strings.TrimSpace(string(reply))))
+	}
+	var sub struct {
+		ID uint64 `json:"id"`
+	}
+	if err := json.Unmarshal(reply, &sub); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("submitted job %d to %s\n", sub.ID, server)
+
+	var last jobd.State
+	for {
+		var j jobd.Job
+		got := httpJSON(fmt.Sprintf("%s/jobs/%d", server, sub.ID), &j)
+		if got != http.StatusOK {
+			fatal(fmt.Errorf("job %d vanished from the server (status %d)", sub.ID, got))
+		}
+		if j.State != last {
+			last = j.State
+			fmt.Printf("job %d: %s\n", sub.ID, j.State)
+		}
+		switch j.State {
+		case jobd.StateDone:
+			return j.Stats
+		case jobd.StateFailed:
+			fatal(fmt.Errorf("job %d failed: %s", sub.ID, j.Err))
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func httpJSON(url string, v any) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, v); err != nil {
+			fatal(fmt.Errorf("GET %s: %w", url, err))
+		}
+	}
+	return resp.StatusCode
 }
 
 func fatal(err error) {

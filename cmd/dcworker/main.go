@@ -25,14 +25,33 @@
 // accepts — e.g. -faults 'kill=data:100' crashes the process model after
 // 100 received data frames. -dialtimeout overrides the per-attempt peer
 // dial timeout when the coordinator's options don't set one.
+//
+// As a persistent mesh member for a dcjobd server, the worker registers
+// itself (and re-registers periodically, so a restarted server re-learns
+// the mesh) and keeps serving between jobs:
+//
+//	dcworker -listen :9101 -host data1 -register http://jobd:8080 \
+//	         -debug-addr :6061
+//
+// -host is the placement name jobs address this worker by; -advertise
+// overrides the dist address sent to the server (defaults to the listen
+// address). SIGINT/SIGTERM drain gracefully: active job sessions get
+// -drain-timeout to finish (a second signal aborts immediately), then the
+// final metrics snapshot is flushed.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
+	_ "datacutter/internal/conformance" // register the conformance filter kind
 	"datacutter/internal/dist"
 	"datacutter/internal/faults"
 	_ "datacutter/internal/isoviz" // register the isosurface filter kinds
@@ -46,7 +65,15 @@ func main() {
 	wirebuf := flag.Int("wirebuf", 0, "per-connection write-coalescing buffer in bytes (default 64 KiB)")
 	faultSpec := flag.String("faults", "", "deterministic fault plan, e.g. 'seed=7; drop=triangles:100; kill=data:500'")
 	dialTimeout := flag.Duration("dialtimeout", 0, "per-attempt peer dial timeout when the session options don't set one (default 10s)")
+	register := flag.String("register", "", "dcjobd base URL to register with (e.g. http://localhost:8080)")
+	host := flag.String("host", "", "placement host name to register as (required with -register)")
+	advertise := flag.String("advertise", "", "dist address to advertise to the server (default: the listen address)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for active job sessions on SIGINT/SIGTERM")
 	flag.Parse()
+	if *register != "" && *host == "" {
+		fmt.Fprintln(os.Stderr, "dcworker: -register requires -host")
+		os.Exit(2)
+	}
 
 	if *wirebuf > 0 {
 		dist.SetWireBufferSize(*wirebuf)
@@ -70,8 +97,9 @@ func main() {
 	}
 
 	var (
-		o      *obs.Observer
-		traceF *os.File
+		o          *obs.Observer
+		traceF     *os.File
+		healthAddr string
 	)
 	if *debugAddr != "" || *trace != "" {
 		reg := obs.NewRegistry()
@@ -95,15 +123,34 @@ func main() {
 				fmt.Fprintln(os.Stderr, "dcworker:", err)
 				os.Exit(1)
 			}
+			healthAddr = dbg.Addr
 			fmt.Printf("dcworker debug endpoint on http://%s/\n", dbg.Addr)
 		}
 	}
 
 	fmt.Printf("dcworker listening on %s\n", w.Addr())
+	if *register != "" {
+		addr := *advertise
+		if addr == "" {
+			addr = w.Addr()
+		}
+		go registerLoop(*register, *host, addr, healthAddr)
+	}
 	go func() {
 		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
-		<-ch
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		got := <-ch
+		fmt.Printf("dcworker: %s — draining (up to %s for active sessions)\n", got, *drainTimeout)
+		done := make(chan bool, 1)
+		go func() { done <- w.Drain(*drainTimeout) }()
+		select {
+		case ok := <-done:
+			if !ok {
+				fmt.Fprintln(os.Stderr, "dcworker: drain timed out with sessions active")
+			}
+		case <-ch:
+			fmt.Fprintln(os.Stderr, "dcworker: second signal — aborting")
+		}
 		w.Close()
 	}()
 	w.Serve()
@@ -112,5 +159,34 @@ func main() {
 	}
 	if traceF != nil {
 		traceF.Close()
+	}
+}
+
+// registerLoop announces the worker to a dcjobd server and renews the
+// registration periodically, so a server restarted from its journal
+// re-learns the mesh without operator help.
+func registerLoop(server, host, addr, health string) {
+	body, err := json.Marshal(map[string]string{"host": host, "addr": addr, "health": health})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcworker: register:", err)
+		return
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	registered := false
+	for {
+		resp, err := client.Post(server+"/workers", "application/json", bytes.NewReader(body))
+		switch {
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "dcworker: register:", err)
+		case resp.StatusCode != http.StatusNoContent:
+			fmt.Fprintf(os.Stderr, "dcworker: register: server said %s\n", resp.Status)
+		case !registered:
+			registered = true
+			fmt.Printf("dcworker registered as %q with %s\n", host, server)
+		}
+		if resp != nil {
+			resp.Body.Close()
+		}
+		time.Sleep(5 * time.Second)
 	}
 }

@@ -329,7 +329,11 @@ func (co *coordinator) gather(phase string, each func(host string, f *frame)) er
 
 func (co *coordinator) runUOW(idx int, work any) error {
 	var raw []byte
-	if work != nil {
+	if r, ok := work.(RawUOW); ok {
+		// Pre-encoded descriptor (a job-server relay): pass through
+		// verbatim — the coordinator process need not know the type.
+		raw = r
+	} else if work != nil {
 		var err error
 		raw, err = encodeAny(work)
 		if err != nil {

@@ -152,7 +152,7 @@ func (p *distPort) Deliver(idx int, b core.Buffer, ackEvery int) error {
 		// The payload is serialized by the conn via the codec registry
 		// (fast path for registered types, gob otherwise), outside the
 		// connection's write lock.
-		if err := c.send(dataFrame(u.index, p.stream, p.c.globalIdx, idx, ackEvery, b.Size, b.Payload)); err != nil {
+		if err := c.send(dataFrame(s.job, u.index, p.stream, p.c.globalIdx, idx, ackEvery, b.Size, b.Payload)); err != nil {
 			s.failTransport(target.Host, fmt.Errorf("dist: sending buffer for %s to %s: %w", p.stream, target.Host, err))
 			return core.ErrCancelled
 		}
@@ -238,7 +238,7 @@ func (d *dctx) sendAck(key ackPendKey, n int) {
 	if m := d.s.w.metrics(); m != nil {
 		m.txAckFrames.Inc()
 	}
-	_ = c.send(&frame{Kind: kindAck, UOWIdx: d.u.index, Stream: key.stream, Copy: key.producerCopy, Target: key.targetIdx, AckN: n})
+	_ = c.send(&frame{Kind: kindAck, Job: d.s.job, UOWIdx: d.u.index, Stream: key.stream, Copy: key.producerCopy, Target: key.targetIdx, AckN: n})
 }
 
 // flushAcks releases coalesced acknowledgments at end-of-work so producer

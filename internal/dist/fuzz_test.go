@@ -20,8 +20,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		putU32(hdr[:], len(body))
 		f.Add(append(hdr[:], body...))
 	}
-	seed(dataFrame(1, "tri", 2, 3, 4, 24, []float32{1, -2}))
-	seed(dataFrame(0, "s", 0, 0, 0, 3, []byte{0xDE, 0xAD, 0xBF}))
+	seed(dataFrame(9, 1, "tri", 2, 3, 4, 24, []float32{1, -2}))
+	seed(dataFrame(0, 0, "s", 0, 0, 0, 3, []byte{0xDE, 0xAD, 0xBF}))
 	seed(&frame{Kind: kindAck, UOWIdx: 1, Stream: "tri", Target: 2, Copy: 3, AckN: 4})
 	seed(&frame{Kind: kindProducerDone, UOWIdx: 7, Stream: "pix"})
 	seed(&frame{Kind: kindHello})

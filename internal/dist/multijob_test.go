@@ -1,0 +1,197 @@
+package dist_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"datacutter/internal/core"
+	"datacutter/internal/dist"
+	"datacutter/internal/leakcheck"
+)
+
+// gateCh blocks test.gate sinks until the test releases them; reset per
+// test (builders are registered once in init).
+var (
+	gateMu sync.Mutex
+	gateCh chan struct{}
+)
+
+func setGate() chan struct{} {
+	gateMu.Lock()
+	defer gateMu.Unlock()
+	gateCh = make(chan struct{})
+	return gateCh
+}
+
+type gateSink struct {
+	core.BaseFilter
+	Seen int
+}
+
+func (s *gateSink) Process(ctx core.Ctx) error {
+	gateMu.Lock()
+	ch := gateCh
+	gateMu.Unlock()
+	for {
+		b, ok := ctx.Read("ints")
+		if !ok {
+			return nil
+		}
+		_ = b
+		if s.Seen == 0 && ch != nil {
+			<-ch
+		}
+		s.Seen++
+	}
+}
+
+func init() {
+	dist.RegisterFilter("test.gate", func([]byte) (core.Filter, error) { return &gateSink{}, nil })
+}
+
+// Two coordinators with distinct job ids share the same two persistent
+// workers concurrently; both runs must complete with their own exact
+// delivery counts and per-job sink instances.
+func TestConcurrentJobsShareWorkerMesh(t *testing.T) {
+	leakcheck.Check(t)
+	addrs, workers := startWorkers(t, 2)
+	placement := []dist.PlacementEntry{
+		{Filter: "S", Host: "host0", Copies: 1},
+		{Filter: "K", Host: "host1", Copies: 1},
+	}
+	counts := map[uint64]int{1: 120, 2: 75}
+
+	type result struct {
+		job uint64
+		st  *core.Stats
+		err error
+	}
+	results := make(chan result, len(counts))
+	for job, n := range counts {
+		go func(job uint64, n int) {
+			st, err := dist.Run(addrs, intGraph(n), placement,
+				dist.Options{JobID: job}, []any{0, 1})
+			results <- result{job, st, err}
+		}(job, n)
+	}
+	for range counts {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("job %d: %v", r.job, r.err)
+		}
+		want := int64(2 * counts[r.job]) // 2 UOWs
+		if got := r.st.Streams["ints"].Buffers; got != want {
+			t.Errorf("job %d stats: %d buffers, want %d", r.job, got, want)
+		}
+	}
+	// Per-job sink retrieval: each job's session kept its own instances.
+	for job, n := range counts {
+		insts := workers["host1"].InstancesJob(job, "K")
+		if len(insts) != 1 {
+			t.Fatalf("job %d: %d sink instances, want 1", job, len(insts))
+		}
+		if got := insts[0].(*intSink).Seen; got != 2*n {
+			t.Errorf("job %d sink saw %d buffers, want %d", job, got, 2*n)
+		}
+	}
+}
+
+// The same job id cannot run twice at once on a worker: the second setup is
+// refused (busy), exactly like the pre-job single-session protocol.
+func TestSameJobIDRefusedWhileActive(t *testing.T) {
+	addrs, _ := startWorkers(t, 1)
+	gate := setGate()
+	g := dist.GraphSpec{
+		Filters: []dist.FilterSpec{
+			{Name: "S", Kind: "test.source", Params: []byte{20}},
+			{Name: "K", Kind: "test.gate"},
+		},
+		Streams: []core.StreamSpec{{Name: "ints", From: "S", To: "K"}},
+	}
+	placement := []dist.PlacementEntry{
+		{Filter: "S", Host: "host0", Copies: 1},
+		{Filter: "K", Host: "host0", Copies: 1},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := dist.Run(addrs, g, placement, dist.Options{JobID: 7}, nil)
+		done <- err
+	}()
+	// The gated sink holds job 7's session open; a competitor with the same
+	// id must be refused. Options tuned so the busy-retry loop gives up fast.
+	time.Sleep(50 * time.Millisecond)
+	_, err := dist.Run(addrs, intGraph(5), placement, dist.Options{
+		JobID:             7,
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatMisses:   1,
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "busy") {
+		t.Fatalf("concurrent setup for the same job id: err = %v, want busy refusal", err)
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("gated run failed: %v", err)
+	}
+}
+
+// Drain refuses new sessions while letting the in-flight one finish.
+func TestWorkerDrain(t *testing.T) {
+	leakcheck.Check(t)
+	addrs, workers := startWorkers(t, 1)
+	w := workers["host0"]
+
+	// Idle worker: drain completes immediately.
+	if !w.Drain(time.Second) {
+		t.Fatal("idle worker did not drain")
+	}
+
+	// A draining worker refuses setups outright (no busy-retry).
+	_, err := dist.Run(addrs, intGraph(5), []dist.PlacementEntry{
+		{Filter: "S", Host: "host0", Copies: 1},
+		{Filter: "K", Host: "host0", Copies: 1},
+	}, dist.Options{JobID: 3}, nil)
+	if err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Fatalf("setup on a draining worker: err = %v, want draining refusal", err)
+	}
+}
+
+// Drain waits for the in-flight session and reports success once it ends,
+// or failure when the timeout elapses first.
+func TestWorkerDrainWaitsForActiveSession(t *testing.T) {
+	leakcheck.Check(t)
+	addrs, workers := startWorkers(t, 1)
+	w := workers["host0"]
+	gate := setGate()
+	g := dist.GraphSpec{
+		Filters: []dist.FilterSpec{
+			{Name: "S", Kind: "test.source", Params: []byte{10}},
+			{Name: "K", Kind: "test.gate"},
+		},
+		Streams: []core.StreamSpec{{Name: "ints", From: "S", To: "K"}},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := dist.Run(addrs, g, []dist.PlacementEntry{
+			{Filter: "S", Host: "host0", Copies: 1},
+			{Filter: "K", Host: "host0", Copies: 1},
+		}, dist.Options{JobID: 9}, nil)
+		done <- err
+	}()
+	// Wait until the session is actually live on the worker.
+	for len(w.InstancesJob(9, "K")) == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if w.Drain(20 * time.Millisecond) {
+		t.Fatal("drain reported idle while a session was gated open")
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("gated run failed: %v", err)
+	}
+	if !w.Drain(5 * time.Second) {
+		t.Fatal("drain did not complete after the session ended")
+	}
+}

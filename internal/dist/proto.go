@@ -56,6 +56,14 @@ type PlacementEntry struct {
 
 // Options configures a distributed run.
 type Options struct {
+	// JobID namespaces the run on the worker mesh: every setup, data, ack,
+	// and producer-done frame carries it, so one persistent worker process
+	// serves interleaved sessions from many concurrent jobs (internal/jobd
+	// assigns unique ids). Zero — the default for one-shot runs — behaves
+	// exactly like the pre-job protocol: a second setup with the same id is
+	// refused while the first session is active.
+	JobID uint64
+
 	Policy string // default policy name (core.PolicyByName); default RR
 	// StreamPolicy overrides the writer policy for individual streams by
 	// name ("RR" | "WRR" | "DD" | "DD/<k>"). Carried to every worker in
@@ -225,6 +233,7 @@ type frame struct {
 	FailNet  bool
 
 	// Peer traffic (worker -> worker).
+	Job     uint64 // job the frame belongs to (session demux on the worker)
 	UOWIdx  int    // unit of work the frame belongs to (stale frames dropped)
 	Stream  string // stream name (interned on receive)
 	Target  int    // consumer copy-set index (data) / producer target index (ack)
@@ -245,9 +254,9 @@ type frame struct {
 }
 
 // dataFrame builds a tx data frame around a payload value.
-func dataFrame(uowIdx int, stream string, copyIdx, target, ackN, size int, payload any) *frame {
+func dataFrame(job uint64, uowIdx int, stream string, copyIdx, target, ackN, size int, payload any) *frame {
 	return &frame{
-		Kind: kindData, UOWIdx: uowIdx, Stream: stream, Copy: copyIdx,
+		Kind: kindData, Job: job, UOWIdx: uowIdx, Stream: stream, Copy: copyIdx,
 		Target: target, AckN: ackN, Size: size,
 		payloadVal: payload, hasPayloadVal: true,
 	}
@@ -301,6 +310,25 @@ type wireStats struct {
 // (convenience wrapper so applications don't import encoding/gob). Types
 // without a RegisterCodec fast path travel through the gob fallback.
 func RegisterPayload(v any) { gob.Register(v) }
+
+// RawUOW is a pre-encoded unit-of-work descriptor (the output of
+// EncodeUOW). A coordinator passes it through to workers verbatim instead
+// of gob-encoding it again, so a job server can relay units of work whose
+// concrete Go types only the submitting client and the workers know.
+type RawUOW []byte
+
+// EncodeUOW serializes a unit-of-work descriptor for transport outside a
+// live session — e.g. inside a job submission to internal/jobd. The
+// concrete type must be registered (RegisterPayload) in the worker
+// processes that will decode it.
+func EncodeUOW(v any) (RawUOW, error) {
+	raw, err := encodeAny(v)
+	return RawUOW(raw), err
+}
+
+// DecodeUOW reverses EncodeUOW; the concrete type must be registered in
+// this process.
+func DecodeUOW(raw RawUOW) (any, error) { return decodeAny(raw) }
 
 // encodeAny gob-encodes a value (with its concrete type registered) —
 // the gob-fallback payload format and the unit-of-work descriptor format.

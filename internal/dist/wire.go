@@ -20,12 +20,15 @@ import (
 //	wire frame := u32 length | u8 kind | body     (length = 1 + len(body))
 //
 // The data/ack/producer-done plane — the per-buffer hot path — uses
-// hand-rolled little-endian bodies:
+// hand-rolled little-endian bodies. Every body leads with the job id the
+// frame belongs to, so one worker's inbound connections can interleave
+// frames from many concurrent jobs and demux them to the right session:
 //
-//	data := u32 uow | u16 slen | stream | u32 target | u32 copy |
+//	data := u64 job | u32 uow | u16 slen | stream | u32 target | u32 copy |
 //	        u32 ackN | u32 size | u16 codec | u32 plen | payload
-//	ack  := u32 uow | u16 slen | stream | u32 target | u32 copy | u32 ackN
-//	done := u32 uow | u16 slen | stream
+//	ack  := u64 job | u32 uow | u16 slen | stream | u32 target | u32 copy |
+//	        u32 ackN
+//	done := u64 job | u32 uow | u16 slen | stream
 //	hello := (empty)
 //
 // Everything else (setup, unit-of-work, declarations, stats, failures) is
@@ -100,6 +103,7 @@ func appendFrame(dst []byte, f *frame) ([]byte, error) {
 	dst = append(dst, byte(f.Kind))
 	switch f.Kind {
 	case kindData:
+		dst = appendU64(dst, f.Job)
 		dst = appendU32(dst, f.UOWIdx)
 		var err error
 		dst, err = appendStream(dst, f.Stream)
@@ -126,6 +130,7 @@ func appendFrame(dst []byte, f *frame) ([]byte, error) {
 			dst = append(dst, f.Payload...)
 		}
 	case kindAck:
+		dst = appendU64(dst, f.Job)
 		dst = appendU32(dst, f.UOWIdx)
 		var err error
 		dst, err = appendStream(dst, f.Stream)
@@ -136,6 +141,7 @@ func appendFrame(dst []byte, f *frame) ([]byte, error) {
 		dst = appendU32(dst, f.Copy)
 		dst = appendU32(dst, f.AckN)
 	case kindProducerDone:
+		dst = appendU64(dst, f.Job)
 		dst = appendU32(dst, f.UOWIdx)
 		var err error
 		dst, err = appendStream(dst, f.Stream)
@@ -156,6 +162,10 @@ func appendFrame(dst []byte, f *frame) ([]byte, error) {
 
 func appendU32(dst []byte, v int) []byte {
 	return binary.LittleEndian.AppendUint32(dst, uint32(v))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
 }
 
 func appendStream(dst []byte, s string) ([]byte, error) {
@@ -193,6 +203,9 @@ func (r *frameReader) decodeFrame(buf []byte) (*frame, error) {
 	var err error
 	switch f.Kind {
 	case kindData:
+		if f.Job, b, err = readU64(b); err != nil {
+			return nil, err
+		}
 		if f.UOWIdx, b, err = readU32(b); err != nil {
 			return nil, err
 		}
@@ -222,6 +235,9 @@ func (r *frameReader) decodeFrame(buf []byte) (*frame, error) {
 		}
 		f.Payload = b
 	case kindAck:
+		if f.Job, b, err = readU64(b); err != nil {
+			return nil, err
+		}
 		if f.UOWIdx, b, err = readU32(b); err != nil {
 			return nil, err
 		}
@@ -241,6 +257,9 @@ func (r *frameReader) decodeFrame(buf []byte) (*frame, error) {
 			return nil, errTrailingBytes
 		}
 	case kindProducerDone:
+		if f.Job, b, err = readU64(b); err != nil {
+			return nil, err
+		}
 		if f.UOWIdx, b, err = readU32(b); err != nil {
 			return nil, err
 		}
@@ -272,6 +291,13 @@ func readU32(b []byte) (int, []byte, error) {
 		return 0, nil, errShortFrame
 	}
 	return int(binary.LittleEndian.Uint32(b)), b[4:], nil
+}
+
+func readU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, errShortFrame
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
 }
 
 func (r *frameReader) readStream(b []byte) (string, []byte, error) {

@@ -28,7 +28,7 @@ func BenchmarkWireCodec(b *testing.B) {
 		var r frameReader
 		for i := 0; i < b.N; i++ {
 			var err error
-			buf, err = appendFrame(buf[:0], dataFrame(1, "floats", 0, 0, 4, len(payload)*4, payload))
+			buf, err = appendFrame(buf[:0], dataFrame(1, 1, "floats", 0, 0, 4, len(payload)*4, payload))
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -24,9 +24,9 @@ func roundTrip(t *testing.T, f *frame) *frame {
 }
 
 func TestDataFrameRoundTrip(t *testing.T) {
-	f := dataFrame(3, "triangles", 7, 2, 4, 1234, []float32{1, 2.5, -3})
+	f := dataFrame(11, 3, "triangles", 7, 2, 4, 1234, []float32{1, 2.5, -3})
 	g := roundTrip(t, f)
-	if g.Kind != kindData || g.UOWIdx != 3 || g.Stream != "triangles" ||
+	if g.Kind != kindData || g.Job != 11 || g.UOWIdx != 3 || g.Stream != "triangles" ||
 		g.Copy != 7 || g.Target != 2 || g.AckN != 4 || g.Size != 1234 {
 		t.Fatalf("header fields mangled: %+v", g)
 	}
@@ -46,7 +46,7 @@ func TestDataFrameRoundTrip(t *testing.T) {
 }
 
 func TestBytesPayloadZeroCopy(t *testing.T) {
-	f := dataFrame(0, "s", 0, 0, 0, 4, []byte{9, 8, 7, 6})
+	f := dataFrame(0, 0, "s", 0, 0, 0, 4, []byte{9, 8, 7, 6})
 	g := roundTrip(t, f)
 	if g.Codec != CodecBytes {
 		t.Fatalf("codec id = %d, want %d", g.Codec, CodecBytes)
@@ -83,7 +83,7 @@ func init() { RegisterPayload(unregisteredPayload{}) }
 
 func TestGobFallbackRoundTrip(t *testing.T) {
 	want := unregisteredPayload{A: 42, B: "fallback"}
-	f := dataFrame(1, "s", 0, 0, 0, 8, want)
+	f := dataFrame(5, 1, "s", 0, 0, 0, 8, want)
 	g := roundTrip(t, f)
 	if g.Codec != 0 {
 		t.Fatalf("codec id = %d, want 0 (gob fallback)", g.Codec)
@@ -101,12 +101,12 @@ func TestGobFallbackRoundTrip(t *testing.T) {
 }
 
 func TestAckAndDoneRoundTrip(t *testing.T) {
-	a := roundTrip(t, &frame{Kind: kindAck, UOWIdx: 9, Stream: "pixels", Target: 1, Copy: 3, AckN: 4})
-	if a.Kind != kindAck || a.UOWIdx != 9 || a.Stream != "pixels" || a.Target != 1 || a.Copy != 3 || a.AckN != 4 {
+	a := roundTrip(t, &frame{Kind: kindAck, Job: 6, UOWIdx: 9, Stream: "pixels", Target: 1, Copy: 3, AckN: 4})
+	if a.Kind != kindAck || a.Job != 6 || a.UOWIdx != 9 || a.Stream != "pixels" || a.Target != 1 || a.Copy != 3 || a.AckN != 4 {
 		t.Fatalf("ack mangled: %+v", a)
 	}
-	d := roundTrip(t, &frame{Kind: kindProducerDone, UOWIdx: 2, Stream: "ints"})
-	if d.Kind != kindProducerDone || d.UOWIdx != 2 || d.Stream != "ints" {
+	d := roundTrip(t, &frame{Kind: kindProducerDone, Job: 6, UOWIdx: 2, Stream: "ints"})
+	if d.Kind != kindProducerDone || d.Job != 6 || d.UOWIdx != 2 || d.Stream != "ints" {
 		t.Fatalf("done mangled: %+v", d)
 	}
 	h := roundTrip(t, &frame{Kind: kindHello})
@@ -143,23 +143,23 @@ func TestFrameGoldenBytes(t *testing.T) {
 	}{
 		{
 			name: "data-float32s",
-			f:    dataFrame(1, "tri", 2, 3, 4, 24, []float32{1, -2}),
-			hex:  "0b0100000003007472690300000002000000040000001800000002000c000000020000000000803f000000c0",
+			f:    dataFrame(7, 1, "tri", 2, 3, 4, 24, []float32{1, -2}),
+			hex:  "0b070000000000000001000000" + "03007472690300000002000000040000001800000002000c000000020000000000803f000000c0",
 		},
 		{
 			name: "data-bytes",
-			f:    dataFrame(0, "s", 0, 0, 0, 3, []byte{0xDE, 0xAD, 0xBF}),
-			hex:  "0b0000000001007300000000000000000000000003000000010003000000deadbf",
+			f:    dataFrame(0, 0, "s", 0, 0, 0, 3, []byte{0xDE, 0xAD, 0xBF}),
+			hex:  "0b000000000000000000000000" + "01007300000000000000000000000003000000010003000000deadbf",
 		},
 		{
 			name: "ack",
-			f:    &frame{Kind: kindAck, UOWIdx: 1, Stream: "tri", Target: 2, Copy: 3, AckN: 4},
-			hex:  "0c010000000300747269020000000300000004000000",
+			f:    &frame{Kind: kindAck, Job: 7, UOWIdx: 1, Stream: "tri", Target: 2, Copy: 3, AckN: 4},
+			hex:  "0c070000000000000001000000" + "0300747269020000000300000004000000",
 		},
 		{
 			name: "producer-done",
-			f:    &frame{Kind: kindProducerDone, UOWIdx: 7, Stream: "pix"},
-			hex:  "0d070000000300706978",
+			f:    &frame{Kind: kindProducerDone, Job: 1, UOWIdx: 7, Stream: "pix"},
+			hex:  "0d010000000000000007000000" + "0300706978",
 		},
 		{
 			name: "hello",
@@ -185,7 +185,7 @@ func TestFrameGoldenBytes(t *testing.T) {
 }
 
 func TestDecodeFrameErrors(t *testing.T) {
-	valid, err := appendFrame(nil, dataFrame(1, "tri", 2, 3, 4, 24, []float32{1, -2}))
+	valid, err := appendFrame(nil, dataFrame(1, 1, "tri", 2, 3, 4, 24, []float32{1, -2}))
 	if err != nil {
 		t.Fatal(err)
 	}

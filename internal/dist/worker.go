@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,14 +14,31 @@ import (
 	"datacutter/internal/obs"
 )
 
-// Worker serves one named host of a distributed run: it builds the filter
+// Worker serves one named host of distributed runs: it builds the filter
 // copies placed on its host, executes them, and exchanges stream buffers
 // and acknowledgments with peer workers over TCP.
+//
+// A worker is persistent and multi-tenant: it outlives individual runs and
+// serves any number of concurrent sessions, one per job id (Options.JobID,
+// carried on every setup, data, ack, and producer-done frame). A second
+// setup for a job whose session is still active is refused — the pre-job
+// single-session behaviour, preserved for plain dist.Run coordinators that
+// leave JobID zero.
 type Worker struct {
-	ln     net.Listener
-	mu     sync.Mutex
-	sess   *session
-	closed atomic.Bool
+	ln net.Listener
+	mu sync.Mutex
+	// sessions holds the active session of each job; a session is removed
+	// when it ends. The most recently ended one is kept in last — and a
+	// bounded per-job map in ended — so Instances/InstancesJob can retrieve
+	// sink results after a run returns without the worker accumulating
+	// every session it ever served.
+	sessions   map[uint64]*session
+	last       *session
+	ended      map[uint64]*session
+	endedOrder []uint64
+	// draining refuses new setups while in-flight sessions finish (Drain).
+	draining bool
+	closed   atomic.Bool
 
 	// obsrv and wm are set by SetObserver before Serve; nil = disabled.
 	// wm is atomic because accepted connections resolve it concurrently.
@@ -97,7 +115,12 @@ func NewWorker(addr string) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Worker{ln: ln, conns: make(map[*conn]struct{})}, nil
+	return &Worker{
+		ln:       ln,
+		sessions: make(map[uint64]*session),
+		ended:    make(map[uint64]*session),
+		conns:    make(map[*conn]struct{}),
+	}, nil
 }
 
 // Addr returns the listening address.
@@ -149,17 +172,48 @@ func (w *Worker) severConns(markKilled bool) {
 	}
 }
 
-// Close stops the listener, severs all connections, and tears down the
-// current session.
+// Close stops the listener, severs all connections, and tears down every
+// active session.
 func (w *Worker) Close() {
 	w.closed.Store(true)
 	w.ln.Close()
 	w.severConns(false)
-	w.mu.Lock()
-	s := w.sess
-	w.mu.Unlock()
-	if s != nil {
+	for _, s := range w.liveSessions() {
 		s.fail(fmt.Errorf("dist: worker closed"))
+	}
+}
+
+// liveSessions snapshots the active sessions.
+func (w *Worker) liveSessions() []*session {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]*session, 0, len(w.sessions))
+	for _, s := range w.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Drain stops accepting new sessions (setups are refused with a draining
+// message) and waits up to timeout for the in-flight ones to finish. It
+// returns true when the worker went idle — the graceful half of a
+// SIGTERM handler; callers typically Close afterwards either way.
+func (w *Worker) Drain(timeout time.Duration) bool {
+	w.mu.Lock()
+	w.draining = true
+	w.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for {
+		w.mu.Lock()
+		n := len(w.sessions)
+		w.mu.Unlock()
+		if n == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -171,10 +225,7 @@ func (w *Worker) Kill() {
 	w.closed.Store(true)
 	w.ln.Close()
 	w.severConns(true)
-	w.mu.Lock()
-	s := w.sess
-	w.mu.Unlock()
-	if s != nil {
+	for _, s := range w.liveSessions() {
 		s.fail(fmt.Errorf("dist: worker killed"))
 	}
 }
@@ -191,16 +242,71 @@ func (w *Worker) Serve() {
 }
 
 // Instances returns the local filter instances for a filter name from the
-// current (or last) session — the distributed analogue of Runner.Instances
-// for retrieving results held by sink filters.
+// active sessions, falling back to the most recently ended one — the
+// distributed analogue of Runner.Instances for retrieving results held by
+// sink filters. With concurrent jobs in flight, prefer InstancesJob: two
+// jobs may reuse a filter name.
 func (w *Worker) Instances(name string) []core.Filter {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.sess == nil {
-		return nil
-	}
 	var out []core.Filter
-	for _, c := range w.sess.copies {
+	for _, job := range w.jobIDsLocked() {
+		out = append(out, w.sessions[job].instancesOf(name)...)
+	}
+	if len(out) == 0 && w.last != nil {
+		out = w.last.instancesOf(name)
+	}
+	return out
+}
+
+// InstancesJob returns the local filter instances for one job's session —
+// the active one, or that job's most recently ended session while it is
+// still within the worker's bounded retention window.
+func (w *Worker) InstancesJob(job uint64, name string) []core.Filter {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if s := w.sessions[job]; s != nil {
+		return s.instancesOf(name)
+	}
+	if s := w.ended[job]; s != nil {
+		return s.instancesOf(name)
+	}
+	return nil
+}
+
+// endedRetention bounds how many finished sessions a persistent worker keeps
+// for post-run result retrieval (InstancesJob): one per job, newest wins,
+// oldest evicted beyond the cap — a long-lived worker serving thousands of
+// jobs must not accumulate every sink it ever ran.
+const endedRetention = 8
+
+// rememberEndedLocked records a finished session for InstancesJob; callers
+// hold w.mu.
+func (w *Worker) rememberEndedLocked(job uint64, s *session) {
+	if _, seen := w.ended[job]; !seen {
+		w.endedOrder = append(w.endedOrder, job)
+		if len(w.endedOrder) > endedRetention {
+			delete(w.ended, w.endedOrder[0])
+			w.endedOrder = w.endedOrder[1:]
+		}
+	}
+	w.ended[job] = s
+}
+
+// jobIDsLocked returns the active job ids sorted, for deterministic
+// iteration; callers hold w.mu.
+func (w *Worker) jobIDsLocked() []uint64 {
+	ids := make([]uint64, 0, len(w.sessions))
+	for id := range w.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (s *session) instancesOf(name string) []core.Filter {
+	var out []core.Filter
+	for _, c := range s.copies {
 		if c.name == name {
 			out = append(out, c.filter)
 		}
@@ -227,7 +333,9 @@ func (w *Worker) handle(c *conn) {
 	}
 }
 
-// servePeer pumps data/ack/producer-done frames into the session.
+// servePeer pumps data/ack/producer-done frames into their job's session:
+// every frame on the binary plane leads with a job id, so one inbound
+// connection may interleave traffic from many concurrent jobs.
 func (w *Worker) servePeer(c *conn) {
 	defer c.close()
 	for {
@@ -236,24 +344,29 @@ func (w *Worker) servePeer(c *conn) {
 			return
 		}
 		w.mu.Lock()
-		s := w.sess
+		s := w.sessions[f.Job]
 		w.mu.Unlock()
 		if s == nil {
-			f.release() // stale frame after shutdown
+			f.release() // stale frame after the job's session ended
 			continue
 		}
 		s.dispatchPeer(f)
 	}
 }
 
-// busyMsg is the refusal a worker sends for a Setup while a session is
-// active. The coordinator's setup path retries on exactly this message —
+// busyMsg is the refusal a worker sends for a Setup of a job whose session
+// is active. The coordinator's setup path retries on exactly this message —
 // after an abort, a re-setup can race the old session's last breath.
 const busyMsg = "dist: worker busy with another session"
 
-// runSession executes one coordinator-driven session on this worker. A
-// worker serves one coordinator at a time; a second Setup while a session
-// is active is refused rather than silently clobbering the running one.
+// drainingMsg is the refusal a worker sends for any Setup while draining;
+// coordinators fail fast on it (no retry — the worker is going away).
+const drainingMsg = "dist: worker draining"
+
+// runSession executes one coordinator-driven session on this worker.
+// Sessions are keyed by job id: a second Setup for the *same* job while
+// its session is active is refused rather than silently clobbering the
+// running one, while setups for other jobs run concurrently.
 //
 // Phase operations run in goroutines so the control loop keeps reading:
 // heartbeats refresh the read deadline and a kindAbort can interrupt a
@@ -266,26 +379,38 @@ func (w *Worker) runSession(ctrl *conn, setup *setupMsg) {
 		_ = ctrl.send(&frame{Kind: kindFail, Err: err.Error()})
 		return
 	}
+	job := setup.Opts.JobID
 	w.mu.Lock()
-	if w.sess != nil && !w.sess.ended {
+	switch {
+	case w.draining:
+		w.mu.Unlock()
+		_ = ctrl.send(&frame{Kind: kindFail, Err: drainingMsg})
+		return
+	case w.sessions[job] != nil:
 		w.mu.Unlock()
 		_ = ctrl.send(&frame{Kind: kindFail, Err: busyMsg})
 		return
 	}
-	w.sess = s
+	w.sessions[job] = s
 	w.mu.Unlock()
 
 	opts := &setup.Opts
 	var opWG sync.WaitGroup
 	// endSession teardown order matters: closing peers first unblocks any
 	// phase goroutine stuck in a TCP send to a dead host, so the Wait
-	// cannot hang; only then is the session marked ended (a new Setup is
-	// accepted from that point, while Instances still reads the copies).
+	// cannot hang; only then is the session unregistered (a new Setup for
+	// the job is accepted from that point, while Instances still reads the
+	// copies via w.last).
 	endSession := func() {
 		s.closePeers()
 		opWG.Wait()
 		w.mu.Lock()
 		s.ended = true
+		if w.sessions[job] == s {
+			delete(w.sessions, job)
+		}
+		w.last = s
+		w.rememberEndedLocked(job, s)
 		w.mu.Unlock()
 	}
 
@@ -408,6 +533,8 @@ type delivery struct {
 type session struct {
 	w     *Worker
 	setup *setupMsg
+	// job namespaces this session's frames on the shared worker mesh.
+	job uint64
 
 	copies []*dcopy
 	// filterHosts caches placement order per filter (copy-set targets).
@@ -468,7 +595,7 @@ type uowState struct {
 
 func newSession(w *Worker, setup *setupMsg) (*session, error) {
 	s := &session{
-		w: w, setup: setup,
+		w: w, setup: setup, job: setup.Opts.JobID,
 		placeOf:  make(map[string][]PlacementEntry),
 		totalOf:  make(map[string]int),
 		copyHost: make(map[string][]string),
@@ -853,7 +980,7 @@ func (s *session) broadcastProducerDone(sp core.StreamSpec, uowIdx int) {
 			s.failTransport(e.Host, fmt.Errorf("dist: end-of-work for %s undeliverable: %w", sp.Name, err))
 			continue
 		}
-		if err := c.send(&frame{Kind: kindProducerDone, UOWIdx: uowIdx, Stream: sp.Name}); err != nil {
+		if err := c.send(&frame{Kind: kindProducerDone, Job: s.job, UOWIdx: uowIdx, Stream: sp.Name}); err != nil {
 			s.failTransport(e.Host, fmt.Errorf("dist: end-of-work for %s undeliverable: %w", sp.Name, err))
 		}
 	}

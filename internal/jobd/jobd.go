@@ -1,0 +1,681 @@
+// Package jobd is the persistent multi-tenant job service over a shared
+// dist worker mesh: a long-lived server accepts many concurrent pipeline
+// submissions, multiplexes them onto persistent dcworker processes (each
+// job's session is namespaced by the job id every wire frame carries), and
+// survives its own restarts through a write-ahead job journal.
+//
+// The server is the coordinator for every job it runs: a submitted JobSpec
+// carries the serializable pieces of a dist run (graph, placement, options,
+// pre-encoded units of work), admission control enforces per-tenant quotas
+// on queue depth, queued bytes, and concurrency, and a FIFO dispatcher
+// starts jobs as quota and worker health allow. Unit-of-work descriptors
+// travel as dist.RawUOW, so the server never needs the submitting
+// application's Go types registered — only the workers do.
+package jobd
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"datacutter/internal/core"
+	"datacutter/internal/dist"
+	"datacutter/internal/obs"
+)
+
+// Quota bounds one tenant's use of the service. Zero fields are unlimited.
+type Quota struct {
+	MaxRunning     int   // concurrent running jobs
+	MaxQueued      int   // jobs waiting in the queue
+	MaxQueuedBytes int64 // total encoded bytes (UOWs + filter params) queued
+}
+
+// Config configures a Server. Zero values select the defaults noted.
+type Config struct {
+	// MaxRunning caps concurrently running jobs across all tenants (4).
+	MaxRunning int
+	// DefaultQuota applies to tenants not listed in Quotas.
+	DefaultQuota Quota
+	// Quotas overrides the default per tenant name.
+	Quotas map[string]Quota
+	// JournalPath enables the write-ahead job journal (JSONL). Empty
+	// disables persistence; a restarted server then starts empty.
+	JournalPath string
+	// ProbeInterval is the worker health-probe period (2s).
+	ProbeInterval time.Duration
+	// Registry receives the server's metrics (a fresh one when nil).
+	Registry *obs.Registry
+}
+
+func (c Config) maxRunning() int {
+	if c.MaxRunning > 0 {
+		return c.MaxRunning
+	}
+	return 4
+}
+
+func (c Config) probeInterval() time.Duration {
+	if c.ProbeInterval > 0 {
+		return c.ProbeInterval
+	}
+	return 2 * time.Second
+}
+
+func (c Config) quotaFor(tenant string) Quota {
+	if q, ok := c.Quotas[tenant]; ok {
+		return q
+	}
+	return c.DefaultQuota
+}
+
+// JobSpec is one submitted pipeline: everything the server needs to run it
+// as a dist coordinator. All fields are JSON-serializable — the spec is
+// journaled verbatim and travels over the HTTP API.
+type JobSpec struct {
+	Name      string                `json:"name,omitempty"`
+	Tenant    string                `json:"tenant,omitempty"`
+	Graph     dist.GraphSpec        `json:"graph"`
+	Placement []dist.PlacementEntry `json:"placement"`
+	Options   dist.Options          `json:"options"`
+	// UOWs are pre-encoded unit-of-work descriptors (dist.EncodeUOW);
+	// empty runs a single nil unit of work.
+	UOWs []dist.RawUOW `json:"uows,omitempty"`
+}
+
+// bytes is the admission-control size of the spec: encoded work plus
+// filter params — the parts that scale with submission size.
+func (sp *JobSpec) bytes() int64 {
+	n := int64(0)
+	for _, u := range sp.UOWs {
+		n += int64(len(u))
+	}
+	for _, f := range sp.Graph.Filters {
+		n += int64(len(f.Params))
+	}
+	return n
+}
+
+// hosts returns the distinct placement hosts, sorted.
+func (sp *JobSpec) hosts() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range sp.Placement {
+		if !seen[p.Host] {
+			seen[p.Host] = true
+			out = append(out, p.Host)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Event is one timestamped line of a job's history.
+type Event struct {
+	Time time.Time `json:"time"`
+	Msg  string    `json:"msg"`
+}
+
+// Job is an API snapshot of one job.
+type Job struct {
+	ID        uint64      `json:"id"`
+	Spec      JobSpec     `json:"spec"`
+	State     State       `json:"state"`
+	Err       string      `json:"err,omitempty"`
+	Submitted time.Time   `json:"submitted"`
+	Started   time.Time   `json:"started"`
+	Finished  time.Time   `json:"finished"`
+	Stats     *core.Stats `json:"stats,omitempty"`
+}
+
+// job is the server's mutable record; guarded by Server.mu.
+type job struct {
+	id        uint64
+	spec      JobSpec
+	state     State
+	err       string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	stats     *core.Stats
+	events    []Event
+	// reg collects the job's coordinator-side metrics, isolated per job.
+	reg *obs.Registry
+}
+
+func (j *job) snapshot() Job {
+	return Job{
+		ID: j.id, Spec: j.spec, State: j.state, Err: j.err,
+		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+		Stats: j.stats,
+	}
+}
+
+// workerInfo is one registered persistent worker.
+type workerInfo struct {
+	Host string `json:"host"`
+	// Addr is the worker's dist (TCP) listen address.
+	Addr string `json:"addr"`
+	// Health is the worker's obs debug address; its /healthz endpoint is
+	// the liveness probe. Empty falls back to probing Addr with a TCP dial.
+	Health     string    `json:"health,omitempty"`
+	Healthy    bool      `json:"healthy"`
+	Registered time.Time `json:"registered"`
+	LastProbe  time.Time `json:"last_probe"`
+}
+
+// serverMetrics are the server's resolved metric handles.
+type serverMetrics struct {
+	submitted *obs.Counter
+	rejected  *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	depth     *obs.Gauge
+	running   *obs.Gauge
+	healthy   *obs.Gauge
+}
+
+// Server is the job service. Create with NewServer, stop with Drain
+// followed by Close.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	m   serverMetrics
+	jnl *journal
+
+	mu        sync.Mutex
+	jobs      map[uint64]*job
+	queue     []uint64 // FIFO of queued job ids
+	nextID    uint64
+	running   int
+	tenantRun map[string]int
+	workers   map[string]*workerInfo
+	draining  bool
+
+	wake     chan struct{}
+	stopped  chan struct{}
+	stopOnce sync.Once
+	// loops tracks the dispatcher and prober; jobsWG the running jobs.
+	loops  sync.WaitGroup
+	jobsWG sync.WaitGroup
+}
+
+// NewServer builds the service, replays the journal (re-queueing every job
+// the previous process never finished), and starts the dispatcher and the
+// worker health prober.
+func NewServer(cfg Config) (*Server, error) {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       reg,
+		jobs:      make(map[uint64]*job),
+		tenantRun: make(map[string]int),
+		workers:   make(map[string]*workerInfo),
+		nextID:    1,
+		wake:      make(chan struct{}, 1),
+		stopped:   make(chan struct{}),
+	}
+	s.m = serverMetrics{
+		submitted: reg.Counter("jobd.jobs_submitted"),
+		rejected:  reg.Counter("jobd.jobs_rejected"),
+		completed: reg.Counter("jobd.jobs_completed"),
+		failed:    reg.Counter("jobd.jobs_failed"),
+		depth:     reg.Gauge("jobd.queue_depth"),
+		running:   reg.Gauge("jobd.jobs_running"),
+		healthy:   reg.Gauge("jobd.workers_healthy"),
+	}
+	if cfg.JournalPath != "" {
+		jnl, replay, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.jnl = jnl
+		for _, r := range replay {
+			j := &job{
+				id: r.ID, spec: r.Spec, state: StateQueued,
+				submitted: r.Submitted, reg: obs.NewRegistry(),
+			}
+			j.events = append(j.events, Event{Time: r.Submitted, Msg: "submitted"})
+			if r.Started {
+				j.events = append(j.events, Event{Time: time.Now(), Msg: "re-queued after server restart (was in flight)"})
+			} else {
+				j.events = append(j.events, Event{Time: time.Now(), Msg: "re-queued after server restart"})
+			}
+			s.jobs[r.ID] = j
+			s.queue = append(s.queue, r.ID)
+			if r.ID >= s.nextID {
+				s.nextID = r.ID + 1
+			}
+		}
+		s.m.depth.Set(int64(len(s.queue)))
+	}
+	s.loops.Add(2)
+	go s.dispatch()
+	go s.probe()
+	return s, nil
+}
+
+// Errors the admission path returns; the HTTP layer maps them to statuses.
+var (
+	ErrDraining = fmt.Errorf("jobd: server is draining")
+	ErrQuota    = fmt.Errorf("jobd: tenant quota exceeded")
+	ErrInvalid  = fmt.Errorf("jobd: invalid job spec")
+)
+
+// Submit runs admission control, journals the job, and queues it. The
+// returned id is the job's identity everywhere: the API, the journal, and
+// the JobID on every wire frame of its eventual session.
+func (s *Server) Submit(spec JobSpec) (uint64, error) {
+	if len(spec.Graph.Filters) == 0 || len(spec.Placement) == 0 {
+		s.m.rejected.Inc()
+		return 0, fmt.Errorf("%w: graph and placement must be non-empty", ErrInvalid)
+	}
+	size := spec.bytes()
+	q := s.cfg.quotaFor(spec.Tenant)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.m.rejected.Inc()
+		return 0, ErrDraining
+	}
+	queued, queuedBytes := 0, int64(0)
+	for _, id := range s.queue {
+		if j := s.jobs[id]; j.spec.Tenant == spec.Tenant {
+			queued++
+			queuedBytes += j.spec.bytes()
+		}
+	}
+	if q.MaxQueued > 0 && queued >= q.MaxQueued {
+		s.mu.Unlock()
+		s.m.rejected.Inc()
+		return 0, fmt.Errorf("%w: tenant %q has %d jobs queued (max %d)", ErrQuota, spec.Tenant, queued, q.MaxQueued)
+	}
+	if q.MaxQueuedBytes > 0 && queuedBytes+size > q.MaxQueuedBytes {
+		s.mu.Unlock()
+		s.m.rejected.Inc()
+		return 0, fmt.Errorf("%w: tenant %q queued bytes %d + %d exceed %d", ErrQuota, spec.Tenant, queuedBytes, size, q.MaxQueuedBytes)
+	}
+	id := s.nextID
+	s.nextID++
+	now := time.Now()
+	j := &job{id: id, spec: spec, state: StateQueued, submitted: now, reg: obs.NewRegistry()}
+	j.events = append(j.events, Event{Time: now, Msg: "submitted"})
+	if s.jnl != nil {
+		if err := s.jnl.submit(id, now, &spec); err != nil {
+			s.mu.Unlock()
+			s.m.rejected.Inc()
+			return 0, fmt.Errorf("jobd: journaling submission: %w", err)
+		}
+	}
+	s.jobs[id] = j
+	s.queue = append(s.queue, id)
+	s.m.depth.Set(int64(len(s.queue)))
+	s.tenantGauges(spec.Tenant)
+	s.mu.Unlock()
+
+	s.m.submitted.Inc()
+	s.kick()
+	return id, nil
+}
+
+// kick nudges the dispatcher (non-blocking: one pending wake is enough).
+func (s *Server) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch starts queued jobs as quota and worker health allow, in FIFO
+// order per scan.
+func (s *Server) dispatch() {
+	defer s.loops.Done()
+	for {
+		select {
+		case <-s.wake:
+		case <-s.stopped:
+			return
+		}
+		for {
+			j := s.takeRunnable()
+			if j == nil {
+				break
+			}
+			s.jobsWG.Add(1)
+			go s.runJob(j)
+		}
+	}
+}
+
+// takeRunnable pops the first queued job that can start now: global and
+// tenant concurrency below their caps, every placement host registered and
+// healthy. Returns nil when nothing can start.
+func (s *Server) takeRunnable() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running >= s.cfg.maxRunning() {
+		return nil
+	}
+	for i, id := range s.queue {
+		j := s.jobs[id]
+		q := s.cfg.quotaFor(j.spec.Tenant)
+		if q.MaxRunning > 0 && s.tenantRun[j.spec.Tenant] >= q.MaxRunning {
+			continue
+		}
+		if !s.hostsReadyLocked(j.spec.hosts()) {
+			continue
+		}
+		s.queue = append(s.queue[:i:i], s.queue[i+1:]...)
+		j.state = StateRunning
+		j.started = time.Now()
+		j.events = append(j.events, Event{Time: j.started, Msg: "started"})
+		s.running++
+		s.tenantRun[j.spec.Tenant]++
+		s.m.depth.Set(int64(len(s.queue)))
+		s.m.running.Set(int64(s.running))
+		s.tenantGauges(j.spec.Tenant)
+		if s.jnl != nil {
+			_ = s.jnl.start(j.id, j.started)
+		}
+		return j
+	}
+	return nil
+}
+
+func (s *Server) hostsReadyLocked(hosts []string) bool {
+	for _, h := range hosts {
+		w := s.workers[h]
+		if w == nil || !w.Healthy {
+			return false
+		}
+	}
+	return true
+}
+
+// runJob executes one job as a dist coordinator over the shared mesh. The
+// job id becomes Options.JobID, so its session interleaves with other jobs
+// on the same persistent workers.
+func (s *Server) runJob(j *job) {
+	defer s.jobsWG.Done()
+	s.mu.Lock()
+	addrs := make(map[string]string)
+	for _, h := range j.spec.hosts() {
+		if w := s.workers[h]; w != nil {
+			addrs[h] = w.Addr
+		}
+	}
+	s.mu.Unlock()
+
+	opts := j.spec.Options
+	opts.JobID = j.id
+	var uows []any
+	for _, raw := range j.spec.UOWs {
+		uows = append(uows, raw)
+	}
+	st, err := dist.RunObserved(addrs, j.spec.Graph, j.spec.Placement, opts, uows, obs.New(nil, j.reg))
+
+	now := time.Now()
+	s.mu.Lock()
+	j.finished = now
+	j.stats = st
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+		j.events = append(j.events, Event{Time: now, Msg: "failed: " + err.Error()})
+	} else {
+		j.state = StateDone
+		j.events = append(j.events, Event{Time: now, Msg: "done"})
+	}
+	s.running--
+	s.tenantRun[j.spec.Tenant]--
+	s.m.running.Set(int64(s.running))
+	s.tenantGauges(j.spec.Tenant)
+	if s.jnl != nil {
+		_ = s.jnl.done(j.id, now, err)
+	}
+	s.mu.Unlock()
+
+	if err != nil {
+		s.m.failed.Inc()
+	} else {
+		s.m.completed.Inc()
+	}
+	s.kick()
+}
+
+// tenantGauges refreshes one tenant's queued/running gauges; callers hold
+// s.mu.
+func (s *Server) tenantGauges(tenant string) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	queued := 0
+	for _, id := range s.queue {
+		t := s.jobs[id].spec.Tenant
+		if t == "" {
+			t = "default"
+		}
+		if t == tenant {
+			queued++
+		}
+	}
+	run := s.tenantRun[tenant]
+	if tenant == "default" {
+		run = s.tenantRun[""]
+	}
+	s.reg.Gauge("jobd.tenant." + tenant + ".queued").Set(int64(queued))
+	s.reg.Gauge("jobd.tenant." + tenant + ".running").Set(int64(run))
+}
+
+// Get returns a job snapshot.
+func (s *Server) Get(id uint64) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Jobs lists every known job, id-ordered.
+func (s *Server) Jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.snapshot())
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Events returns a job's history.
+func (s *Server) Events(id uint64) ([]Event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return append([]Event(nil), j.events...), true
+}
+
+// Metrics snapshots the server's own registry (admission counters, queue
+// and worker gauges).
+func (s *Server) Metrics() map[string]any { return s.reg.Snapshot() }
+
+// JobMetrics snapshots one job's isolated coordinator-side registry.
+func (s *Server) JobMetrics(id uint64) (map[string]any, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return j.reg.Snapshot(), true
+}
+
+// Await blocks until the job reaches a terminal state or the timeout
+// elapses.
+func (s *Server) Await(id uint64, timeout time.Duration) (Job, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		j, ok := s.Get(id)
+		if !ok {
+			return Job{}, fmt.Errorf("jobd: no job %d", id)
+		}
+		if j.State == StateDone || j.State == StateFailed {
+			return j, nil
+		}
+		if time.Now().After(deadline) {
+			return j, fmt.Errorf("jobd: job %d still %s after %v", id, j.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// RegisterWorker adds or refreshes a persistent worker. Registration
+// implies liveness (the worker just spoke to us); the prober maintains it
+// from here.
+func (s *Server) RegisterWorker(host, addr, health string) {
+	now := time.Now()
+	s.mu.Lock()
+	s.workers[host] = &workerInfo{
+		Host: host, Addr: addr, Health: health,
+		Healthy: true, Registered: now, LastProbe: now,
+	}
+	s.healthyGaugeLocked()
+	s.mu.Unlock()
+	s.kick()
+}
+
+// Workers lists registered workers, host-ordered.
+func (s *Server) Workers() []workerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]workerInfo, 0, len(s.workers))
+	for _, w := range s.workers {
+		out = append(out, *w)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Host < out[k].Host })
+	return out
+}
+
+func (s *Server) healthyGaugeLocked() {
+	n := 0
+	for _, w := range s.workers {
+		if w.Healthy {
+			n++
+		}
+	}
+	s.m.healthy.Set(int64(n))
+}
+
+// probe sweeps worker liveness every ProbeInterval: GET /healthz on the
+// worker's debug address when it published one, a bare TCP dial of its
+// dist address otherwise. A worker that fails its probe is unhealthy until
+// a probe (or re-registration) succeeds; queued jobs placed on it wait.
+func (s *Server) probe() {
+	defer s.loops.Done()
+	t := time.NewTicker(s.cfg.probeInterval())
+	defer t.Stop()
+	client := &http.Client{Timeout: s.cfg.probeInterval()}
+	for {
+		select {
+		case <-t.C:
+		case <-s.stopped:
+			return
+		}
+		s.mu.Lock()
+		targets := make([]workerInfo, 0, len(s.workers))
+		for _, w := range s.workers {
+			targets = append(targets, *w)
+		}
+		s.mu.Unlock()
+		for _, w := range targets {
+			healthy := probeWorker(client, w)
+			s.mu.Lock()
+			if cur := s.workers[w.Host]; cur != nil {
+				cur.Healthy = healthy
+				cur.LastProbe = time.Now()
+				s.healthyGaugeLocked()
+			}
+			s.mu.Unlock()
+		}
+		s.kick() // newly healthy workers may unblock queued jobs
+	}
+}
+
+// dialProbe is the fallback liveness check for workers that did not
+// publish a debug address: a bare TCP dial of the dist listener.
+func dialProbe(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+func probeWorker(client *http.Client, w workerInfo) bool {
+	if w.Health != "" {
+		resp, err := client.Get("http://" + w.Health + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}
+	c, err := dialProbe(w.Addr, client.Timeout)
+	if err != nil {
+		return false
+	}
+	c.Close()
+	return true
+}
+
+// Drain stops admitting jobs and waits up to timeout for the queue to
+// empty and every running job to finish. Queued jobs that cannot start
+// (e.g. their workers are gone) remain journaled for the next process.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		idle := s.running == 0
+		s.mu.Unlock()
+		if idle {
+			s.jobsWG.Wait() // runJob bookkeeping finished too
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Close stops the dispatcher and prober and closes the journal. Jobs still
+// running are left to finish on their own workers; their completion
+// records may be lost — call Drain first for a clean stop.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stopped) })
+	s.loops.Wait()
+	if s.jnl != nil {
+		s.jnl.close()
+	}
+}

@@ -1,0 +1,142 @@
+package jobd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// The job journal is a write-ahead JSONL log: one record per line, appended
+// and fsynced before the state change it describes takes effect. Three
+// record kinds cover a job's lifecycle:
+//
+//	{"kind":"submit","id":1,"time":...,"spec":{...}}
+//	{"kind":"start","id":1,"time":...}
+//	{"kind":"done","id":1,"time":...,"ok":true}
+//
+// Replay on startup re-queues every job whose submit has no matching done:
+// a job that was merely queued is resubmitted as-is, and a job that was in
+// flight when the process died is re-run from scratch — per-UOW filter
+// state is rebuilt by Init under the paper's transparent-copy semantics, so
+// re-running a whole job is the coarse-grained version of the UOW-retry
+// recovery the coordinator already performs.
+type journal struct {
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+type journalRec struct {
+	Kind string    `json:"kind"`
+	ID   uint64    `json:"id"`
+	Time time.Time `json:"time"`
+	Spec *JobSpec  `json:"spec,omitempty"`
+	OK   bool      `json:"ok,omitempty"`
+	Err  string    `json:"err,omitempty"`
+}
+
+// replayedJob is one journaled job the previous process never finished.
+type replayedJob struct {
+	ID        uint64
+	Spec      JobSpec
+	Submitted time.Time
+	Started   bool // it was in flight, not just queued
+}
+
+// openJournal opens (creating if absent) the journal at path, replays it,
+// and returns the jobs to re-queue in id order. Truncated or corrupt
+// trailing lines — a crash mid-append — are skipped, not fatal.
+func openJournal(path string) (*journal, []replayedJob, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobd: opening journal: %w", err)
+	}
+	type entry struct {
+		spec      *JobSpec
+		submitted time.Time
+		started   bool
+		done      bool
+	}
+	jobs := map[uint64]*entry{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r journalRec
+		if err := json.Unmarshal(line, &r); err != nil {
+			continue // torn tail write; later records would not exist
+		}
+		switch r.Kind {
+		case "submit":
+			if r.Spec != nil {
+				jobs[r.ID] = &entry{spec: r.Spec, submitted: r.Time}
+			}
+		case "start":
+			if e := jobs[r.ID]; e != nil {
+				e.started = true
+			}
+		case "done":
+			if e := jobs[r.ID]; e != nil {
+				e.done = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("jobd: reading journal: %w", err)
+	}
+	var replay []replayedJob
+	for id, e := range jobs {
+		if e.done {
+			continue
+		}
+		replay = append(replay, replayedJob{
+			ID: id, Spec: *e.spec, Submitted: e.submitted, Started: e.started,
+		})
+	}
+	sort.Slice(replay, func(i, j int) bool { return replay[i].ID < replay[j].ID })
+	return &journal{f: f, w: bufio.NewWriter(f), path: path}, replay, nil
+}
+
+// append writes one record and syncs it to disk; the caller holds the
+// server mutex, which is the journal's write ordering.
+func (j *journal) append(r journalRec) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) submit(id uint64, t time.Time, spec *JobSpec) error {
+	return j.append(journalRec{Kind: "submit", ID: id, Time: t, Spec: spec})
+}
+
+func (j *journal) start(id uint64, t time.Time) error {
+	return j.append(journalRec{Kind: "start", ID: id, Time: t})
+}
+
+func (j *journal) done(id uint64, t time.Time, runErr error) error {
+	r := journalRec{Kind: "done", ID: id, Time: t, OK: runErr == nil}
+	if runErr != nil {
+		r.Err = runErr.Error()
+	}
+	return j.append(r)
+}
+
+func (j *journal) close() {
+	j.w.Flush()
+	j.f.Close()
+}

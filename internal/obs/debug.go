@@ -11,6 +11,7 @@ import (
 
 // Handler returns the live debug endpoint:
 //
+//	/healthz        liveness probe: "ok\n" with status 200
 //	/metrics        expvar-style JSON snapshot of the registry
 //	/debug/events   recent trace events from the ring sink (JSON array)
 //	/debug/pprof/*  the standard net/http/pprof profiles
@@ -19,6 +20,10 @@ import (
 // document.
 func Handler(reg *Registry, ring *RingSink) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "ok\n")
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		reg.WriteJSON(w)
@@ -50,7 +55,7 @@ func Handler(reg *Registry, ring *RingSink) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "datacutter debug endpoint\n\n/metrics\n/debug/events\n/debug/pprof/\n")
+		fmt.Fprint(w, "datacutter debug endpoint\n\n/healthz\n/metrics\n/debug/events\n/debug/pprof/\n")
 	})
 	return mux
 }

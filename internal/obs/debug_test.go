@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandlerHealthz(t *testing.T) {
+	h := Handler(nil, nil) // nil registry/ring must not matter for liveness
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/healthz status = %d, want 200", rr.Code)
+	}
+	if got := rr.Body.String(); got != "ok\n" {
+		t.Fatalf("/healthz body = %q, want %q", got, "ok\n")
+	}
+}
+
+func TestHandlerMetricsWithRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Inc()
+	h := Handler(reg, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d, want 200", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the persistent job service: boot dcjobd and two
+# persistent dcworkers that register themselves, run two isoviz jobs
+# through the HTTP API concurrently, check /healthz and both completions,
+# then shut everything down with SIGTERM and require clean exits.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; wait || true; rm -rf "$work"' EXIT
+
+go build -o "$work" ./cmd/dcjobd ./cmd/dcworker ./cmd/dcsubmit
+
+server=http://127.0.0.1:18080
+"$work/dcjobd" -listen 127.0.0.1:18080 -journal "$work/jobs.jsonl" \
+  >"$work/dcjobd.log" 2>&1 &
+jobd_pid=$!
+"$work/dcworker" -listen 127.0.0.1:19101 -host data1 -register "$server" \
+  >"$work/w1.log" 2>&1 &
+w1_pid=$!
+"$work/dcworker" -listen 127.0.0.1:19102 -host viz -register "$server" \
+  >"$work/w2.log" 2>&1 &
+w2_pid=$!
+
+wait_for() { # wait_for <seconds> <cmd...>
+  local deadline=$((SECONDS + $1)); shift
+  until "$@"; do
+    if ((SECONDS >= deadline)); then
+      echo "smoke: timed out waiting for: $*" >&2
+      tail -n 40 "$work"/*.log >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+}
+
+wait_for 10 curl -sf "$server/healthz" -o /dev/null
+echo "smoke: /healthz ok"
+wait_for 15 sh -c "curl -sf $server/workers | grep -c '\"healthy\": true' | grep -qx 2"
+echo "smoke: two workers registered and healthy"
+
+# Two jobs through the API at once, each a small synthetic render.
+"$work/dcsubmit" -server "$server" -tenant teamA -name smoke-a \
+  -size 64 -grid 17 -copies 1 >"$work/job-a.log" 2>&1 &
+sub_a=$!
+"$work/dcsubmit" -server "$server" -tenant teamB -name smoke-b \
+  -size 64 -grid 17 -copies 1 -iso 0.4 >"$work/job-b.log" 2>&1 &
+sub_b=$!
+wait "$sub_a" || { echo "smoke: job A failed" >&2; cat "$work/job-a.log" >&2; exit 1; }
+wait "$sub_b" || { echo "smoke: job B failed" >&2; cat "$work/job-b.log" >&2; exit 1; }
+grep -q 'rendered 1 timestep' "$work/job-a.log"
+grep -q 'rendered 1 timestep' "$work/job-b.log"
+echo "smoke: both jobs rendered"
+
+done_jobs=$(curl -sf "$server/jobs" | grep -c '"state": "done"')
+if [ "$done_jobs" -ne 2 ]; then
+  echo "smoke: expected 2 done jobs, server reports $done_jobs" >&2
+  curl -s "$server/jobs" >&2
+  exit 1
+fi
+echo "smoke: server reports both jobs done"
+
+# Graceful shutdown: SIGTERM must drain and exit 0 everywhere.
+kill -TERM "$w1_pid" "$w2_pid" "$jobd_pid"
+for pid in "$w1_pid" "$w2_pid" "$jobd_pid"; do
+  if ! wait "$pid"; then
+    echo "smoke: pid $pid exited non-zero on SIGTERM" >&2
+    tail -n 40 "$work"/*.log >&2
+    exit 1
+  fi
+done
+grep -q 'final metrics snapshot' "$work/dcjobd.log"
+echo "smoke: clean SIGTERM shutdown"
+echo "smoke: PASS"
