@@ -17,15 +17,27 @@
 // after the run. If neither -exp, -all, nor -list is given, -trace runs a
 // built-in quickstart-sized isosurface pipeline on the real engine so there
 // is always something to trace.
+//
+// Data-path fast paths (DESIGN.md §14): -transport runs the same demo on
+// the dist engine over two in-process workers — "tcp" over loopback
+// sockets, "auto"/"ring" over zero-copy in-process rings; -dir points the
+// demo at a datagen dataset, where -readahead prefetches chunks along the
+// planned read order and -mmap memory-maps the store:
+//
+//	dcbench -transport ring -metrics
+//	dcbench -dir /data/plume -readahead 4 -mmap -trace out.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"datacutter/internal/core"
+	"datacutter/internal/dataset"
+	"datacutter/internal/dist"
 	"datacutter/internal/exec"
 	"datacutter/internal/experiments"
 	"datacutter/internal/isoviz"
@@ -44,8 +56,16 @@ func main() {
 		policy  = flag.String("policy", "DD", "demo pipeline default writer policy: RR | WRR | DD | DD/<k>")
 		streams = flag.String("stream-policy", "", "demo pipeline per-stream overrides, e.g. 'triangles=DD/8,pixels=WRR'")
 		seed    = flag.Int64("seed", 42, "demo pipeline synthetic-field seed")
+
+		transport = flag.String("transport", "", "run the demo on the dist engine over in-process workers with this peer data plane: tcp | auto | ring")
+		dir       = flag.String("dir", "", "datagen dataset directory for the demo source (default: synthetic field)")
+		readahead = flag.Int("readahead", 0, "chunks the demo prefetches ahead of the planned read order (with -dir)")
+		mmapOn    = flag.Bool("mmap", false, "memory-map the demo dataset instead of pread (with -dir)")
 	)
 	flag.Parse()
+	if (*readahead > 0 || *mmapOn) && *dir == "" {
+		fatal(fmt.Errorf("-readahead/-mmap tune on-disk store reads; they need -dir"))
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -102,15 +122,27 @@ func main() {
 		ids = experiments.IDs()
 	case *exp != "":
 		ids = []string{*exp}
-	case o != nil:
-		// Tracing with no experiment: run the built-in demo pipeline.
-		if err := runDemo(o, *policy, *streams, *seed); err != nil {
+	case o != nil || *transport != "" || *dir != "":
+		// No experiment selected: run the built-in demo pipeline — on the
+		// dist engine over in-process workers when -transport is set, on
+		// the core engine otherwise.
+		demo := demoConfig{
+			policy: *policy, streams: *streams, seed: *seed,
+			dir: *dir, readahead: *readahead, mmap: *mmapOn,
+		}
+		var err error
+		if *transport != "" {
+			err = runDemoDist(o, reg, demo, *transport)
+		} else {
+			err = runDemo(o, demo)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		finish()
 		return
 	default:
-		fmt.Fprintln(os.Stderr, "dcbench: need -exp <id>, -all, -list, or -trace")
+		fmt.Fprintln(os.Stderr, "dcbench: need -exp <id>, -all, -list, -trace, -transport, or -dir")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -128,23 +160,76 @@ func main() {
 	finish()
 }
 
+// demoConfig carries the demo pipeline knobs shared by both engines.
+type demoConfig struct {
+	policy, streams string
+	seed            int64
+	dir             string // datagen dataset; "" = synthetic field
+	readahead       int
+	mmap            bool
+}
+
+// demoView is the unit of work both demo engines render.
+func demoView(timestep int) isoviz.View {
+	return isoviz.View{
+		Timestep: timestep, Iso: 0.5,
+		Width: 256, Height: 256,
+		Camera: isoviz.DefaultView(0).Camera,
+	}
+}
+
+// demoSource builds the demo chunk source: the 97^3 synthetic field, or a
+// datagen store with the selected read fast paths (chunk readahead along
+// the planned order, mmap reads). The returned timestep is one the source
+// actually holds.
+func demoSource(d demoConfig) (isoviz.ChunkSource, int, error) {
+	if d.dir == "" {
+		field := volume.NewPlumeField(d.seed, 4)
+		return isoviz.NewFieldSource(field, 97, 97, 97, 4, 4, 4), 3, nil
+	}
+	st, err := dataset.Open(d.dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	if d.mmap {
+		if err := st.EnableMmap(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return &isoviz.StoreSource{St: st, Readahead: d.readahead}, 0, nil
+}
+
+func printDemoStats(prefix string, chunks int, stats *core.Stats) {
+	if chunks >= 0 {
+		fmt.Printf("%s: %d chunks through RE(2) -> Ra(4) -> M in %.2fs\n", prefix, chunks, stats.WallSeconds)
+	} else {
+		fmt.Printf("%s: RE(2) -> Ra(4) -> M in %.2fs\n", prefix, stats.WallSeconds)
+	}
+	for _, name := range stats.StreamNames() {
+		s := stats.Streams[name]
+		fmt.Printf("stream %-10s: %4d buffers, %7.2f MB\n", name, s.Buffers, float64(s.Bytes)/1e6)
+	}
+}
+
 // runDemo executes a quickstart-sized isosurface pipeline on the real
-// (goroutine) engine under the observer: a 97^3 synthetic field through
+// (goroutine) engine under the observer: the demo source through
 // read+extract (2 copies) -> raster (4 copies) -> merge, with the writer
 // policy selected by -policy / -stream-policy (demand driven by default)
 // and the synthetic field derived from -seed. Every filter copy produces
 // trace events.
-func runDemo(o *obs.Observer, policy, streamSpec string, seed int64) error {
-	perStream, err := exec.ParseStreamPolicies(streamSpec)
+func runDemo(o *obs.Observer, d demoConfig) error {
+	perStream, err := exec.ParseStreamPolicies(d.streams)
 	if err != nil {
 		return err
 	}
-	cfg, err := exec.ParsePolicies(policy, perStream)
+	cfg, err := exec.ParsePolicies(d.policy, perStream)
 	if err != nil {
 		return err
 	}
-	field := volume.NewPlumeField(seed, 4)
-	source := isoviz.NewFieldSource(field, 97, 97, 97, 4, 4, 4)
+	source, timestep, err := demoSource(d)
+	if err != nil {
+		return err
+	}
 	spec := isoviz.PipelineSpec{
 		Config: isoviz.ReadExtract,
 		Alg:    isoviz.ActivePixel,
@@ -155,15 +240,10 @@ func runDemo(o *obs.Observer, policy, streamSpec string, seed int64) error {
 		Place("RE", "node0", 2).
 		Place("Ra", "node0", 4).
 		Place("M", "node0", 1)
-	view := isoviz.View{
-		Timestep: 3, Iso: 0.5,
-		Width: 256, Height: 256,
-		Camera: isoviz.DefaultView(0).Camera,
-	}
 	runner, err := core.NewRunner(spec.Build(), placement, core.Options{
 		Policy:       cfg.Default,
 		StreamPolicy: cfg.PerStream,
-		UOWs:         []any{view},
+		UOWs:         []any{demoView(timestep)},
 		Obs:          o,
 	})
 	if err != nil {
@@ -173,11 +253,84 @@ func runDemo(o *obs.Observer, policy, streamSpec string, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("demo pipeline: %d chunks through RE(2) -> Ra(4) -> M in %.2fs\n",
-		source.Chunks(), stats.WallSeconds)
-	for _, name := range stats.StreamNames() {
-		s := stats.Streams[name]
-		fmt.Printf("stream %-10s: %4d buffers, %7.2f MB\n", name, s.Buffers, float64(s.Bytes)/1e6)
+	printDemoStats("demo pipeline", source.Chunks(), stats)
+	return nil
+}
+
+// runDemoDist executes the same demo on the distributed engine: two
+// in-process workers ("node0", "node1") joined over TCP loopback or — with
+// -transport auto/ring — zero-copy in-process rings. The source is
+// reconstructed worker-side from its params exactly as dcsubmit ships it,
+// so -dir/-readahead/-mmap exercise the store fast paths per RE copy.
+func runDemoDist(o *obs.Observer, reg *obs.Registry, d demoConfig, transport string) error {
+	perStream, err := exec.ParseStreamPolicies(d.streams)
+	if err != nil {
+		return err
+	}
+	var re dist.FilterSpec
+	timestep := 0
+	if d.dir != "" {
+		raw, err := json.Marshal(isoviz.StoreREParams{
+			Dir: d.dir, Readahead: d.readahead, Mmap: d.mmap,
+		})
+		if err != nil {
+			return err
+		}
+		re = dist.FilterSpec{Name: "RE", Kind: isoviz.KindREStore, Params: raw}
+	} else {
+		raw, err := json.Marshal(isoviz.FieldREParams{
+			Seed: d.seed, Plumes: 4,
+			GX: 97, GY: 97, GZ: 97, BX: 4, BY: 4, BZ: 4,
+		})
+		if err != nil {
+			return err
+		}
+		re = dist.FilterSpec{Name: "RE", Kind: isoviz.KindREField, Params: raw}
+		timestep = 3
+	}
+	spec := dist.GraphSpec{
+		Filters: []dist.FilterSpec{
+			re,
+			{Name: "Ra", Kind: isoviz.KindRasterAP},
+			{Name: "M", Kind: isoviz.KindMerge},
+		},
+		Streams: []core.StreamSpec{
+			{Name: isoviz.StreamTriangles, From: "RE", To: "Ra"},
+			{Name: isoviz.StreamPixels, From: "Ra", To: "M"},
+		},
+	}
+	addrs := make(map[string]string, 2)
+	for _, host := range []string{"node0", "node1"} {
+		w, err := dist.NewWorker("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		if o != nil {
+			w.SetObserver(o)
+		}
+		go w.Serve()
+		defer w.Close()
+		addrs[host] = w.Addr()
+	}
+	placement := []dist.PlacementEntry{
+		{Filter: "RE", Host: "node0", Copies: 1},
+		{Filter: "RE", Host: "node1", Copies: 1},
+		{Filter: "Ra", Host: "node0", Copies: 2},
+		{Filter: "Ra", Host: "node1", Copies: 2},
+		{Filter: "M", Host: "node1", Copies: 1},
+	}
+	opts := dist.Options{
+		Policy:       d.policy,
+		StreamPolicy: perStream,
+		Transport:    transport,
+	}
+	stats, err := dist.RunObserved(addrs, spec, placement, opts, []any{demoView(timestep)}, o)
+	if err != nil {
+		return err
+	}
+	printDemoStats(fmt.Sprintf("demo pipeline (dist, transport=%s)", transport), -1, stats)
+	if reg != nil {
+		fmt.Printf("ring frames received: %d\n", reg.Counter("dist.rx.ring_frames").Value())
 	}
 	return nil
 }

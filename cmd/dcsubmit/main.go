@@ -11,6 +11,12 @@
 // -dir to render a datagen dataset every worker can open, or omit it for
 // the synthetic field (reconstructed worker-side from its seed).
 //
+// Data-path fast paths: -transport selects the peer data plane (tcp, or
+// auto/ring for zero-copy in-process rings between workers sharing a
+// process); with -dir, -readahead overlaps each RE copy's chunk reads with
+// its extraction work (bounded by -readahead-bytes) and -mmap switches the
+// store to memory-mapped reads. See DESIGN.md §14.
+//
 // Fault tolerance: -uow-retries lets the coordinator replan a failed unit
 // of work onto the surviving workers (dead hosts' filter copies move to
 // survivors); -hb-interval / -hb-misses tune the heartbeat liveness budget
@@ -65,6 +71,12 @@ func main() {
 		steps   = flag.Int("timesteps", 1, "consecutive timesteps to render")
 		policy  = flag.String("policy", "DD", "default writer policy: RR | WRR | DD | DD/<k>")
 		streams = flag.String("stream-policy", "", "per-stream policy overrides, e.g. 'triangles=DD/8,pixels=WRR'")
+
+		transport = flag.String("transport", "", "peer data plane: tcp (default) | auto (in-process rings for same-process peers) | ring (require rings)")
+		readahead = flag.Int("readahead", 0, "chunks each RE copy prefetches ahead of its planned read order (with -dir)")
+		raBytes   = flag.Int64("readahead-bytes", 0, "byte budget for resident prefetched chunks, 0 = unbounded (with -readahead)")
+		mmap      = flag.Bool("mmap", false, "memory-map dataset files instead of pread (with -dir)")
+
 		grid    = flag.Int("grid", 65, "synthetic grid samples per axis (without -dir)")
 		debug   = flag.String("debug-addr", "", "serve coordinator /metrics and /debug/pprof on this address during the run")
 		metrics = flag.Bool("metrics", false, "print the coordinator metrics snapshot after the run")
@@ -124,12 +136,17 @@ func main() {
 	// Pipeline spec: source reconstructed worker-side.
 	var re dist.FilterSpec
 	if *dir != "" {
-		raw, err := json.Marshal(isoviz.StoreREParams{Dir: *dir})
+		raw, err := json.Marshal(isoviz.StoreREParams{
+			Dir: *dir, Readahead: *readahead, ReadaheadBytes: *raBytes, Mmap: *mmap,
+		})
 		if err != nil {
 			fatal(err)
 		}
 		re = dist.FilterSpec{Name: "RE", Kind: isoviz.KindREStore, Params: raw}
 	} else {
+		if *readahead > 0 || *mmap {
+			fatal(fmt.Errorf("-readahead/-mmap tune on-disk store reads; they need -dir"))
+		}
 		fieldSeed := int64(2002)
 		if *seed != 0 {
 			fieldSeed = *seed
@@ -196,6 +213,7 @@ func main() {
 	opts := dist.Options{
 		Policy:            *policy,
 		StreamPolicy:      streamPolicy,
+		Transport:         *transport,
 		MaxUOWRetries:     *retries,
 		HeartbeatInterval: *hbInterval,
 		HeartbeatMisses:   *hbMisses,

@@ -152,6 +152,7 @@ func runDist(s *Spec, rec *Recorder, plans map[string]string, tune func(*dist.Op
 		Policy:       "RR",
 		StreamPolicy: policyNames(s),
 		QueueCap:     s.QueueCap,
+		Transport:    s.Transport,
 	}
 	if tune != nil {
 		tune(&opts)

@@ -200,6 +200,14 @@ func shrinkCandidates(s *Spec) []*Spec {
 		c.UOWs = 1
 		out = append(out, c)
 	}
+	if s.Transport != "" {
+		// Back to plain TCP: a failure that survives this reduction is not
+		// a ring-transport bug, and one that doesn't keeps the transport in
+		// its minimal reproduction.
+		c := s.Clone()
+		c.Transport = ""
+		out = append(out, c)
+	}
 	return out
 }
 

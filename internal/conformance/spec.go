@@ -119,6 +119,12 @@ type Spec struct {
 	// above the largest per-stream buffer count so that a filter draining
 	// its input streams sequentially can never deadlock a producer.
 	QueueCap int
+	// Transport selects the dist engine's peer data plane: "" or "tcp" for
+	// sockets, "auto" to use in-process rings for peers in the same
+	// process (in this harness every worker is, so "auto" moves the whole
+	// mesh onto rings), "ring" to require them. Core and simrt ignore it —
+	// the oracles must hold identically either way.
+	Transport string
 }
 
 // filter returns the named filter spec, or nil.
@@ -224,6 +230,11 @@ func (s *Spec) Validate() error {
 		}
 		hosts[h.Name] = true
 	}
+	switch s.Transport {
+	case "", "tcp", "auto", "ring": // mirrors dist.Options.Transport
+	default:
+		return fmt.Errorf("conformance: unknown transport %q", s.Transport)
+	}
 	for _, st := range s.Streams {
 		if core.PolicyByName(st.Policy) == nil {
 			return fmt.Errorf("conformance: stream %s: unknown policy %q", st.Name, st.Policy)
@@ -267,7 +278,11 @@ func (s *Spec) Validate() error {
 // failure reports and shrink traces.
 func (s *Spec) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "spec(seed=%d uows=%d qcap=%d)\n", s.Seed, s.UOWs, s.QueueCap)
+	fmt.Fprintf(&b, "spec(seed=%d uows=%d qcap=%d", s.Seed, s.UOWs, s.QueueCap)
+	if s.Transport != "" {
+		fmt.Fprintf(&b, " transport=%s", s.Transport)
+	}
+	b.WriteString(")\n")
 	fmt.Fprintf(&b, "  hosts:")
 	for _, h := range s.Hosts {
 		fmt.Fprintf(&b, " %s(x%g)", h.Name, h.Speed)
@@ -430,6 +445,14 @@ func Generate(seed int64, cfg GenConfig) *Spec {
 	s.QueueCap = max + 4
 	if s.QueueCap < 8 {
 		s.QueueCap = 8
+	}
+
+	// Transport is drawn LAST: every draw above consumes the same rng
+	// prefix as before this field existed, so historical seeds reproduce
+	// their exact graphs. About half the seeds run dist's peer mesh over
+	// in-process rings instead of TCP sockets.
+	if rng.Intn(2) == 0 {
+		s.Transport = "auto"
 	}
 	return s
 }

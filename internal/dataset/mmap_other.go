@@ -1,0 +1,17 @@
+//go:build !unix
+
+package dataset
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported reports whether this platform can memory-map store files.
+const mmapSupported = false
+
+func mmapFile(*os.File) ([]byte, error) {
+	return nil, fmt.Errorf("dataset: mmap is not supported on this platform")
+}
+
+func munmapFile([]byte) error { return nil }

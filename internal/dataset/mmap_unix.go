@@ -1,0 +1,31 @@
+//go:build unix
+
+package dataset
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can memory-map store files.
+const mmapSupported = true
+
+// mmapFile maps fh read-only, shared. Zero-length files map to an empty
+// (but valid) slice without touching mmap, which rejects length 0.
+func mmapFile(fh *os.File) ([]byte, error) {
+	st, err := fh.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return []byte{}, nil
+	}
+	return syscall.Mmap(int(fh.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"sync"
+
+	"datacutter/internal/volume"
+)
+
+// ChunkRef names one record of a store: a chunk at a timestep. A planned
+// read order is a []ChunkRef.
+type ChunkRef struct {
+	Chunk    int
+	Timestep int
+}
+
+// prefetched is one completed read, still in plan order.
+type prefetched struct {
+	ref   ChunkRef
+	bytes int64
+	v     *volume.Volume
+	err   error
+}
+
+// Prefetcher overlaps storage latency with consumer compute: a fill
+// goroutine walks a planned read order, staying at most `ahead` chunks and
+// `budget` bytes in front of the consumer, and Next hands the results back
+// in exactly plan order. The paper's R filters spend their time alternating
+// between a disk read and per-chunk filtering work; with a prefetcher the
+// next read is already in flight while the current chunk computes.
+//
+// The fill goroutine reads through Store.ReadChunk, so it composes with
+// both the pooled pread path and mmap mode. One consumer per Prefetcher;
+// Close (idempotent) stops the fill goroutine even mid-plan.
+type Prefetcher struct {
+	st *Store
+	ch chan prefetched
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int64 // bytes read but not yet consumed
+	budget   int64
+	closed   bool
+
+	stop chan struct{}
+	once sync.Once
+}
+
+// DefaultReadahead is the chunks-ahead depth used when callers enable
+// readahead without choosing one.
+const DefaultReadahead = 4
+
+// NewPrefetcher starts prefetching plan from st. ahead is the maximum
+// number of completed-but-unconsumed chunks (minimum 1); budgetBytes bounds
+// the bytes those chunks may hold, 0 meaning no byte bound (a single chunk
+// larger than the budget is still read alone rather than deadlocking).
+func NewPrefetcher(st *Store, plan []ChunkRef, ahead int, budgetBytes int64) *Prefetcher {
+	if ahead < 1 {
+		ahead = 1
+	}
+	p := &Prefetcher{
+		st:     st,
+		ch:     make(chan prefetched, ahead),
+		budget: budgetBytes,
+		stop:   make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	go p.fill(plan)
+	return p
+}
+
+func (p *Prefetcher) fill(plan []ChunkRef) {
+	defer close(p.ch)
+	for _, ref := range plan {
+		size := int64(p.st.DS.ChunkBytes(ref.Chunk))
+		p.mu.Lock()
+		for !p.closed && p.budget > 0 && p.inflight > 0 && p.inflight+size > p.budget {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		p.inflight += size
+		p.mu.Unlock()
+
+		v, err := p.st.ReadChunk(ref.Chunk, ref.Timestep)
+		select {
+		case p.ch <- prefetched{ref: ref, bytes: size, v: v, err: err}:
+		case <-p.stop:
+			return
+		}
+		if err != nil {
+			return // the consumer sees the error at this plan position
+		}
+	}
+}
+
+// Next returns the next chunk of the plan. ok=false means the plan is
+// exhausted or the prefetcher was closed. A read error surfaces at the plan
+// position it occurred at, and ends the plan.
+func (p *Prefetcher) Next() (ref ChunkRef, v *volume.Volume, err error, ok bool) {
+	got, okc := <-p.ch
+	if !okc {
+		return ChunkRef{}, nil, nil, false
+	}
+	p.mu.Lock()
+	p.inflight -= got.bytes
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return got.ref, got.v, got.err, true
+}
+
+// Close stops the fill goroutine and releases waiters. Idempotent; safe
+// concurrently with Next.
+func (p *Prefetcher) Close() {
+	p.once.Do(func() {
+		close(p.stop)
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		// Drain anything already buffered so its budget accounting dies with
+		// the prefetcher (the fill goroutine has stopped producing).
+		for range p.ch {
+		}
+	})
+}

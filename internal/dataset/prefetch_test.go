@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := Create(t.TempDir(), Meta{
+		Seed: 1, Plumes: 2, Timesteps: 2, Files: 2,
+		GX: 16, GY: 16, GZ: 16, BX: 2, BY: 2, BZ: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func fullPlan(st *Store, timestep int) []ChunkRef {
+	plan := make([]ChunkRef, st.DS.Chunks())
+	for i := range plan {
+		plan[i] = ChunkRef{Chunk: i, Timestep: timestep}
+	}
+	return plan
+}
+
+// TestPrefetcherMatchesDirectReads checks the prefetcher returns exactly
+// what synchronous ReadChunk returns, chunk for chunk, in plan order.
+func TestPrefetcherMatchesDirectReads(t *testing.T) {
+	st := testStore(t)
+	plan := fullPlan(st, 1)
+	p := NewPrefetcher(st, plan, 3, 0)
+	defer p.Close()
+	for i, want := range plan {
+		ref, v, err, ok := p.Next()
+		if !ok || err != nil {
+			t.Fatalf("next %d: ok=%v err=%v", i, ok, err)
+		}
+		if ref != want {
+			t.Fatalf("next %d returned %+v, want %+v", i, ref, want)
+		}
+		direct, err := st.ReadChunk(want.Chunk, want.Timestep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(v.Data, direct.Data) {
+			t.Fatalf("chunk %d: prefetched samples differ from direct read", want.Chunk)
+		}
+	}
+	if _, _, _, ok := p.Next(); ok {
+		t.Fatal("prefetcher returned an item past the end of the plan")
+	}
+}
+
+// TestPrefetcherByteBudget bounds the resident readahead: with a budget of
+// ~2 chunks, at most budget bytes (plus the channel's one-deep slack per
+// slot) may sit unconsumed. We can't observe inflight directly without
+// racing the filler, so instead verify the filler stalls: after draining
+// nothing for a while, consuming still yields every chunk exactly once.
+func TestPrefetcherByteBudget(t *testing.T) {
+	st := testStore(t)
+	plan := fullPlan(st, 0)
+	chunkBytes := int64(st.DS.ChunkBytes(0))
+	p := NewPrefetcher(st, plan, len(plan), 2*chunkBytes)
+	defer p.Close()
+	time.Sleep(20 * time.Millisecond) // filler hits the budget and parks
+	for i := range plan {
+		ref, _, err, ok := p.Next()
+		if !ok || err != nil {
+			t.Fatalf("next %d: ok=%v err=%v", i, ok, err)
+		}
+		if ref != plan[i] {
+			t.Fatalf("next %d = %+v, want %+v", i, ref, plan[i])
+		}
+	}
+	if _, _, _, ok := p.Next(); ok {
+		t.Fatal("extra item past plan end")
+	}
+}
+
+// TestPrefetcherCloseMidPlan stops the filler with most of the plan
+// unconsumed; Close must not hang and Next must report exhaustion.
+func TestPrefetcherCloseMidPlan(t *testing.T) {
+	st := testStore(t)
+	p := NewPrefetcher(st, fullPlan(st, 0), 2, int64(st.DS.ChunkBytes(0)))
+	if _, _, _, ok := p.Next(); !ok {
+		t.Fatal("first next failed")
+	}
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with the filler mid-plan")
+	}
+	p.Close() // idempotent
+}
+
+// TestPrefetcherSingleChunkOverBudget: a budget smaller than one chunk must
+// still make progress (the first chunk is read alone, never deadlocking).
+func TestPrefetcherSingleChunkOverBudget(t *testing.T) {
+	st := testStore(t)
+	plan := fullPlan(st, 0)[:4]
+	p := NewPrefetcher(st, plan, 2, 1 /* byte */)
+	defer p.Close()
+	for i := range plan {
+		if _, _, err, ok := p.Next(); !ok || err != nil {
+			t.Fatalf("next %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+// TestMmapReadMatchesPread pins mmap mode: same samples as the pread path,
+// for every chunk and timestep, and Close unmaps without error.
+func TestMmapReadMatchesPread(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	st := testStore(t)
+	mm, err := Open(st.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.EnableMmap(); err != nil {
+		t.Fatal(err)
+	}
+	for ts := 0; ts < st.DS.Timesteps; ts++ {
+		for c := 0; c < st.DS.Chunks(); c++ {
+			want, err := st.ReadChunk(c, ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := mm.ReadChunk(c, ts)
+			if err != nil {
+				t.Fatalf("mmap read chunk %d t%d: %v", c, ts, err)
+			}
+			if !reflect.DeepEqual(got.Data, want.Data) {
+				t.Fatalf("chunk %d t%d: mmap samples differ from pread", c, ts)
+			}
+		}
+	}
+	if err := mm.Close(); err != nil {
+		t.Fatalf("close with mappings: %v", err)
+	}
+}
+
+// TestPrefetcherOverMmap composes both read-path features.
+func TestPrefetcherOverMmap(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	st := testStore(t)
+	if err := st.EnableMmap(); err != nil {
+		t.Fatal(err)
+	}
+	plan := fullPlan(st, 1)
+	p := NewPrefetcher(st, plan, 4, 0)
+	defer p.Close()
+	n := 0
+	for {
+		_, v, err, ok := p.Next()
+		if !ok {
+			break
+		}
+		if err != nil || v == nil {
+			t.Fatalf("next %d: %v", n, err)
+		}
+		n++
+	}
+	if n != len(plan) {
+		t.Fatalf("prefetched %d of %d chunks", n, len(plan))
+	}
+}

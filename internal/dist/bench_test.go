@@ -113,17 +113,25 @@ func BenchmarkDistThroughput(b *testing.B) {
 		{Filter: "K", Host: "host1", Copies: 1},
 	}
 	for _, tc := range []struct {
-		name string
-		wrap bool
-	}{{"codec", false}, {"gob", true}} {
+		name      string
+		wrap      bool
+		transport string
+	}{
+		{"codec", false, ""},
+		{"gob", true, ""},
+		// Same pipeline, same-host ring transport: frames move by reference
+		// over in-process SPSC rings — no codec, no syscalls.
+		{"codec-ring", false, dist.TransportRing},
+	} {
 		b.Run(tc.name, func(b *testing.B) {
 			addrs := benchWorkers(b, 2)
 			graph := benchGraph(tc.wrap)
+			opts := dist.Options{Transport: tc.transport}
 			b.ReportAllocs()
 			b.SetBytes(benchBatches * benchBatchSize)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := dist.Run(addrs, graph, placement, dist.Options{}, nil); err != nil {
+				if _, err := dist.Run(addrs, graph, placement, opts, nil); err != nil {
 					b.Fatal(err)
 				}
 			}

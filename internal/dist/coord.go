@@ -485,10 +485,29 @@ func (co *coordinator) recover(dead []string) error {
 }
 
 // shutdownAll ends a successful run: polite kindShutdown to every worker,
-// then link teardown.
+// confirmation that each session is unregistered, then link teardown. The
+// confirmation matters for latency, not correctness — without it a
+// back-to-back Run's Setup races the old session's teardown, gets refused
+// busy, and sits out a retry backoff that dwarfs the actual work.
 func (co *coordinator) shutdownAll() {
 	for _, l := range co.links {
 		_ = l.c.send(&frame{Kind: kindShutdown})
+	}
+	for _, host := range co.hostNames() {
+		l := co.links[host]
+		if l.dead {
+			continue
+		}
+	confirm:
+		for {
+			f, err := co.waitReply(l)
+			switch {
+			case err != nil:
+				break confirm // best-effort: the run already succeeded
+			case f.Kind == kindShutdownDone:
+				break confirm
+			}
+		}
 	}
 	for _, l := range co.links {
 		l.shutdown()

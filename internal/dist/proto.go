@@ -73,6 +73,14 @@ type Options struct {
 	QueueCap     int // per-copy-set queue capacity (default 8)
 	BufferBytes  int // default stream buffer size (default 256 KiB)
 
+	// Transport selects the peer data-plane link: "tcp" (the default, also
+	// chosen by "") always dials sockets; "ring" moves frames over
+	// in-process SPSC rings and fails when a peer worker is not in this
+	// process; "auto" uses a ring per edge when the peer is in-process and
+	// TCP otherwise. Control-plane traffic always stays on TCP. Carried to
+	// every worker in the setup frame.
+	Transport string
+
 	// Failure model. Zero values select the defaults below; recovery is
 	// opt-in — with MaxUOWRetries at its default of 0, a lost host fails
 	// the run immediately (the pre-failure-model behaviour).
@@ -125,6 +133,12 @@ func (o Options) validate() error {
 	}
 	if o.MaxUOWRetries < 0 {
 		return fmt.Errorf("dist: Options.MaxUOWRetries must be >= 0, got %d", o.MaxUOWRetries)
+	}
+	switch o.Transport {
+	case "", TransportTCP, TransportRing, TransportAuto:
+	default:
+		return fmt.Errorf("dist: Options.Transport must be %q, %q, or %q, got %q",
+			TransportTCP, TransportRing, TransportAuto, o.Transport)
 	}
 	return nil
 }
@@ -279,9 +293,10 @@ const (
 	kindAck
 	kindProducerDone
 	kindFail
-	kindHeartbeat // liveness beacon, both directions on the control plane
-	kindAbort     // coordinator -> worker: tear the session down now
-	kindAbortDone // worker -> coordinator: session torn down
+	kindHeartbeat    // liveness beacon, both directions on the control plane
+	kindAbort        // coordinator -> worker: tear the session down now
+	kindAbortDone    // worker -> coordinator: session torn down
+	kindShutdownDone // worker -> coordinator: graceful session end confirmed
 )
 
 type setupMsg struct {

@@ -275,7 +275,7 @@ func (r *frameReader) decodeFrame(buf []byte) (*frame, error) {
 		}
 	case kindSetup, kindSetupOK, kindInitUOW, kindDecls, kindBeginProcess,
 		kindProcessDone, kindFinalize, kindFinalizeDone, kindShutdown, kindFail,
-		kindAbort, kindAbortDone:
+		kindAbort, kindAbortDone, kindShutdownDone:
 		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(f); err != nil {
 			return nil, fmt.Errorf("dist: decoding control frame: %w", err)
 		}
@@ -381,24 +381,52 @@ type connMetrics struct {
 	flushes        *obs.Counter   // dist.tx.flushes
 	framesPerFlush *obs.Histogram // dist.tx.frames_per_flush
 	frameBytes     *obs.Histogram // dist.tx.frame_bytes
+	writevCalls    *obs.Counter   // dist.tx.writev_calls
+	writevIovecs   *obs.Histogram // dist.tx.writev_iovecs (segments per vectored write)
+	writevBytes    *obs.Counter   // dist.tx.writev_bytes
 }
 
-// conn wraps a TCP connection with length-prefixed framing, a buffered
-// writer flushed by a per-connection flusher goroutine (flush-on-idle:
-// bursts of small data/ack frames written while a flush syscall is in
-// flight coalesce into the next one), and an interning frame reader. Frame
-// bodies are encoded into pooled buffers outside the write lock, so
-// concurrent producer copies serialize payloads in parallel and only the
-// memcpy into the write buffer is serialized.
+// smallFrameMax is the cutoff below which a frame's bytes are coalesced
+// into a shared slab segment: for tiny acks and producer-done markers the
+// memcpy is cheaper than burning an iovec (and, on partial writes, a
+// retried syscall) per frame. Anything larger keeps its own pooled
+// encode buffer and goes to the socket as its own iovec — zero intermediate
+// copies between codec output and kernel.
+const smallFrameMax = 2 << 10
+
+// errConnClosed is the sticky write error after close/abort: frames sent to
+// a torn-down connection fail deterministically instead of queueing into a
+// writer that will never run again.
+var errConnClosed = fmt.Errorf("dist: connection closed")
+
+// conn wraps a TCP connection with length-prefixed framing, a vectored
+// batch writer drained by a per-connection flusher goroutine, and an
+// interning frame reader. Senders encode frames into pooled buffers outside
+// any lock, then queue the finished segments under mu; the flusher hands
+// the whole batch to writev (net.Buffers) in one syscall — large payload
+// buffers travel from codec output to kernel with no intermediate memcpy,
+// while bursts of small frames ride a shared slab segment. A batch-size cap
+// (pendMax) blocks senders when the socket falls behind, standing in for
+// the old bufio backpressure.
 type conn struct {
 	c  net.Conn
 	br *bufio.Reader
 	r  frameReader
 
-	mu     sync.Mutex
-	bw     *bufio.Writer
-	werr   error
-	nSince int // frames buffered since the last flush
+	mu        sync.Mutex
+	cond      *sync.Cond // signaled when pend drains or the conn fails
+	pend      []*[]byte  // complete wire bytes (hdr+body), send order
+	slab      *[]byte    // tail segment of pend accepting small frames; nil = none
+	pendBytes int
+	nSince    int // frames queued since the last flush
+	werr      error
+
+	// wmu serializes flushes: steal-order == write-order even when close()
+	// races the flusher goroutine.
+	wmu sync.Mutex
+
+	slabCap int
+	pendMax int
 
 	kick chan struct{}
 	stop chan struct{}
@@ -414,7 +442,7 @@ type conn struct {
 }
 
 func newConn(c net.Conn, m *connMetrics) *conn {
-	// The flusher already coalesces small frames application-side, so
+	// The batch writer already coalesces small frames application-side, so
 	// Nagle's algorithm on top would only delay flushed batches behind
 	// unacknowledged data (adding RTT-scale latency to ack and end-of-work
 	// markers). Disable it deliberately — this makes Go's default explicit
@@ -423,29 +451,120 @@ func newConn(c net.Conn, m *connMetrics) *conn {
 		_ = tc.SetNoDelay(true)
 	}
 	cn := &conn{
-		c:    c,
-		br:   bufio.NewReaderSize(c, wireBufSize()),
-		bw:   bufio.NewWriterSize(c, wireBufSize()),
-		kick: make(chan struct{}, 1),
-		stop: make(chan struct{}),
-		m:    m,
+		c:       c,
+		br:      bufio.NewReaderSize(c, wireBufSize()),
+		slabCap: wireBufSize(),
+		pendMax: 4 * wireBufSize(),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		m:       m,
 	}
+	cn.cond = sync.NewCond(&cn.mu)
 	go cn.flusher()
 	return cn
 }
 
+// queueLocked appends one frame's wire bytes (hdr+body) to the pending
+// batch. Callers hold mu. When owned is non-nil the callee may keep the
+// pooled buffer as its own segment; owned == nil (duplicate deliveries from
+// fault injection) forces a copy.
+func (c *conn) queueLocked(buf []byte, owned *[]byte) {
+	if len(buf) <= smallFrameMax {
+		if c.slab == nil || len(*c.slab)+len(buf) > c.slabCap {
+			sp := getWireBuf()
+			c.pend = append(c.pend, sp)
+			c.slab = sp
+		}
+		*c.slab = append(*c.slab, buf...)
+		if owned != nil {
+			putWireBuf(owned)
+		}
+	} else if owned != nil {
+		c.pend = append(c.pend, owned)
+		c.slab = nil // keep send order: later small frames need a fresh tail
+	} else {
+		sp := getWireBuf()
+		*sp = append((*sp)[:0], buf...)
+		c.pend = append(c.pend, sp)
+		c.slab = nil
+	}
+	c.pendBytes += len(buf)
+	c.nSince++
+}
+
+// stealLocked takes the pending batch for a flush. Callers hold mu.
+func (c *conn) stealLocked() (segs []*[]byte, frames int) {
+	segs, frames = c.pend, c.nSince
+	c.pend, c.slab, c.pendBytes, c.nSince = nil, nil, 0, 0
+	// Senders blocked on the pendMax cap can refill while the batch is on
+	// its way to the socket.
+	c.cond.Broadcast()
+	return segs, frames
+}
+
+// flushPend writes the pending batch as one vectored syscall. wmu (held
+// across steal+write) keeps concurrent callers — the flusher goroutine and
+// close() — from reordering batches.
+func (c *conn) flushPend() {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.mu.Lock()
+	segs, frames := c.stealLocked()
+	err := c.werr
+	c.mu.Unlock()
+	if len(segs) == 0 {
+		return
+	}
+	if err == nil {
+		bufs := make(net.Buffers, len(segs))
+		total := 0
+		for i, sp := range segs {
+			bufs[i] = *sp
+			total += len(*sp)
+		}
+		iovecs := len(bufs)
+		// net.Buffers.WriteTo is writev on platforms that have it (Go
+		// splits batches beyond IOV_MAX internally); one call per flush.
+		_, err = bufs.WriteTo(c.c)
+		if c.m != nil {
+			c.m.flushes.Inc()
+			c.m.framesPerFlush.Observe(float64(frames))
+			c.m.writevCalls.Inc()
+			c.m.writevIovecs.Observe(float64(iovecs))
+			c.m.writevBytes.Add(int64(total))
+		}
+		if err != nil {
+			c.mu.Lock()
+			if c.werr == nil {
+				c.werr = err
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		}
+	}
+	for _, sp := range segs {
+		putWireBuf(sp)
+	}
+}
+
 // close tears the connection down and stops its flusher (idempotent). A
-// best-effort bounded flush drains frames buffered moments ago — a final
-// kindShutdown or kindAbortDone must not die in the write buffer when the
-// caller closes immediately after send.
+// best-effort bounded flush drains frames queued moments ago — a final
+// kindShutdown or kindAbortDone must not die in the pending batch when the
+// caller closes immediately after send. The write deadline is armed before
+// the flush and fails any in-flight writev too, so close never blocks on a
+// stuck peer beyond the bound (the old buffered writer could deadlock here:
+// close waited on the write lock while the flusher held it inside a syscall
+// that only the not-yet-set deadline could interrupt).
 func (c *conn) close() {
 	c.once.Do(func() {
 		close(c.stop)
+		_ = c.c.SetWriteDeadline(time.Now().Add(250 * time.Millisecond))
+		c.flushPend()
 		c.mu.Lock()
-		if c.werr == nil && c.bw.Buffered() > 0 {
-			c.c.SetWriteDeadline(time.Now().Add(250 * time.Millisecond))
-			_ = c.bw.Flush()
+		if c.werr == nil {
+			c.werr = errConnClosed
 		}
+		c.cond.Broadcast()
 		c.mu.Unlock()
 		if c.onClose != nil {
 			c.onClose()
@@ -454,12 +573,21 @@ func (c *conn) close() {
 	c.c.Close()
 }
 
-// abort hard-closes the connection without draining the write buffer —
-// crash simulation and dead-host teardown, where buffered frames must be
+// abort hard-closes the connection without draining the pending batch —
+// crash simulation and dead-host teardown, where queued frames must be
 // lost the way a real process death would lose them.
 func (c *conn) abort() {
 	c.once.Do(func() {
 		close(c.stop)
+		c.mu.Lock()
+		segs, _ := c.stealLocked()
+		if c.werr == nil {
+			c.werr = errConnClosed
+		}
+		c.mu.Unlock()
+		for _, sp := range segs {
+			putWireBuf(sp)
+		}
 		if c.onClose != nil {
 			c.onClose()
 		}
@@ -477,36 +605,27 @@ func (c *conn) setReadDeadline(d time.Duration) {
 	_ = c.c.SetReadDeadline(time.Now().Add(d))
 }
 
-// flusher drains the write buffer whenever senders go idle. Each send
-// kicks it; by the time it wins the write lock, every frame of a burst
-// written meanwhile is in the buffer and leaves in one syscall.
+// flusher drains the pending batch whenever senders go idle. Each send
+// kicks it; by the time it runs, every frame of a burst queued meanwhile is
+// in the batch and leaves in one vectored syscall. It exits on stop —
+// close/abort fire it exactly once, so the goroutine never outlives the
+// connection.
 func (c *conn) flusher() {
 	for {
 		select {
 		case <-c.kick:
-			c.mu.Lock()
-			n := c.nSince
-			c.nSince = 0
-			if n > 0 && c.werr == nil {
-				if err := c.bw.Flush(); err != nil {
-					c.werr = err
-				}
-			}
-			c.mu.Unlock()
-			if n > 0 && c.m != nil {
-				c.m.flushes.Inc()
-				c.m.framesPerFlush.Observe(float64(n))
-			}
+			c.flushPend()
 		case <-c.stop:
 			return
 		}
 	}
 }
 
-// send frames and buffers f. The write returns once the frame is in the
-// connection's write buffer; the flusher (or the buffer filling, which
-// exerts TCP backpressure) moves it to the socket. Write errors are sticky:
-// after a failure every subsequent send reports it.
+// send frames and queues f. The call returns once the frame's wire bytes
+// are in the pending batch; the flusher moves them to the socket (senders
+// block at the batch-size cap, which exerts TCP backpressure upstream).
+// Write errors are sticky: after a failure every subsequent send reports
+// one.
 func (c *conn) send(f *frame) error {
 	var dup bool
 	if c.fi != nil && f.Kind == kindData {
@@ -520,42 +639,36 @@ func (c *conn) send(f *frame) error {
 		dup = act.Dup
 	}
 	bp := getWireBuf()
-	body, err := appendFrame((*bp)[:0], f)
+	// Reserve the length prefix up front so the segment is one contiguous
+	// iovec; patch it once the body size is known.
+	buf := append((*bp)[:0], 0, 0, 0, 0)
+	buf, err := appendFrame(buf, f)
 	if err != nil {
 		putWireBuf(bp)
 		return err
 	}
-	*bp = body
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	*bp = buf
 
 	c.mu.Lock()
+	for c.werr == nil && c.pendBytes >= c.pendMax {
+		c.cond.Wait()
+	}
 	if err := c.werr; err != nil {
 		c.mu.Unlock()
 		putWireBuf(bp)
 		return err
 	}
-	_, err = c.bw.Write(hdr[:])
-	if err == nil {
-		_, err = c.bw.Write(body)
+	if dup {
+		// Queue the copy first: queueing the original may hand its pooled
+		// buffer over (or recycle it), after which buf's bytes are not ours.
+		c.queueLocked(buf, nil)
 	}
-	if err == nil && dup {
-		if _, err = c.bw.Write(hdr[:]); err == nil {
-			_, err = c.bw.Write(body)
-		}
-	}
-	if err != nil {
-		c.werr = err
-		c.mu.Unlock()
-		putWireBuf(bp)
-		return err
-	}
-	c.nSince++
+	c.queueLocked(buf, bp)
 	c.mu.Unlock()
 	if c.m != nil {
-		c.m.frameBytes.Observe(float64(len(body) + 4))
+		c.m.frameBytes.Observe(float64(len(buf)))
 	}
-	putWireBuf(bp)
 	select {
 	case c.kick <- struct{}{}:
 	default:

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -53,6 +54,7 @@ type Worker struct {
 	// crash without actually exiting the test binary.
 	connsMu sync.Mutex
 	conns   map[*conn]struct{}
+	rings   map[*ringLink]struct{}
 	killed  bool
 }
 
@@ -62,6 +64,7 @@ type workerMetrics struct {
 	rxDataFrames *obs.Counter
 	rxDataBytes  *obs.Counter
 	rxAckFrames  *obs.Counter
+	rxRingFrames *obs.Counter // data frames that arrived over in-process rings
 	txDataFrames *obs.Counter
 	txDataBytes  *obs.Counter
 	txAckFrames  *obs.Counter
@@ -82,6 +85,7 @@ func (w *Worker) SetObserver(o *obs.Observer) {
 			rxDataFrames: reg.Counter("dist.rx.data_frames"),
 			rxDataBytes:  reg.Counter("dist.rx.data_bytes"),
 			rxAckFrames:  reg.Counter("dist.rx.ack_frames"),
+			rxRingFrames: reg.Counter("dist.rx.ring_frames"),
 			txDataFrames: reg.Counter("dist.tx.data_frames"),
 			txDataBytes:  reg.Counter("dist.tx.data_bytes"),
 			txAckFrames:  reg.Counter("dist.tx.ack_frames"),
@@ -90,6 +94,9 @@ func (w *Worker) SetObserver(o *obs.Observer) {
 				flushes:        reg.Counter("dist.tx.flushes"),
 				framesPerFlush: reg.Histogram("dist.tx.frames_per_flush"),
 				frameBytes:     reg.Histogram("dist.tx.frame_bytes"),
+				writevCalls:    reg.Counter("dist.tx.writev_calls"),
+				writevIovecs:   reg.Histogram("dist.tx.writev_iovecs"),
+				writevBytes:    reg.Counter("dist.tx.writev_bytes"),
 			},
 		})
 	}
@@ -115,12 +122,16 @@ func NewWorker(addr string) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Worker{
+	w := &Worker{
 		ln:       ln,
 		sessions: make(map[uint64]*session),
 		ended:    make(map[uint64]*session),
 		conns:    make(map[*conn]struct{}),
-	}, nil
+		rings:    make(map[*ringLink]struct{}),
+	}
+	// Advertise this worker for same-process ring transport selection.
+	registerInproc(w)
+	return w, nil
 }
 
 // Addr returns the listening address.
@@ -166,9 +177,16 @@ func (w *Worker) severConns(markKilled bool) {
 	for c := range w.conns {
 		cs = append(cs, c)
 	}
+	rls := make([]*ringLink, 0, len(w.rings))
+	for rl := range w.rings {
+		rls = append(rls, rl)
+	}
 	w.connsMu.Unlock()
 	for _, c := range cs {
 		c.abort()
+	}
+	for _, rl := range rls {
+		rl.close()
 	}
 }
 
@@ -176,6 +194,7 @@ func (w *Worker) severConns(markKilled bool) {
 // active session.
 func (w *Worker) Close() {
 	w.closed.Store(true)
+	unregisterInproc(w)
 	w.ln.Close()
 	w.severConns(false)
 	for _, s := range w.liveSessions() {
@@ -223,6 +242,7 @@ func (w *Worker) Drain(timeout time.Duration) bool {
 // The worker accepts no further connections.
 func (w *Worker) Kill() {
 	w.closed.Store(true)
+	unregisterInproc(w)
 	w.ln.Close()
 	w.severConns(true)
 	for _, s := range w.liveSessions() {
@@ -497,7 +517,12 @@ func (w *Worker) runSession(ctrl *conn, setup *setupMsg) {
 			_ = ctrl.send(&frame{Kind: kindAbortDone})
 			return
 		case kindShutdown:
+			// Confirm after endSession so the coordinator knows the job slot
+			// is free: a back-to-back Run's Setup would otherwise race the
+			// teardown and be refused busy, eating a retry backoff.
 			endSession()
+			ctrl.setReadDeadline(0)
+			_ = ctrl.send(&frame{Kind: kindShutdownDone})
 			return
 		}
 	}
@@ -544,7 +569,7 @@ type session struct {
 	copyHost map[string][]string
 
 	peersMu sync.Mutex
-	peers   map[string]*conn
+	peers   map[string]peerLink
 
 	failMu   sync.Mutex
 	failedCh chan struct{}
@@ -599,7 +624,7 @@ func newSession(w *Worker, setup *setupMsg) (*session, error) {
 		placeOf:  make(map[string][]PlacementEntry),
 		totalOf:  make(map[string]int),
 		copyHost: make(map[string][]string),
-		peers:    make(map[string]*conn),
+		peers:    make(map[string]peerLink),
 		failedCh: make(chan struct{}),
 	}
 	for _, e := range setup.Placement {
@@ -685,14 +710,17 @@ func (s *session) closePeers() {
 	}
 }
 
-// peer returns (dialing on demand) the outbound connection to a host. The
-// dial goes through dialRetry — the shared backoff+jitter helper, bounded
-// per attempt by Options.DialTimeout — so a peer mid-restart is retried
-// rather than failing the run, and a session being torn down cancels the
-// backoff wait via failedCh. newConn sets TCP_NODELAY: the connection's
-// flush-on-idle writer already coalesces small frames, so Nagle would only
-// delay those batches.
-func (s *session) peer(host string) (*conn, error) {
+// peer returns (attaching on demand) the outbound link to a host.
+// Transport selection is per-edge: with Options.Transport "ring" or "auto",
+// a peer whose advertised address is served by a live Worker in this
+// process gets an in-process ring link (no sockets, no codec); otherwise —
+// always, for the default "tcp" — the dial goes through dialRetry, the
+// shared backoff+jitter helper bounded per attempt by Options.DialTimeout,
+// so a peer mid-restart is retried rather than failing the run, and a
+// session being torn down cancels the backoff wait via failedCh. newConn
+// sets TCP_NODELAY: the connection's vectored batch writer already
+// coalesces small frames, so Nagle would only delay those batches.
+func (s *session) peer(host string) (peerLink, error) {
 	s.peersMu.Lock()
 	defer s.peersMu.Unlock()
 	if c, ok := s.peers[host]; ok {
@@ -701,6 +729,23 @@ func (s *session) peer(host string) (*conn, error) {
 	addr, ok := s.setup.Addrs[host]
 	if !ok {
 		return nil, fmt.Errorf("dist: no address for host %q", host)
+	}
+	switch s.setup.Opts.Transport {
+	case TransportRing, TransportAuto:
+		if dst := inprocWorker(addr); dst != nil {
+			rl, err := newRingLink(s.w, dst)
+			if err == nil {
+				s.peers[host] = rl
+				return rl, nil
+			}
+			if s.setup.Opts.Transport == TransportRing {
+				return nil, fmt.Errorf("dist: ring link to peer %s (%s): %w", host, addr, err)
+			}
+			// auto: the in-process worker died between lookup and attach;
+			// fall through to TCP, which will fail or reach a restart.
+		} else if s.setup.Opts.Transport == TransportRing {
+			return nil, fmt.Errorf("dist: transport \"ring\" but peer %s (%s) is not in this process", host, addr)
+		}
 	}
 	var redials *obs.Counter
 	if m := s.w.metrics(); m != nil {
@@ -936,7 +981,12 @@ func (s *session) process(sizes map[string]int) error {
 			}
 			if err != nil {
 				errMu.Lock()
-				if procErr == nil {
+				// A cancelled copy is a symptom of whichever copy failed
+				// first; keep the root cause even when the symptom wins the
+				// race to report (e.g. a strict-ring setup error on one copy
+				// cancelling its siblings).
+				if procErr == nil ||
+					(errors.Is(procErr, core.ErrCancelled) && !errors.Is(err, core.ErrCancelled)) {
 					procErr = fmt.Errorf("dist: %s copy %d: %w", c.name, c.globalIdx, err)
 				}
 				errMu.Unlock()
@@ -946,6 +996,12 @@ func (s *session) process(sizes map[string]int) error {
 	}
 	wg.Wait()
 	if procErr != nil {
+		// Copies report ErrCancelled for failures the session already
+		// recorded with attribution (a dead peer, a strict-ring setup
+		// refusal): surface the recorded root cause, not the symptom.
+		if ferr := s.failed(); ferr != nil && errors.Is(procErr, core.ErrCancelled) {
+			return ferr
+		}
 		return procErr
 	}
 	return s.failed()
@@ -1078,10 +1134,19 @@ func (s *session) dispatchPeer(f *frame) {
 			f.release()
 			return
 		}
-		payload, release, err := decodePayload(f)
-		if err != nil {
-			s.fail(fmt.Errorf("dist: decoding buffer on %s: %w", f.Stream, err))
-			return
+		var payload any
+		var release func()
+		if f.hasPayloadVal {
+			// Ring transport: the producer's value arrived by reference —
+			// no wire encode ever happened, so there is nothing to decode.
+			payload = f.payloadVal
+		} else {
+			var err error
+			payload, release, err = decodePayload(f)
+			if err != nil {
+				s.fail(fmt.Errorf("dist: decoding buffer on %s: %w", f.Stream, err))
+				return
+			}
 		}
 		sp, _ := s.streamByName(f.Stream)
 		fromHost := s.copyHost[sp.From][f.Copy]

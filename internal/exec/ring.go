@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrRingClosed is returned by Ring.Push after Close (or after the pusher's
+// stop channel fires): the consumer side is gone and the value was not
+// enqueued.
+var ErrRingClosed = errors.New("exec: ring closed")
+
+// Ring is a bounded single-producer/single-consumer queue over a
+// power-of-two slot array. The hot path is lock-free — one atomic load and
+// one atomic store per operation while the ring is neither full nor empty —
+// and the contended path parks on capacity-1 wakeup channels instead of
+// spinning, so a stalled consumer costs no CPU.
+//
+// The SPSC contract is strict: at most one goroutine calls Push and at most
+// one calls Pop at any time (serialize externally to widen either side).
+// Close may be called from anywhere, any number of times; after Close the
+// consumer drains the remaining items and then Pop reports exhaustion,
+// matching a closed Go channel.
+type Ring[T any] struct {
+	slots []T
+	mask  uint64
+
+	head atomic.Uint64 // next slot to pop; advanced only by the consumer
+	tail atomic.Uint64 // next slot to fill; advanced only by the producer
+
+	notEmpty chan struct{} // capacity 1: consumer parks here when empty
+	notFull  chan struct{} // capacity 1: producer parks here when full
+	done     chan struct{}
+	closing  sync.Once
+}
+
+// NewRing returns a ring holding at least capacity items (rounded up to a
+// power of two, minimum 2).
+func NewRing[T any](capacity int) *Ring[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring[T]{
+		slots:    make([]T, n),
+		mask:     uint64(n - 1),
+		notEmpty: make(chan struct{}, 1),
+		notFull:  make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+}
+
+// Cap returns the ring's slot count.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Len returns the number of items currently queued (racy by nature; exact
+// only from the producer or consumer goroutine).
+func (r *Ring[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Close marks the ring closed: Push fails from now on, and Pop drains the
+// remaining items before reporting exhaustion. Idempotent.
+func (r *Ring[T]) Close() {
+	r.closing.Do(func() { close(r.done) })
+}
+
+// Push enqueues v, blocking while the ring is full. It returns ErrRingClosed
+// when the ring is closed or stop (which may be nil) fires before the value
+// is enqueued.
+func (r *Ring[T]) Push(v T, stop <-chan struct{}) error {
+	for {
+		select {
+		case <-r.done:
+			return ErrRingClosed
+		default:
+		}
+		t := r.tail.Load()
+		if t-r.head.Load() < uint64(len(r.slots)) {
+			// The store to the slot happens-before the tail.Store (release),
+			// which the consumer's tail.Load (acquire) synchronizes with.
+			r.slots[t&r.mask] = v
+			r.tail.Store(t + 1)
+			select {
+			case r.notEmpty <- struct{}{}:
+			default:
+			}
+			return nil
+		}
+		select {
+		case <-r.notFull:
+			// A pop freed a slot (or a stale token; the loop re-checks).
+		case <-r.done:
+			return ErrRingClosed
+		case <-stop:
+			return ErrRingClosed
+		}
+	}
+}
+
+// Pop dequeues the next item, blocking while the ring is empty. ok=false
+// means the ring was closed and fully drained, or stop (which may be nil)
+// fired. After Close, Pop keeps returning the items already enqueued before
+// reporting exhaustion — in-flight traffic is delivered, like a closed
+// channel.
+func (r *Ring[T]) Pop(stop <-chan struct{}) (v T, ok bool) {
+	var zero T
+	for {
+		h := r.head.Load()
+		if r.tail.Load() > h {
+			v = r.slots[h&r.mask]
+			// Zero the slot so the ring does not pin the payload for a full
+			// lap, then release it to the producer.
+			r.slots[h&r.mask] = zero
+			r.head.Store(h + 1)
+			select {
+			case r.notFull <- struct{}{}:
+			default:
+			}
+			return v, true
+		}
+		select {
+		case <-r.notEmpty:
+		case <-r.done:
+			// Closed: one final racy window where a concurrent Push may have
+			// landed between the emptiness check and here.
+			h := r.head.Load()
+			if r.tail.Load() > h {
+				continue
+			}
+			return zero, false
+		case <-stop:
+			return zero, false
+		}
+	}
+}
+
+// RingItem is one delivery on a RingPort target ring: the buffer plus its
+// consumer-side acknowledgment contract.
+type RingItem struct {
+	Buf      Buffer
+	AckEvery int
+}
+
+// RingPort is a Port backed by one SPSC ring per target copy set — the
+// same-address-space transport: a picked buffer is handed to the consumer
+// as a value, with no serialization, no syscall, and no copy. A full target
+// ring blocks the producer (bounded-queue backpressure, like every other
+// engine transport). Stop, when non-nil, aborts a blocked Deliver at
+// teardown.
+type RingPort struct {
+	Rings []*Ring[RingItem]
+	Stop  <-chan struct{}
+}
+
+// Deliver implements Port.
+func (p *RingPort) Deliver(target int, b Buffer, ackEvery int) error {
+	return p.Rings[target].Push(RingItem{Buf: b, AckEvery: ackEvery}, p.Stop)
+}

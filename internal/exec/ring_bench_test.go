@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+)
+
+// BenchmarkSameHostPort compares same-host Port transports moving 16 KiB
+// buffers to one consumer: the SPSC ring (this PR), a buffered Go channel
+// (the core engine's transport), and a TCP loopback socket carrying
+// length-prefixed payload bytes (what the dist engine pays when it does not
+// select the ring). Consumer-side work is just counting, so the numbers
+// isolate transport overhead.
+func BenchmarkSameHostPort(b *testing.B) {
+	const payloadLen = 16 << 10
+	payload := make([]byte, payloadLen)
+
+	b.Run("ring", func(b *testing.B) {
+		r := NewRing[RingItem](512)
+		p := &RingPort{Rings: []*Ring[RingItem]{r}}
+		done := make(chan int)
+		go func() {
+			n := 0
+			for {
+				it, ok := r.Pop(nil)
+				if !ok {
+					break
+				}
+				n += it.Buf.Size
+			}
+			done <- n
+		}()
+		b.ReportAllocs()
+		b.SetBytes(payloadLen)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.Deliver(0, Buffer{Payload: payload, Size: payloadLen}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		r.Close()
+		if got := <-done; got != b.N*payloadLen {
+			b.Fatalf("consumer saw %d bytes, want %d", got, b.N*payloadLen)
+		}
+	})
+
+	b.Run("chan", func(b *testing.B) {
+		ch := make(chan Buffer, 512)
+		done := make(chan int)
+		go func() {
+			n := 0
+			for buf := range ch {
+				n += buf.Size
+			}
+			done <- n
+		}()
+		b.ReportAllocs()
+		b.SetBytes(payloadLen)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ch <- Buffer{Payload: payload, Size: payloadLen}
+		}
+		close(ch)
+		if got := <-done; got != b.N*payloadLen {
+			b.Fatalf("consumer saw %d bytes, want %d", got, b.N*payloadLen)
+		}
+	})
+
+	b.Run("tcp-loopback", func(b *testing.B) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ln.Close()
+		done := make(chan int)
+		go func() {
+			c, err := ln.Accept()
+			if err != nil {
+				done <- -1
+				return
+			}
+			defer c.Close()
+			var hdr [4]byte
+			buf := make([]byte, payloadLen)
+			n := 0
+			for {
+				if _, err := io.ReadFull(c, hdr[:]); err != nil {
+					break
+				}
+				sz := int(binary.LittleEndian.Uint32(hdr[:]))
+				if _, err := io.ReadFull(c, buf[:sz]); err != nil {
+					break
+				}
+				n += sz
+			}
+			done <- n
+		}()
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], payloadLen)
+		b.ReportAllocs()
+		b.SetBytes(payloadLen)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Write(hdr[:]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Write(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c.Close()
+		if got := <-done; got != b.N*payloadLen {
+			b.Fatalf("consumer saw %d bytes, want %d", got, b.N*payloadLen)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingOrderedDelivery(t *testing.T) {
+	r := NewRing[int](8)
+	const n = 10000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := r.Push(i, nil); err != nil {
+				t.Errorf("push %d: %v", i, err)
+				return
+			}
+		}
+		r.Close()
+	}()
+	for i := 0; i < n; i++ {
+		v, ok := r.Pop(nil)
+		if !ok {
+			t.Fatalf("ring exhausted at %d of %d", i, n)
+		}
+		if v != i {
+			t.Fatalf("pop %d = %d: FIFO order broken", i, v)
+		}
+	}
+	if _, ok := r.Pop(nil); ok {
+		t.Fatal("pop after close+drain reported an item")
+	}
+	wg.Wait()
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16}, {512, 512},
+	} {
+		if got := NewRing[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestRingDrainsAfterClose(t *testing.T) {
+	r := NewRing[int](8)
+	for i := 0; i < 5; i++ {
+		if err := r.Push(i, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+	r.Close() // idempotent
+	if err := r.Push(99, nil); err != ErrRingClosed {
+		t.Fatalf("push after close = %v, want ErrRingClosed", err)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := r.Pop(nil)
+		if !ok || v != i {
+			t.Fatalf("drain pop %d = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := r.Pop(nil); ok {
+		t.Fatal("pop reported an item after the drain")
+	}
+}
+
+func TestRingPushStopUnblocks(t *testing.T) {
+	r := NewRing[int](2)
+	r.Push(1, nil)
+	r.Push(2, nil) // full
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() { errc <- r.Push(3, stop) }()
+	close(stop)
+	if err := <-errc; err != ErrRingClosed {
+		t.Fatalf("blocked push after stop = %v, want ErrRingClosed", err)
+	}
+}
+
+func TestRingPopStopUnblocks(t *testing.T) {
+	r := NewRing[int](2)
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := r.Pop(stop)
+		done <- ok
+	}()
+	close(stop)
+	if ok := <-done; ok {
+		t.Fatal("blocked pop after stop reported an item")
+	}
+}
+
+func TestRingCloseUnblocksBothSides(t *testing.T) {
+	full := NewRing[int](2)
+	full.Push(1, nil)
+	full.Push(2, nil)
+	pushErr := make(chan error, 1)
+	go func() { pushErr <- full.Push(3, nil) }()
+
+	empty := NewRing[int](2)
+	popOK := make(chan bool, 1)
+	go func() {
+		_, ok := empty.Pop(nil)
+		popOK <- ok
+	}()
+
+	full.Close()
+	empty.Close()
+	if err := <-pushErr; err != ErrRingClosed {
+		t.Fatalf("push unblocked with %v, want ErrRingClosed", err)
+	}
+	if ok := <-popOK; ok {
+		t.Fatal("pop on closed empty ring reported an item")
+	}
+}
+
+// TestRingStress hammers a small ring from both sides so the race detector
+// can see the slot handoff and the park/wake protocol.
+func TestRingStress(t *testing.T) {
+	r := NewRing[[]byte](4)
+	const n = 50000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := []byte{0}
+		for i := 0; i < n; i++ {
+			buf[0] = byte(i)
+			cp := append([]byte(nil), buf...)
+			if err := r.Push(cp, nil); err != nil {
+				t.Errorf("push: %v", err)
+				return
+			}
+		}
+		r.Close()
+	}()
+	got := 0
+	for {
+		v, ok := r.Pop(nil)
+		if !ok {
+			break
+		}
+		if v[0] != byte(got) {
+			t.Fatalf("item %d carried payload %d", got, v[0])
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("received %d of %d items", got, n)
+	}
+	wg.Wait()
+}
+
+func TestRingPortDelivers(t *testing.T) {
+	rings := []*Ring[RingItem]{NewRing[RingItem](4), NewRing[RingItem](4)}
+	p := &RingPort{Rings: rings}
+	if err := p.Deliver(1, Buffer{Payload: "x", Size: 7}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if rings[0].Len() != 0 {
+		t.Fatal("delivery landed on the wrong target ring")
+	}
+	it, ok := rings[1].Pop(nil)
+	if !ok || it.Buf.Payload != "x" || it.Buf.Size != 7 || it.AckEvery != 3 {
+		t.Fatalf("popped %+v, ok=%v", it, ok)
+	}
+}

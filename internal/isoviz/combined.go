@@ -30,8 +30,11 @@ func (f *ReadExtractFilter) Process(ctx core.Ctx) error {
 		return err
 	}
 	packer := newTriPacker(ctx, f.Out)
-	for _, chunk := range f.Assign(ctx) {
-		v, err := f.Source.Load(chunk, view.Timestep)
+	chunks := f.Assign(ctx)
+	load, stop := planLoad(f.Source, chunks, view.Timestep)
+	defer stop()
+	for _, chunk := range chunks {
+		v, err := load(chunk, view.Timestep)
 		if err != nil {
 			return fmt.Errorf("isoviz: read chunk %d: %w", chunk, err)
 		}
@@ -164,8 +167,11 @@ func (f *ReadExtractRasterZFilter) Process(ctx core.Ctx) error {
 	if err != nil {
 		return err
 	}
-	for _, chunk := range f.Assign(ctx) {
-		v, err := f.Source.Load(chunk, view.Timestep)
+	chunks := f.Assign(ctx)
+	load, stop := planLoad(f.Source, chunks, view.Timestep)
+	defer stop()
+	for _, chunk := range chunks {
+		v, err := load(chunk, view.Timestep)
 		if err != nil {
 			return fmt.Errorf("isoviz: read chunk %d: %w", chunk, err)
 		}
@@ -206,8 +212,11 @@ func (f *ReadExtractRasterAPFilter) Process(ctx core.Ctx) error {
 	f.ap = newAPState(ctx, view, f.Out)
 	f.ap.ctx = ctx
 	defer func() { f.ap.ctx = nil }()
-	for _, chunk := range f.Assign(ctx) {
-		v, err := f.Source.Load(chunk, view.Timestep)
+	chunks := f.Assign(ctx)
+	load, stop := planLoad(f.Source, chunks, view.Timestep)
+	defer stop()
+	for _, chunk := range chunks {
+		v, err := load(chunk, view.Timestep)
 		if err != nil {
 			return fmt.Errorf("isoviz: read chunk %d: %w", chunk, err)
 		}

@@ -26,8 +26,13 @@ type FieldREParams struct {
 }
 
 // StoreREParams parameterizes a ReadExtractFilter over an on-disk store.
+// Readahead/ReadaheadBytes configure chunk prefetching along the copy's
+// planned read order; Mmap switches the store to memory-mapped reads.
 type StoreREParams struct {
-	Dir string
+	Dir            string
+	Readahead      int
+	ReadaheadBytes int64
+	Mmap           bool
 }
 
 // Distributed filter kind names.
@@ -70,7 +75,12 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		src := &StoreSource{St: st}
+		if p.Mmap {
+			if err := st.EnableMmap(); err != nil {
+				return nil, err
+			}
+		}
+		src := &StoreSource{St: st, Readahead: p.Readahead, ReadaheadBytes: p.ReadaheadBytes}
 		return &ReadExtractFilter{Source: src, Assign: AssignByCopy(src.Chunks()), Out: StreamTriangles}, nil
 	})
 	dist.RegisterFilter(KindRasterAP, func([]byte) (core.Filter, error) {

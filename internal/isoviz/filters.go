@@ -36,8 +36,11 @@ func (f *ReadFilter) Process(ctx core.Ctx) error {
 	if err != nil {
 		return err
 	}
-	for _, chunk := range f.Assign(ctx) {
-		v, err := f.Source.Load(chunk, view.Timestep)
+	chunks := f.Assign(ctx)
+	load, stop := planLoad(f.Source, chunks, view.Timestep)
+	defer stop()
+	for _, chunk := range chunks {
+		v, err := load(chunk, view.Timestep)
 		if err != nil {
 			return fmt.Errorf("isoviz: read chunk %d: %w", chunk, err)
 		}

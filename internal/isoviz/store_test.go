@@ -38,6 +38,24 @@ func TestStoreSourceMatchesFieldSource(t *testing.T) {
 	if disk != mem {
 		t.Fatal("disk-backed pipeline renders differently from in-memory pipeline")
 	}
+
+	// The read-path fast modes must not change the image: chunk readahead
+	// (bounded prefetcher along the planned order) and mmap reads.
+	ra := run(&StoreSource{St: st, Readahead: 3, ReadaheadBytes: 64 << 10})
+	if ra != mem {
+		t.Fatal("readahead pipeline renders differently")
+	}
+	mmSt, err := dataset.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mmSt.Close()
+	if err := mmSt.EnableMmap(); err != nil {
+		t.Skipf("mmap unavailable: %v", err)
+	}
+	if mm := run(&StoreSource{St: mmSt, Readahead: 2}); mm != mem {
+		t.Fatal("mmap+readahead pipeline renders differently")
+	}
 }
 
 // AssignByDistribution must split a host's chunks disjointly among the
