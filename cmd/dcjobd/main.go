@@ -48,6 +48,16 @@ func main() {
 		quotas       = flag.String("quotas", "", "per-tenant overrides, e.g. 'teamA=1:4:0,teamB=2:16:1048576'")
 		probe        = flag.Duration("probe-interval", 0, "worker health-probe period (default 2s)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs on SIGINT/SIGTERM")
+
+		maxRetries      = flag.Int("max-retries", 0, "default retry budget for jobs that do not set one (default 0: no retries)")
+		retryBackoff    = flag.Duration("retry-backoff", 0, "base of the exponential retry backoff (default 500ms)")
+		retryBackoffMax = flag.Duration("retry-backoff-max", 0, "retry backoff cap (default 30s)")
+		strikes         = flag.Int("quarantine-strikes", 0, "attributed failures before a worker is quarantined (default 3)")
+		probation       = flag.Duration("probation", 0, "quarantine sit-out before the half-open reinstatement probe (default 30s)")
+		maxQueueAge     = flag.Duration("max-queue-age", 0, "shed a tenant's submissions while its oldest queued job is older than this (0 disables)")
+		maxQueueDepth   = flag.Int("max-queue-depth", 0, "shed submissions when the global queue holds this many jobs (0 = unlimited)")
+		shedRetryAfter  = flag.Duration("retry-after", 0, "Retry-After hint on shed (503) responses (default 5s)")
+		compactBytes    = flag.Int64("journal-compact", 0, "compact the journal once it exceeds this many bytes (default 4 MiB)")
 	)
 	flag.Parse()
 
@@ -56,6 +66,16 @@ func main() {
 		JournalPath:   *journal,
 		ProbeInterval: *probe,
 		Registry:      obs.NewRegistry(),
+
+		DefaultMaxRetries:   *maxRetries,
+		RetryBackoff:        *retryBackoff,
+		RetryBackoffMax:     *retryBackoffMax,
+		QuarantineStrikes:   *strikes,
+		Probation:           *probation,
+		MaxQueueAge:         *maxQueueAge,
+		MaxQueueDepth:       *maxQueueDepth,
+		ShedRetryAfter:      *shedRetryAfter,
+		JournalCompactBytes: *compactBytes,
 	}
 	if *defQuota != "" {
 		q, err := parseQuota(*defQuota)

@@ -37,6 +37,14 @@
 // -faults is refused with -server (the server is the coordinator and owns
 // its own fault plan); heartbeat, retry, and policy tuning still applies —
 // it travels inside the job's options.
+//
+// Server-side resilience (DESIGN.md §15): -job-retries sets the job's
+// whole-job retry budget (the server re-runs a failed job with exponential
+// backoff; -1 pins retries off even if the server has a default) and
+// -deadline bounds the job's total lifetime — queued or running — after
+// which the server cancels it. -cancel <id> cancels an earlier submission
+// via DELETE /jobs/{id} and exits. A 503 on submit means the server shed
+// the job under overload; retry after the Retry-After interval it reports.
 package main
 
 import (
@@ -92,8 +100,19 @@ func main() {
 		server = flag.String("server", "", "dcjobd base URL; submit as a job over HTTP instead of coordinating directly")
 		tenant = flag.String("tenant", "", "tenant name for -server submissions")
 		name   = flag.String("name", "isoviz", "job name for -server submissions")
+
+		jobRetries = flag.Int("job-retries", 0, "whole-job retry budget on the server (0 = server default, -1 = no retries; with -server)")
+		deadline   = flag.Duration("deadline", 0, "total job lifetime, queued plus running, before the server cancels it (with -server)")
+		cancelID   = flag.Uint64("cancel", 0, "cancel job <id> on -server and exit")
 	)
 	flag.Parse()
+	if *cancelID != 0 {
+		if *server == "" {
+			fatal(fmt.Errorf("-cancel needs -server"))
+		}
+		cancelJob(*server, *cancelID)
+		return
+	}
 	if *wirebuf > 0 {
 		dist.SetWireBufferSize(*wirebuf)
 	}
@@ -237,7 +256,8 @@ func main() {
 		stats = submitJob(*server, jobd.JobSpec{
 			Name: *name, Tenant: *tenant,
 			Graph: spec, Placement: placement, Options: opts,
-			UOWs: encodeUOWs(uows),
+			UOWs:       encodeUOWs(uows),
+			MaxRetries: *jobRetries, Deadline: *deadline,
 		})
 	} else {
 		st, err := dist.RunObserved(addrs, spec, placement, opts, uows, o)
@@ -330,8 +350,34 @@ func submitJob(server string, spec jobd.JobSpec) *core.Stats {
 			return j.Stats
 		case jobd.StateFailed:
 			fatal(fmt.Errorf("job %d failed: %s", sub.ID, j.Err))
+		case jobd.StateCancelled:
+			fatal(fmt.Errorf("job %d cancelled: %s", sub.ID, j.Err))
 		}
 		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// cancelJob asks the server to cancel a job: DELETE /jobs/{id}. A 202 means
+// the cancellation was accepted (queued jobs cancel immediately; running
+// jobs are torn down asynchronously); 409 means the job already finished.
+func cancelJob(server string, id uint64) {
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/jobs/%d", server, id), nil)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		fmt.Printf("job %d: cancellation accepted\n", id)
+	case http.StatusConflict:
+		fatal(fmt.Errorf("job %d already finished: %s", id, strings.TrimSpace(string(body))))
+	default:
+		fatal(fmt.Errorf("DELETE %s/jobs/%d: %s: %s", server, id, resp.Status, strings.TrimSpace(string(body))))
 	}
 }
 

@@ -110,6 +110,18 @@ func (j *DistJob) Check(st *core.Stats) []string {
 	return checkRun(j.m, st, j.rec, false)
 }
 
+// CheckAtLeastOnce diffs a completed run against the relaxed at-least-once
+// oracle: every expected delivery and end-of-work must be seen at least its
+// expected count, extras are allowed. This is the correct oracle for a job
+// that failed partway and was re-run by a resilience layer (jobd retry):
+// the aborted attempt's partial traffic legitimately inflates the records.
+func (j *DistJob) CheckAtLeastOnce(st *core.Stats) []string {
+	v := checkRun(j.m, st, j.rec, true)
+	// The relaxed pass still rejects identities outside the model entirely;
+	// those are cross-job leaks, not retry artifacts, and stay violations.
+	return v
+}
+
 // Deliveries exposes the job's recorded identity multiset, so tests can
 // assert two concurrent jobs' records never bleed into each other.
 func (j *DistJob) Deliveries() map[DeliveryKey]int { return j.rec.Deliveries() }

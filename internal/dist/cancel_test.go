@@ -1,6 +1,7 @@
 package dist_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -74,5 +75,78 @@ func TestDistributedLocalWriteCancelled(t *testing.T) {
 	src := workers["host0"].Instances("S")[0].(*cancelRecordingSource)
 	if !errors.Is(src.werr, core.ErrCancelled) {
 		t.Fatalf("source write error = %v, want core.ErrCancelled", src.werr)
+	}
+}
+
+// crawlSource writes n ints with a sleep between writes — slow enough for
+// a caller to cancel the run context mid-stream.
+type crawlSource struct {
+	core.BaseFilter
+	n int
+}
+
+func (s *crawlSource) Process(ctx core.Ctx) error {
+	for i := 0; i < s.n; i++ {
+		time.Sleep(20 * time.Millisecond)
+		if err := ctx.Write("ints", core.Buffer{Payload: i, Size: 8}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func init() {
+	dist.RegisterFilter("test.crawlsrc", func(p []byte) (core.Filter, error) {
+		return &crawlSource{n: int(p[0])}, nil
+	})
+}
+
+// Cancelling the run context mid-session returns an error wrapping
+// context.Canceled and tears the session down through the abort protocol:
+// the same workers serve a fresh run immediately afterwards.
+func TestRunCtxCancelTearsDown(t *testing.T) {
+	leakcheck.Check(t)
+	addrs, workers := startWorkers(t, 2)
+	g := dist.GraphSpec{
+		Filters: []dist.FilterSpec{
+			{Name: "S", Kind: "test.crawlsrc", Params: []byte{200}},
+			{Name: "K", Kind: "test.sink"},
+		},
+		Streams: []core.StreamSpec{{Name: "ints", From: "S", To: "K"}},
+	}
+	place := []dist.PlacementEntry{
+		{Filter: "S", Host: "host0", Copies: 1},
+		{Filter: "K", Host: "host1", Copies: 1},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := dist.RunCtx(ctx, addrs, g, place, dist.Options{}, nil)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run error %v does not wrap context.Canceled", err)
+	}
+	// 200 writes x 20ms would run ~4s; cancellation must cut that short.
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancelled run still took %v", elapsed)
+	}
+
+	// The aborted session released the workers: a fresh (uncancelled) run
+	// over the same mesh completes with full delivery.
+	const n = 30
+	if _, err := dist.Run(addrs, intGraph(n), place, dist.Options{}, nil); err != nil {
+		t.Fatalf("mesh unusable after cancelled run: %v", err)
+	}
+	seen := 0
+	for _, inst := range workers["host1"].Instances("K") {
+		seen += inst.(*intSink).Seen
+	}
+	if seen < n {
+		t.Fatalf("post-cancel run delivered %d, want >= %d", seen, n)
 	}
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,31 @@ import (
 	"datacutter/internal/core"
 	"datacutter/internal/obs"
 )
+
+// HostsError attributes a failed run to specific hosts: the workers the
+// coordinator declared dead (transport errors, heartbeat silence, peer
+// failure attribution on kindFail) or could not dial at setup. Callers that
+// manage the worker fleet — internal/jobd's failure scoring — unwrap it
+// with errors.As to charge the implicated workers instead of treating every
+// failure as an anonymous application error.
+type HostsError struct {
+	Hosts []string // implicated hosts, sorted
+	Err   error
+}
+
+func (e *HostsError) Error() string {
+	return fmt.Sprintf("%v (hosts implicated: %s)", e.Err, strings.Join(e.Hosts, ","))
+}
+
+func (e *HostsError) Unwrap() error { return e.Err }
+
+// attributeHosts wraps err with the implicated hosts when there are any.
+func attributeHosts(err error, hosts []string) error {
+	if err == nil || len(hosts) == 0 {
+		return err
+	}
+	return &HostsError{Hosts: hosts, Err: err}
+}
 
 // Run executes a distributed session: it connects to the worker at each
 // host's address, ships the graph spec and placement, drives the
@@ -24,7 +50,16 @@ import (
 // semantics: per-UOW filter state is rebuilt by Init). Application errors
 // are never retried.
 func Run(addrs map[string]string, spec GraphSpec, placement []PlacementEntry, opts Options, uows []any) (*core.Stats, error) {
-	return RunObserved(addrs, spec, placement, opts, uows, nil)
+	return RunObservedCtx(context.Background(), addrs, spec, placement, opts, uows, nil)
+}
+
+// RunCtx is Run with a context: cancellation (or a deadline) interrupts the
+// run between and during units of work — the coordinator stops waiting on
+// workers, broadcasts the abort protocol so their sessions tear down, and
+// returns an error wrapping ctx.Err(). This is the cancel plumb-through the
+// job service uses for job deadlines and DELETE /jobs/{id}.
+func RunCtx(ctx context.Context, addrs map[string]string, spec GraphSpec, placement []PlacementEntry, opts Options, uows []any) (*core.Stats, error) {
+	return RunObservedCtx(ctx, addrs, spec, placement, opts, uows, nil)
 }
 
 // RunObserved is Run with coordinator-side observability attached: a
@@ -36,6 +71,11 @@ func Run(addrs map[string]string, spec GraphSpec, placement []PlacementEntry, op
 // into Options, so workers attach their own via Worker.SetObserver. o may
 // be nil (disabled).
 func RunObserved(addrs map[string]string, spec GraphSpec, placement []PlacementEntry, opts Options, uows []any, o *obs.Observer) (*core.Stats, error) {
+	return RunObservedCtx(context.Background(), addrs, spec, placement, opts, uows, o)
+}
+
+// RunObservedCtx is RunObserved with RunCtx's cancellation semantics.
+func RunObservedCtx(ctx context.Context, addrs map[string]string, spec GraphSpec, placement []PlacementEntry, opts Options, uows []any, o *obs.Observer) (*core.Stats, error) {
 	if len(uows) == 0 {
 		uows = []any{nil}
 	}
@@ -56,7 +96,11 @@ func RunObserved(addrs map[string]string, spec GraphSpec, placement []PlacementE
 		}
 	}
 
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	co := &coordinator{
+		ctx:       ctx,
 		spec:      spec,
 		opts:      opts,
 		o:         o,
@@ -87,6 +131,9 @@ func RunObserved(addrs map[string]string, spec GraphSpec, placement []PlacementE
 	start := time.Now()
 	for i, work := range uows {
 		for attempt := 0; ; attempt++ {
+			if cerr := ctx.Err(); cerr != nil {
+				return co.agg.s, fmt.Errorf("dist: run cancelled: %w", cerr)
+			}
 			t0 := time.Now()
 			err := co.runUOW(i, work)
 			if err == nil {
@@ -97,11 +144,12 @@ func RunObserved(addrs map[string]string, spec GraphSpec, placement []PlacementE
 				break
 			}
 			dead := co.deadHosts()
-			if len(dead) == 0 || attempt >= co.opts.MaxUOWRetries {
-				return co.agg.s, err
+			if ctx.Err() != nil || len(dead) == 0 || attempt >= co.opts.MaxUOWRetries {
+				return co.agg.s, attributeHosts(err, dead)
 			}
 			if rerr := co.recover(dead); rerr != nil {
-				return co.agg.s, fmt.Errorf("dist: recovering from %q failed: %w", err, rerr)
+				return co.agg.s, attributeHosts(
+					fmt.Errorf("dist: recovering from %q failed: %w", err, rerr), dead)
 			}
 			co.m.retries.Inc()
 			co.o.Emit(obs.Event{Kind: obs.KindUOWRetry, UOW: i, N: attempt + 1,
@@ -126,6 +174,9 @@ type coordMetrics struct {
 // coordinator drives one distributed run. addrs and placement shrink as
 // hosts die and units of work are replanned onto the survivors.
 type coordinator struct {
+	// ctx cancels the run: waits on workers abort, dial backoffs stop, and
+	// the deferred teardown broadcasts kindAbort. Never nil.
+	ctx       context.Context
 	spec      GraphSpec
 	opts      Options
 	o         *obs.Observer
@@ -141,11 +192,17 @@ type coordinator struct {
 }
 
 // connectAll dials and sets up every host in co.addrs, populating co.links.
+// A dial or setup failure is attributed to the host that refused — unless
+// the run's context was cancelled, which is the caller's doing, not the
+// worker's.
 func (co *coordinator) connectAll() error {
 	for _, host := range co.hostNames() {
 		l, err := co.connectHost(host, co.addrs[host])
 		if err != nil {
-			return err
+			if co.ctx.Err() != nil {
+				return err
+			}
+			return attributeHosts(err, []string{host})
 		}
 		co.links[host] = l
 	}
@@ -170,7 +227,7 @@ func (co *coordinator) connectHost(host, addr string) (*hostLink, error) {
 	busyDeadline := time.Now().Add(co.opts.hbTimeout() + 2*time.Second)
 	backoff := 10 * time.Millisecond
 	for {
-		nc, err := dialRetry(addr, &co.opts, co.opts.faults, co.m.redials, nil)
+		nc, err := dialRetry(addr, &co.opts, co.opts.faults, co.m.redials, co.ctx.Done())
 		if err != nil {
 			return nil, fmt.Errorf("dist: dialing worker %s: %w", host, err)
 		}
@@ -192,7 +249,11 @@ func (co *coordinator) connectHost(host, addr string) (*hostLink, error) {
 		switch {
 		case f.Kind == kindFail && f.Err == busyMsg && time.Now().Before(busyDeadline):
 			c.close()
-			time.Sleep(backoff)
+			select {
+			case <-time.After(backoff):
+			case <-co.ctx.Done():
+				return nil, fmt.Errorf("dist: worker %s setup cancelled: %w", host, co.ctx.Err())
+			}
 			if backoff *= 2; backoff > 200*time.Millisecond {
 				backoff = 200 * time.Millisecond
 			}
@@ -236,6 +297,10 @@ func (co *coordinator) waitReply(l *hostLink) (*frame, error) {
 		case err := <-l.errc:
 			co.markDead(l, err)
 			return nil, fmt.Errorf("dist: worker %s: %w", l.host, err)
+		case <-co.ctx.Done():
+			// Cancellation, not a casualty: no host is marked dead; the
+			// deferred teardown aborts every worker session.
+			return nil, fmt.Errorf("dist: run cancelled: %w", co.ctx.Err())
 		case <-t.C:
 			if err := co.sweepLiveness(interval, limit); err != nil {
 				return nil, err
@@ -447,6 +512,9 @@ func (co *coordinator) recover(dead []string) error {
 		for {
 			f, err := co.waitReply(l)
 			if err != nil {
+				if co.ctx.Err() != nil {
+					return fmt.Errorf("dist: recovery cancelled: %w", co.ctx.Err())
+				}
 				if l.dead {
 					break drain // this survivor died too (already marked)
 				}

@@ -13,16 +13,18 @@ import (
 // Handler returns the server's HTTP API, layered over the obs debug
 // endpoint (so /healthz, /metrics, /debug/* come along for free):
 //
-//	POST /jobs             submit a JobSpec (JSON body) -> {"id": N}, 202
-//	GET  /jobs             list all jobs
-//	GET  /jobs/{id}        one job snapshot (spec, state, stats when done)
-//	GET  /jobs/{id}/events the job's timestamped history
-//	GET  /jobs/{id}/metrics the job's isolated coordinator metrics
-//	POST /workers          register a worker: {"host","addr","health"}
-//	GET  /workers          list registered workers and their health
-//	GET  /status           human-readable summary page
+//	POST   /jobs             submit a JobSpec (JSON body) -> {"id": N}, 202
+//	GET    /jobs             list all jobs
+//	GET    /jobs/{id}        one job snapshot (spec, state, stats when done)
+//	DELETE /jobs/{id}        cancel a job -> 202 + snapshot (409 if terminal)
+//	GET    /jobs/{id}/events the job's timestamped history
+//	GET    /jobs/{id}/metrics the job's isolated coordinator metrics
+//	POST   /workers          register a worker: {"host","addr","health"}
+//	GET    /workers          list registered workers and their health
+//	GET    /status           human-readable summary page
 //
-// Admission failures map to statuses: quota 429, draining 503, bad spec 400.
+// Admission failures map to statuses: quota 429, draining 503, bad spec
+// 400, load shedding 503 with a Retry-After header so clients back off.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -34,12 +36,33 @@ func (s *Server) Handler() http.Handler {
 		}
 		id, err := s.Submit(spec)
 		if err != nil {
+			if errors.Is(err, ErrOverload) {
+				w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.shedRetryAfter().Seconds())))
+			}
 			http.Error(w, err.Error(), submitStatus(err))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
 		json.NewEncoder(w).Encode(map[string]uint64{"id": id})
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := jobID(w, r)
+		if !ok {
+			return
+		}
+		j, err := s.Cancel(id)
+		switch {
+		case err == nil:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(j)
+		case errors.Is(err, ErrTerminal):
+			http.Error(w, err.Error(), http.StatusConflict)
+		default:
+			http.NotFound(w, r)
+		}
 	})
 
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, _ *http.Request) {
@@ -114,12 +137,19 @@ func (s *Server) Handler() http.Handler {
 		for _, j := range jobs {
 			counts[j.State]++
 		}
-		fmt.Fprintf(w, "datacutter job server\n\njobs: %d queued, %d running, %d done, %d failed\n\n",
-			counts[StateQueued], counts[StateRunning], counts[StateDone], counts[StateFailed])
+		fmt.Fprintf(w, "datacutter job server\n\njobs: %d queued, %d backoff, %d running, %d done, %d failed, %d cancelled\n\n",
+			counts[StateQueued], counts[StateBackoff], counts[StateRunning],
+			counts[StateDone], counts[StateFailed], counts[StateCancelled])
 		for _, wk := range s.Workers() {
 			health := "healthy"
-			if !wk.Healthy {
+			switch {
+			case wk.Quarantined:
+				health = fmt.Sprintf("QUARANTINED (strikes=%d, probation at %s)",
+					wk.Strikes, wk.ProbationAt.Format("15:04:05"))
+			case !wk.Healthy:
 				health = "UNHEALTHY"
+			case wk.Strikes > 0:
+				health = fmt.Sprintf("healthy (strikes=%d)", wk.Strikes)
 			}
 			fmt.Fprintf(w, "worker %-10s %-21s %s\n", wk.Host, wk.Addr, health)
 		}
@@ -166,6 +196,8 @@ func submitStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrInvalid):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrOverload):
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }

@@ -14,6 +14,7 @@
 package jobd
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -48,6 +49,34 @@ type Config struct {
 	ProbeInterval time.Duration
 	// Registry receives the server's metrics (a fresh one when nil).
 	Registry *obs.Registry
+
+	// Resilience knobs (DESIGN.md §15). Zero selects the noted default.
+
+	// DefaultMaxRetries is the retry budget for jobs whose spec leaves
+	// MaxRetries at 0 (default 0: no automatic retries).
+	DefaultMaxRetries int
+	// RetryBackoff is the base of the exponential retry backoff (500ms);
+	// attempt n waits ~base*2^(n-1) with ±25% jitter, capped at
+	// RetryBackoffMax (30s).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// QuarantineStrikes is how many attributed failures a worker absorbs
+	// before it is quarantined (3).
+	QuarantineStrikes int
+	// Probation is how long a quarantined worker sits out before the
+	// prober attempts one half-open reinstatement probe (30s).
+	Probation time.Duration
+	// MaxQueueAge sheds a tenant's new submissions while its oldest queued
+	// job has waited longer than this (0 disables age shedding).
+	MaxQueueAge time.Duration
+	// MaxQueueDepth sheds submissions when the global queue holds this
+	// many jobs (0 = unlimited).
+	MaxQueueDepth int
+	// ShedRetryAfter is the Retry-After hint attached to shed responses (5s).
+	ShedRetryAfter time.Duration
+	// JournalCompactBytes triggers journal compaction once the log exceeds
+	// this size (4 MiB); compaction also always runs on startup recovery.
+	JournalCompactBytes int64
 }
 
 func (c Config) maxRunning() int {
@@ -83,6 +112,14 @@ type JobSpec struct {
 	// UOWs are pre-encoded unit-of-work descriptors (dist.EncodeUOW);
 	// empty runs a single nil unit of work.
 	UOWs []dist.RawUOW `json:"uows,omitempty"`
+	// MaxRetries is the job's retry budget: a failed run re-queues with
+	// exponential backoff up to this many times. 0 adopts the server
+	// default (Config.DefaultMaxRetries); -1 disables retries explicitly.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// Deadline is the job's time-to-live measured from submission. Once it
+	// passes, a queued job fails without running and a running job's dist
+	// session is cancelled (context deadline → abort protocol). 0 = none.
+	Deadline time.Duration `json:"deadline,omitempty"`
 }
 
 // bytes is the admission-control size of the spec: encoded work plus
@@ -116,11 +153,18 @@ func (sp *JobSpec) hosts() []string {
 type State string
 
 const (
-	StateQueued  State = "queued"
-	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	StateQueued    State = "queued"
+	StateBackoff   State = "backoff" // failed attempt, waiting in queue for its retry time
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
 )
+
+// Terminal reports whether the state is final (done, failed, cancelled).
+func (st State) Terminal() bool {
+	return st == StateDone || st == StateFailed || st == StateCancelled
+}
 
 // Event is one timestamped line of a job's history.
 type Event struct {
@@ -138,6 +182,12 @@ type Job struct {
 	Started   time.Time   `json:"started"`
 	Finished  time.Time   `json:"finished"`
 	Stats     *core.Stats `json:"stats,omitempty"`
+	// Attempts counts failed runs so far; a job in "backoff" retries no
+	// earlier than NotBefore.
+	Attempts  int       `json:"attempts,omitempty"`
+	NotBefore time.Time `json:"not_before"`
+	// Deadline is the absolute time the job's TTL expires (zero = none).
+	Deadline time.Time `json:"deadline"`
 }
 
 // job is the server's mutable record; guarded by Server.mu.
@@ -153,18 +203,28 @@ type job struct {
 	events    []Event
 	// reg collects the job's coordinator-side metrics, isolated per job.
 	reg *obs.Registry
+
+	// Resilience state.
+	attempts  int                // failed runs so far
+	notBefore time.Time          // earliest next dispatch (backoff schedule)
+	queuedAt  time.Time          // when the job (re-)entered the queue, for age shedding
+	deadline  time.Time          // absolute TTL (zero = none)
+	cancelReq bool               // Cancel was requested
+	cancel    context.CancelFunc // cancels the running dist session (nil unless running)
+	done      chan struct{}      // closed on transition to a terminal state
 }
 
 func (j *job) snapshot() Job {
 	return Job{
 		ID: j.id, Spec: j.spec, State: j.state, Err: j.err,
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
-		Stats: j.stats,
+		Stats: j.stats, Attempts: j.attempts, NotBefore: j.notBefore,
+		Deadline: j.deadline,
 	}
 }
 
-// workerInfo is one registered persistent worker.
-type workerInfo struct {
+// WorkerInfo is one registered persistent worker.
+type WorkerInfo struct {
 	Host string `json:"host"`
 	// Addr is the worker's dist (TCP) listen address.
 	Addr string `json:"addr"`
@@ -174,6 +234,17 @@ type workerInfo struct {
 	Healthy    bool      `json:"healthy"`
 	Registered time.Time `json:"registered"`
 	LastProbe  time.Time `json:"last_probe"`
+
+	// Failure scoring (circuit breaker). Strikes accumulate from failed
+	// runs attributed to this worker (dist.HostsError); at
+	// Config.QuarantineStrikes the worker is quarantined — no dispatches —
+	// until its probation elapses and a half-open probe succeeds, which
+	// resets the record. A successful run also clears strikes. The record
+	// survives re-registration: a flaky worker cannot launder its history
+	// by re-announcing itself.
+	Strikes     int       `json:"strikes,omitempty"`
+	Quarantined bool      `json:"quarantined,omitempty"`
+	ProbationAt time.Time `json:"probation_at"` // earliest half-open probe
 }
 
 // serverMetrics are the server's resolved metric handles.
@@ -185,6 +256,15 @@ type serverMetrics struct {
 	depth     *obs.Gauge
 	running   *obs.Gauge
 	healthy   *obs.Gauge
+
+	retried      *obs.Counter   // jobd.jobs_retried: failed runs re-queued with backoff
+	cancelled    *obs.Counter   // jobd.jobs_cancelled
+	deadlined    *obs.Counter   // jobd.jobs_deadline_exceeded
+	shed         *obs.Counter   // jobd.jobs_shed: submissions rejected by load shedding
+	quarantined  *obs.Counter   // jobd.workers_quarantined: quarantine events
+	reinstated   *obs.Counter   // jobd.workers_reinstated: half-open probes that closed the breaker
+	inQuarantine *obs.Gauge     // jobd.workers_in_quarantine
+	queueAge     *obs.Histogram // jobd.queue_age_seconds: queue wait, observed at dispatch
 }
 
 // Server is the job service. Create with NewServer, stop with Drain
@@ -201,7 +281,7 @@ type Server struct {
 	nextID    uint64
 	running   int
 	tenantRun map[string]int
-	workers   map[string]*workerInfo
+	workers   map[string]*WorkerInfo
 	draining  bool
 
 	wake     chan struct{}
@@ -225,7 +305,7 @@ func NewServer(cfg Config) (*Server, error) {
 		reg:       reg,
 		jobs:      make(map[uint64]*job),
 		tenantRun: make(map[string]int),
-		workers:   make(map[string]*workerInfo),
+		workers:   make(map[string]*WorkerInfo),
 		nextID:    1,
 		wake:      make(chan struct{}, 1),
 		stopped:   make(chan struct{}),
@@ -238,6 +318,15 @@ func NewServer(cfg Config) (*Server, error) {
 		depth:     reg.Gauge("jobd.queue_depth"),
 		running:   reg.Gauge("jobd.jobs_running"),
 		healthy:   reg.Gauge("jobd.workers_healthy"),
+
+		retried:      reg.Counter("jobd.jobs_retried"),
+		cancelled:    reg.Counter("jobd.jobs_cancelled"),
+		deadlined:    reg.Counter("jobd.jobs_deadline_exceeded"),
+		shed:         reg.Counter("jobd.jobs_shed"),
+		quarantined:  reg.Counter("jobd.workers_quarantined"),
+		reinstated:   reg.Counter("jobd.workers_reinstated"),
+		inQuarantine: reg.Gauge("jobd.workers_in_quarantine"),
+		queueAge:     reg.Histogram("jobd.queue_age_seconds"),
 	}
 	if cfg.JournalPath != "" {
 		jnl, replay, err := openJournal(cfg.JournalPath)
@@ -245,16 +334,30 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.jnl = jnl
+		now := time.Now()
 		for _, r := range replay {
 			j := &job{
 				id: r.ID, spec: r.Spec, state: StateQueued,
-				submitted: r.Submitted, reg: obs.NewRegistry(),
+				submitted: r.Submitted, queuedAt: now,
+				attempts: r.Attempts, notBefore: r.NotBefore,
+				reg: obs.NewRegistry(), done: make(chan struct{}),
+			}
+			if r.Spec.Deadline > 0 {
+				j.deadline = r.Submitted.Add(r.Spec.Deadline)
 			}
 			j.events = append(j.events, Event{Time: r.Submitted, Msg: "submitted"})
-			if r.Started {
-				j.events = append(j.events, Event{Time: time.Now(), Msg: "re-queued after server restart (was in flight)"})
-			} else {
-				j.events = append(j.events, Event{Time: time.Now(), Msg: "re-queued after server restart"})
+			switch {
+			case r.Attempts > 0:
+				// Resume the journaled backoff schedule rather than losing
+				// the attempt count or double-running the backoff.
+				j.state = StateBackoff
+				j.events = append(j.events, Event{Time: now, Msg: fmt.Sprintf(
+					"re-queued after server restart (resuming retry %d, not before %s)",
+					r.Attempts, r.NotBefore.Format(time.RFC3339))})
+			case r.Started:
+				j.events = append(j.events, Event{Time: now, Msg: "re-queued after server restart (was in flight)"})
+			default:
+				j.events = append(j.events, Event{Time: now, Msg: "re-queued after server restart"})
 			}
 			s.jobs[r.ID] = j
 			s.queue = append(s.queue, r.ID)
@@ -263,6 +366,10 @@ func NewServer(cfg Config) (*Server, error) {
 			}
 		}
 		s.m.depth.Set(int64(len(s.queue)))
+		// Startup recovery is the natural compaction point: everything the
+		// replay discarded (finished jobs, superseded retry records) would
+		// otherwise re-accumulate across every restart.
+		s.compactJournalLocked()
 	}
 	s.loops.Add(2)
 	go s.dispatch()
@@ -275,6 +382,12 @@ var (
 	ErrDraining = fmt.Errorf("jobd: server is draining")
 	ErrQuota    = fmt.Errorf("jobd: tenant quota exceeded")
 	ErrInvalid  = fmt.Errorf("jobd: invalid job spec")
+	// ErrOverload is load shedding: the queue is too deep or the tenant's
+	// backlog too old for new work to finish in reasonable time. The HTTP
+	// layer maps it to 503 with a Retry-After header so clients back off.
+	ErrOverload = fmt.Errorf("jobd: overloaded")
+	// ErrTerminal rejects cancelling a job that already finished.
+	ErrTerminal = fmt.Errorf("jobd: job already in a terminal state")
 )
 
 // Submit runs admission control, journals the job, and queues it. The
@@ -285,6 +398,14 @@ func (s *Server) Submit(spec JobSpec) (uint64, error) {
 		s.m.rejected.Inc()
 		return 0, fmt.Errorf("%w: graph and placement must be non-empty", ErrInvalid)
 	}
+	if spec.MaxRetries < -1 {
+		s.m.rejected.Inc()
+		return 0, fmt.Errorf("%w: MaxRetries must be >= -1, got %d", ErrInvalid, spec.MaxRetries)
+	}
+	if spec.Deadline < 0 {
+		s.m.rejected.Inc()
+		return 0, fmt.Errorf("%w: Deadline must be >= 0, got %v", ErrInvalid, spec.Deadline)
+	}
 	size := spec.bytes()
 	q := s.cfg.quotaFor(spec.Tenant)
 
@@ -294,11 +415,32 @@ func (s *Server) Submit(spec JobSpec) (uint64, error) {
 		s.m.rejected.Inc()
 		return 0, ErrDraining
 	}
+	// Load shedding before quota: a queue the service cannot drain should
+	// turn clients away with a back-off hint rather than absorb more work.
+	if max := s.cfg.MaxQueueDepth; max > 0 && len(s.queue) >= max {
+		s.mu.Unlock()
+		s.m.shed.Inc()
+		s.m.rejected.Inc()
+		return 0, fmt.Errorf("%w: queue depth %d at the global bound", ErrOverload, max)
+	}
 	queued, queuedBytes := 0, int64(0)
+	var oldest time.Time
 	for _, id := range s.queue {
 		if j := s.jobs[id]; j.spec.Tenant == spec.Tenant {
 			queued++
 			queuedBytes += j.spec.bytes()
+			if oldest.IsZero() || j.queuedAt.Before(oldest) {
+				oldest = j.queuedAt
+			}
+		}
+	}
+	if maxAge := s.cfg.MaxQueueAge; maxAge > 0 && !oldest.IsZero() {
+		if age := time.Since(oldest); age > maxAge {
+			s.mu.Unlock()
+			s.m.shed.Inc()
+			s.m.rejected.Inc()
+			return 0, fmt.Errorf("%w: tenant %q backlog is %s old (bound %s)",
+				ErrOverload, spec.Tenant, age.Round(time.Millisecond), maxAge)
 		}
 	}
 	if q.MaxQueued > 0 && queued >= q.MaxQueued {
@@ -314,7 +456,13 @@ func (s *Server) Submit(spec JobSpec) (uint64, error) {
 	id := s.nextID
 	s.nextID++
 	now := time.Now()
-	j := &job{id: id, spec: spec, state: StateQueued, submitted: now, reg: obs.NewRegistry()}
+	j := &job{
+		id: id, spec: spec, state: StateQueued, submitted: now, queuedAt: now,
+		reg: obs.NewRegistry(), done: make(chan struct{}),
+	}
+	if spec.Deadline > 0 {
+		j.deadline = now.Add(spec.Deadline)
+	}
 	j.events = append(j.events, Event{Time: now, Msg: "submitted"})
 	if s.jnl != nil {
 		if err := s.jnl.submit(id, now, &spec); err != nil {
@@ -342,16 +490,14 @@ func (s *Server) kick() {
 	}
 }
 
-// dispatch starts queued jobs as quota and worker health allow, in FIFO
-// order per scan.
+// dispatch starts queued jobs as quota and worker health allow. Besides
+// explicit kicks it wakes itself on a timer armed at the earliest pending
+// backoff expiry or queued-job deadline, so retries dispatch and TTLs fire
+// without polling.
 func (s *Server) dispatch() {
 	defer s.loops.Done()
 	for {
-		select {
-		case <-s.wake:
-		case <-s.stopped:
-			return
-		}
+		s.expireDeadlines()
 		for {
 			j := s.takeRunnable()
 			if j == nil {
@@ -360,57 +506,115 @@ func (s *Server) dispatch() {
 			s.jobsWG.Add(1)
 			go s.runJob(j)
 		}
+		var tc <-chan time.Time
+		var timer *time.Timer
+		if next, ok := s.nextWake(); ok {
+			d := time.Until(next)
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			timer = time.NewTimer(d)
+			tc = timer.C
+		}
+		select {
+		case <-s.wake:
+		case <-tc:
+		case <-s.stopped:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		}
+		if timer != nil {
+			timer.Stop()
+		}
 	}
 }
 
-// takeRunnable pops the first queued job that can start now: global and
-// tenant concurrency below their caps, every placement host registered and
-// healthy. Returns nil when nothing can start.
+// takeRunnable pops the best queued job that can start now: past its
+// backoff time, global and tenant concurrency below their caps, every
+// placement host registered, healthy, and out of quarantine. Among
+// runnable candidates it prefers the one whose workers carry the fewest
+// strikes (FIFO breaks ties), so jobs route around flaky-but-not-yet-
+// quarantined workers when an alternative exists. Returns nil when nothing
+// can start.
 func (s *Server) takeRunnable() *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.running >= s.cfg.maxRunning() {
 		return nil
 	}
+	now := time.Now()
+	best, bestStrikes := -1, 0
 	for i, id := range s.queue {
 		j := s.jobs[id]
+		if !j.notBefore.IsZero() && now.Before(j.notBefore) {
+			continue
+		}
 		q := s.cfg.quotaFor(j.spec.Tenant)
 		if q.MaxRunning > 0 && s.tenantRun[j.spec.Tenant] >= q.MaxRunning {
 			continue
 		}
-		if !s.hostsReadyLocked(j.spec.hosts()) {
+		ready, strikes := s.hostsReadyLocked(j.spec.hosts())
+		if !ready {
 			continue
 		}
-		s.queue = append(s.queue[:i:i], s.queue[i+1:]...)
-		j.state = StateRunning
-		j.started = time.Now()
-		j.events = append(j.events, Event{Time: j.started, Msg: "started"})
-		s.running++
-		s.tenantRun[j.spec.Tenant]++
-		s.m.depth.Set(int64(len(s.queue)))
-		s.m.running.Set(int64(s.running))
-		s.tenantGauges(j.spec.Tenant)
-		if s.jnl != nil {
-			_ = s.jnl.start(j.id, j.started)
+		if strikes == 0 {
+			best, bestStrikes = i, 0
+			break // FIFO-first zero-strike candidate; no better exists
 		}
-		return j
+		if best == -1 || strikes < bestStrikes {
+			best, bestStrikes = i, strikes
+		}
 	}
-	return nil
+	if best == -1 {
+		return nil
+	}
+	j := s.jobs[s.queue[best]]
+	s.queue = append(s.queue[:best:best], s.queue[best+1:]...)
+	j.state = StateRunning
+	j.started = now
+	s.m.queueAge.Observe(now.Sub(j.queuedAt).Seconds())
+	if j.attempts > 0 {
+		j.events = append(j.events, Event{Time: j.started, Msg: fmt.Sprintf("started (attempt %d)", j.attempts+1)})
+	} else {
+		j.events = append(j.events, Event{Time: j.started, Msg: "started"})
+	}
+	s.running++
+	s.tenantRun[j.spec.Tenant]++
+	s.m.depth.Set(int64(len(s.queue)))
+	s.m.running.Set(int64(s.running))
+	s.tenantGauges(j.spec.Tenant)
+	if s.jnl != nil {
+		_ = s.jnl.start(j.id, j.started)
+	}
+	return j
 }
 
-func (s *Server) hostsReadyLocked(hosts []string) bool {
+// hostsReadyLocked reports whether every host is dispatchable (registered,
+// healthy, not quarantined) and, when so, the worst strike count among
+// them — the dispatcher's preference key.
+func (s *Server) hostsReadyLocked(hosts []string) (bool, int) {
+	max := 0
 	for _, h := range hosts {
 		w := s.workers[h]
-		if w == nil || !w.Healthy {
-			return false
+		if w == nil || !w.Healthy || w.Quarantined {
+			return false, 0
+		}
+		if w.Strikes > max {
+			max = w.Strikes
 		}
 	}
-	return true
+	return true, max
 }
 
 // runJob executes one job as a dist coordinator over the shared mesh. The
 // job id becomes Options.JobID, so its session interleaves with other jobs
-// on the same persistent workers.
+// on the same persistent workers. The run's context carries the job's
+// deadline and cancel request into the dist session; its outcome routes
+// through the resilience layer — success rewards the workers, an
+// attributed failure charges them strikes, and a failure within the retry
+// budget re-queues with backoff instead of going terminal.
 func (s *Server) runJob(j *job) {
 	defer s.jobsWG.Done()
 	s.mu.Lock()
@@ -420,7 +624,19 @@ func (s *Server) runJob(j *job) {
 			addrs[h] = w.Addr
 		}
 	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if !j.deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(context.Background(), j.deadline)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	j.cancel = cancel
+	if j.cancelReq { // Cancel raced the dispatch; honor it immediately
+		cancel()
+	}
 	s.mu.Unlock()
+	defer cancel()
 
 	opts := j.spec.Options
 	opts.JobID = j.id
@@ -428,34 +644,35 @@ func (s *Server) runJob(j *job) {
 	for _, raw := range j.spec.UOWs {
 		uows = append(uows, raw)
 	}
-	st, err := dist.RunObserved(addrs, j.spec.Graph, j.spec.Placement, opts, uows, obs.New(nil, j.reg))
+	st, err := dist.RunObservedCtx(ctx, addrs, j.spec.Graph, j.spec.Placement, opts, uows, obs.New(nil, j.reg))
 
 	now := time.Now()
 	s.mu.Lock()
-	j.finished = now
+	j.cancel = nil
 	j.stats = st
-	if err != nil {
-		j.state = StateFailed
-		j.err = err.Error()
-		j.events = append(j.events, Event{Time: now, Msg: "failed: " + err.Error()})
-	} else {
-		j.state = StateDone
-		j.events = append(j.events, Event{Time: now, Msg: "done"})
-	}
 	s.running--
 	s.tenantRun[j.spec.Tenant]--
 	s.m.running.Set(int64(s.running))
-	s.tenantGauges(j.spec.Tenant)
-	if s.jnl != nil {
-		_ = s.jnl.done(j.id, now, err)
-	}
-	s.mu.Unlock()
 
-	if err != nil {
-		s.m.failed.Inc()
-	} else {
-		s.m.completed.Inc()
+	switch {
+	case err == nil:
+		s.rewardLocked(j.spec.hosts())
+		s.finishLocked(j, StateDone, now, nil, "done")
+	case j.cancelReq:
+		s.finishLocked(j, StateCancelled, now, err, "cancelled: "+err.Error())
+	case ctx.Err() == context.DeadlineExceeded:
+		s.m.deadlined.Inc()
+		s.finishLocked(j, StateFailed, now, err, "failed: deadline exceeded: "+err.Error())
+	default:
+		s.chargeStrikesLocked(attributedHosts(err), now)
+		if !s.draining && j.attempts < j.retryBudget(s.cfg) {
+			s.requeueForRetryLocked(j, now, err)
+		} else {
+			s.finishLocked(j, StateFailed, now, err, "failed: "+err.Error())
+		}
 	}
+	s.tenantGauges(j.spec.Tenant)
+	s.mu.Unlock()
 	s.kick()
 }
 
@@ -533,44 +750,58 @@ func (s *Server) JobMetrics(id uint64) (map[string]any, bool) {
 }
 
 // Await blocks until the job reaches a terminal state or the timeout
-// elapses.
+// elapses. The wait is a channel receive on the job's done signal —
+// terminal transitions are observed the instant finishLocked closes it,
+// with no polling.
 func (s *Server) Await(id uint64, timeout time.Duration) (Job, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		j, ok := s.Get(id)
-		if !ok {
-			return Job{}, fmt.Errorf("jobd: no job %d", id)
-		}
-		if j.State == StateDone || j.State == StateFailed {
-			return j, nil
-		}
-		if time.Now().After(deadline) {
-			return j, fmt.Errorf("jobd: job %d still %s after %v", id, j.State, timeout)
-		}
-		time.Sleep(5 * time.Millisecond)
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Job{}, fmt.Errorf("jobd: no job %d", id)
+	}
+	done := j.done
+	s.mu.Unlock()
+
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-done:
+		snap, _ := s.Get(id)
+		return snap, nil
+	case <-t.C:
+		snap, _ := s.Get(id)
+		return snap, fmt.Errorf("jobd: job %d still %s after %v", id, snap.State, timeout)
 	}
 }
 
 // RegisterWorker adds or refreshes a persistent worker. Registration
 // implies liveness (the worker just spoke to us); the prober maintains it
-// from here.
+// from here. The failure-scoring record (strikes, quarantine, probation)
+// survives re-registration on purpose — a flaky worker cannot launder its
+// history by re-announcing itself; it leaves quarantine only through the
+// prober's half-open probe.
 func (s *Server) RegisterWorker(host, addr, health string) {
 	now := time.Now()
 	s.mu.Lock()
-	s.workers[host] = &workerInfo{
-		Host: host, Addr: addr, Health: health,
-		Healthy: true, Registered: now, LastProbe: now,
+	w := s.workers[host]
+	if w == nil {
+		w = &WorkerInfo{Host: host}
+		s.workers[host] = w
 	}
+	w.Addr, w.Health = addr, health
+	w.Healthy = true
+	w.Registered, w.LastProbe = now, now
 	s.healthyGaugeLocked()
 	s.mu.Unlock()
 	s.kick()
 }
 
 // Workers lists registered workers, host-ordered.
-func (s *Server) Workers() []workerInfo {
+func (s *Server) Workers() []WorkerInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]workerInfo, 0, len(s.workers))
+	out := make([]WorkerInfo, 0, len(s.workers))
 	for _, w := range s.workers {
 		out = append(out, *w)
 	}
@@ -592,6 +823,11 @@ func (s *Server) healthyGaugeLocked() {
 // worker's debug address when it published one, a bare TCP dial of its
 // dist address otherwise. A worker that fails its probe is unhealthy until
 // a probe (or re-registration) succeeds; queued jobs placed on it wait.
+//
+// Quarantined workers follow the circuit-breaker's half-open protocol:
+// before ProbationAt they are skipped entirely (the breaker is open); once
+// probation elapses one probe is attempted — success reinstates the worker
+// with a clean record, failure extends probation by another period.
 func (s *Server) probe() {
 	defer s.loops.Done()
 	t := time.NewTicker(s.cfg.probeInterval())
@@ -604,22 +840,38 @@ func (s *Server) probe() {
 			return
 		}
 		s.mu.Lock()
-		targets := make([]workerInfo, 0, len(s.workers))
+		targets := make([]WorkerInfo, 0, len(s.workers))
 		for _, w := range s.workers {
+			if w.Quarantined && time.Now().Before(w.ProbationAt) {
+				continue // breaker open: no traffic, not even probes
+			}
 			targets = append(targets, *w)
 		}
 		s.mu.Unlock()
 		for _, w := range targets {
 			healthy := probeWorker(client, w)
+			now := time.Now()
 			s.mu.Lock()
 			if cur := s.workers[w.Host]; cur != nil {
 				cur.Healthy = healthy
-				cur.LastProbe = time.Now()
+				cur.LastProbe = now
+				if cur.Quarantined {
+					if healthy {
+						// Half-open probe succeeded: close the breaker.
+						cur.Quarantined = false
+						cur.Strikes = 0
+						cur.ProbationAt = time.Time{}
+						s.m.reinstated.Inc()
+					} else {
+						cur.ProbationAt = now.Add(s.cfg.probation())
+					}
+					s.quarantineGaugeLocked()
+				}
 				s.healthyGaugeLocked()
 			}
 			s.mu.Unlock()
 		}
-		s.kick() // newly healthy workers may unblock queued jobs
+		s.kick() // newly healthy or reinstated workers may unblock queued jobs
 	}
 }
 
@@ -629,7 +881,7 @@ func dialProbe(addr string, timeout time.Duration) (net.Conn, error) {
 	return net.DialTimeout("tcp", addr, timeout)
 }
 
-func probeWorker(client *http.Client, w workerInfo) bool {
+func probeWorker(client *http.Client, w WorkerInfo) bool {
 	if w.Health != "" {
 		resp, err := client.Get("http://" + w.Health + "/healthz")
 		if err != nil {

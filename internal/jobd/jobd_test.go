@@ -288,3 +288,70 @@ func TestTenantMaxRunningSerializes(t *testing.T) {
 			started[1], finished[0])
 	}
 }
+
+// Drain with a job in flight: the running job completes, a submission
+// racing the drain is refused, and Drain reports a clean stop.
+func TestDrainCompletesInFlight(t *testing.T) {
+	leakcheck.Check(t)
+	wa := chaosWorker(t, "")
+	wb := chaosWorker(t, "")
+	s := newServer(t, jobd.Config{})
+	s.RegisterWorker("a", wa.Addr(), "")
+	s.RegisterWorker("b", wb.Addr(), "")
+
+	// ~500ms of slow writes: long enough to drain around.
+	id, err := s.Submit(intJobSpec("jobdtest.slowsrc", 10, "a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job running", 15*time.Second, func() bool {
+		j, _ := s.Get(id)
+		return j.State == jobd.StateRunning
+	})
+	if !s.Drain(30 * time.Second) {
+		t.Fatal("drain timed out with one short job in flight")
+	}
+	res, ok := s.Get(id)
+	if !ok || res.State != jobd.StateDone {
+		t.Fatalf("in-flight job after drain: state %s err %q", res.State, res.Err)
+	}
+	if _, err := s.Submit(intJobSpec("jobdtest.src", 5, "a", "b")); !errors.Is(err, jobd.ErrDraining) {
+		t.Fatalf("submission after drain: err = %v, want ErrDraining", err)
+	}
+}
+
+// The dcworker second-signal path at the library level: Drain with active
+// sessions times out (reporting the unclean state), then Close hard-aborts
+// them — the job fails rather than hanging.
+func TestWorkerDrainTimeoutThenCloseAborts(t *testing.T) {
+	leakcheck.Check(t)
+	wa := chaosWorker(t, "")
+	wb := chaosWorker(t, "")
+	s := newServer(t, jobd.Config{})
+	s.RegisterWorker("a", wa.Addr(), "")
+	s.RegisterWorker("b", wb.Addr(), "")
+
+	spec := intJobSpec("jobdtest.slowsrc", 40, "a", "b") // ~2s of writes
+	spec.MaxRetries = -1                                 // keep the failure terminal
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job running", 15*time.Second, func() bool {
+		j, _ := s.Get(id)
+		return j.State == jobd.StateRunning
+	})
+	// First signal: graceful drain, but the session outlives the timeout.
+	if wa.Drain(100 * time.Millisecond) {
+		t.Fatal("drain reported clean with a session mid-stream")
+	}
+	// Second signal: hard abort.
+	wa.Close()
+	res, err := s.Await(id, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != jobd.StateFailed {
+		t.Fatalf("job after worker hard-abort: state %s err %q", res.State, res.Err)
+	}
+}

@@ -10,23 +10,35 @@ import (
 )
 
 // The job journal is a write-ahead JSONL log: one record per line, appended
-// and fsynced before the state change it describes takes effect. Three
+// and fsynced before the state change it describes takes effect. Four
 // record kinds cover a job's lifecycle:
 //
 //	{"kind":"submit","id":1,"time":...,"spec":{...}}
 //	{"kind":"start","id":1,"time":...}
+//	{"kind":"retry","id":1,"time":...,"attempt":2,"not_before_ms":...}
 //	{"kind":"done","id":1,"time":...,"ok":true}
 //
 // Replay on startup re-queues every job whose submit has no matching done:
-// a job that was merely queued is resubmitted as-is, and a job that was in
+// a job that was merely queued is resubmitted as-is, a job that was in
 // flight when the process died is re-run from scratch — per-UOW filter
 // state is rebuilt by Init under the paper's transparent-copy semantics, so
 // re-running a whole job is the coarse-grained version of the UOW-retry
-// recovery the coordinator already performs.
+// recovery the coordinator already performs — and a job in retry backoff
+// resumes its journaled schedule: the attempt count and the absolute
+// not-before time survive the restart, so the backoff neither resets nor
+// double-fires.
+//
+// The log is compacted — rewritten as one snapshot per live job — on
+// startup recovery and whenever it outgrows Config.JournalCompactBytes;
+// without that it grows without bound across restarts.
 type journal struct {
 	f    *os.File
 	w    *bufio.Writer
 	path string
+	// size is the current log length in bytes, maintained across appends;
+	// dirty means replay found terminal records worth compacting away.
+	size  int64
+	dirty bool
 }
 
 type journalRec struct {
@@ -36,6 +48,10 @@ type journalRec struct {
 	Spec *JobSpec  `json:"spec,omitempty"`
 	OK   bool      `json:"ok,omitempty"`
 	Err  string    `json:"err,omitempty"`
+	// Retry records: the attempt count after the failure and the absolute
+	// earliest re-dispatch time (Unix milliseconds, so zero is omittable).
+	Attempt     int   `json:"attempt,omitempty"`
+	NotBeforeMS int64 `json:"not_before_ms,omitempty"`
 }
 
 // replayedJob is one journaled job the previous process never finished.
@@ -44,6 +60,10 @@ type replayedJob struct {
 	Spec      JobSpec
 	Submitted time.Time
 	Started   bool // it was in flight, not just queued
+	// Attempts and NotBefore resume a retry-backoff schedule (zero when the
+	// job never failed).
+	Attempts  int
+	NotBefore time.Time
 }
 
 // openJournal opens (creating if absent) the journal at path, replays it,
@@ -59,8 +79,11 @@ func openJournal(path string) (*journal, []replayedJob, error) {
 		submitted time.Time
 		started   bool
 		done      bool
+		attempts  int
+		notBefore time.Time
 	}
 	jobs := map[uint64]*entry{}
+	dirty := false
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	for sc.Scan() {
@@ -81,15 +104,30 @@ func openJournal(path string) (*journal, []replayedJob, error) {
 			if e := jobs[r.ID]; e != nil {
 				e.started = true
 			}
+		case "retry":
+			if e := jobs[r.ID]; e != nil {
+				if e.started {
+					dirty = true // supersedes the start record it follows
+				}
+				e.started = false // the failed run is over; it is queued again
+				e.attempts = r.Attempt
+				e.notBefore = time.UnixMilli(r.NotBeforeMS)
+			}
 		case "done":
 			if e := jobs[r.ID]; e != nil {
 				e.done = true
 			}
+			dirty = true
 		}
 	}
 	if err := sc.Err(); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("jobd: reading journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("jobd: sizing journal: %w", err)
 	}
 	var replay []replayedJob
 	for id, e := range jobs {
@@ -98,10 +136,11 @@ func openJournal(path string) (*journal, []replayedJob, error) {
 		}
 		replay = append(replay, replayedJob{
 			ID: id, Spec: *e.spec, Submitted: e.submitted, Started: e.started,
+			Attempts: e.attempts, NotBefore: e.notBefore,
 		})
 	}
 	sort.Slice(replay, func(i, j int) bool { return replay[i].ID < replay[j].ID })
-	return &journal{f: f, w: bufio.NewWriter(f), path: path}, replay, nil
+	return &journal{f: f, w: bufio.NewWriter(f), path: path, size: st.Size(), dirty: dirty}, replay, nil
 }
 
 // append writes one record and syncs it to disk; the caller holds the
@@ -117,6 +156,7 @@ func (j *journal) append(r journalRec) error {
 	if err := j.w.Flush(); err != nil {
 		return err
 	}
+	j.size += int64(len(b)) + 1
 	return j.f.Sync()
 }
 
@@ -128,12 +168,74 @@ func (j *journal) start(id uint64, t time.Time) error {
 	return j.append(journalRec{Kind: "start", ID: id, Time: t})
 }
 
+func (j *journal) retry(id uint64, t time.Time, attempt int, notBefore time.Time, cause error) error {
+	r := journalRec{Kind: "retry", ID: id, Time: t, Attempt: attempt, NotBeforeMS: notBefore.UnixMilli()}
+	if cause != nil {
+		r.Err = cause.Error()
+	}
+	return j.append(r)
+}
+
 func (j *journal) done(id uint64, t time.Time, runErr error) error {
 	r := journalRec{Kind: "done", ID: id, Time: t, OK: runErr == nil}
 	if runErr != nil {
 		r.Err = runErr.Error()
 	}
 	return j.append(r)
+}
+
+// compact atomically replaces the log with the given snapshot records: a
+// temp file in the same directory, fsynced, then renamed over the old log.
+// On any error the existing journal stays in service untouched.
+func (j *journal) compact(recs []journalRec) error {
+	tmp := j.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobd: compacting journal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	size := int64(0)
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		size += int64(len(b)) + 1
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobd: swapping compacted journal: %w", err)
+	}
+	// Re-point the append side at the new log.
+	j.w.Flush()
+	j.f.Close()
+	nf, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobd: reopening compacted journal: %w", err)
+	}
+	j.f, j.w, j.size, j.dirty = nf, bufio.NewWriter(nf), size, false
+	return nil
 }
 
 func (j *journal) close() {

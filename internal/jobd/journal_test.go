@@ -1,0 +1,151 @@
+package jobd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSpec(name string) *JobSpec {
+	return &JobSpec{Name: name, Tenant: "t"}
+}
+
+// A journal holding finished jobs, a queued job, and a job mid-backoff is
+// compacted to snapshot records; replaying the compacted log must yield
+// exactly the live jobs with their retry schedule intact.
+func TestJournalCompactReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	jnl, replay, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != 0 {
+		t.Fatalf("fresh journal replayed %d jobs", len(replay))
+	}
+	base := time.Now().Round(time.Millisecond)
+	notBefore := base.Add(10 * time.Second)
+
+	// Job 1 ran to completion, job 2 failed terminally: both compact away.
+	// Job 3 is queued untouched; job 4 failed once and waits out a backoff.
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(jnl.submit(1, base, testSpec("done")))
+	must(jnl.start(1, base))
+	must(jnl.done(1, base, nil))
+	must(jnl.submit(2, base, testSpec("failed")))
+	must(jnl.start(2, base))
+	must(jnl.done(2, base, fmt.Errorf("boom")))
+	must(jnl.submit(3, base, testSpec("queued")))
+	must(jnl.submit(4, base, testSpec("backoff")))
+	must(jnl.start(4, base))
+	must(jnl.retry(4, base, 1, notBefore, fmt.Errorf("worker lost")))
+	jnl.close()
+
+	// Replay the uncompacted log: jobs 3 and 4 are live, 4 resumes retry 1.
+	jnl, replay, err = openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jnl.dirty {
+		t.Fatal("journal with terminal records not marked dirty")
+	}
+	preSize := jnl.size
+	checkReplay := func(replay []replayedJob) {
+		t.Helper()
+		if len(replay) != 2 {
+			t.Fatalf("replayed %d jobs, want 2: %+v", len(replay), replay)
+		}
+		if replay[0].ID != 3 || replay[0].Attempts != 0 {
+			t.Fatalf("job 3 replayed as %+v", replay[0])
+		}
+		if replay[1].ID != 4 || replay[1].Attempts != 1 {
+			t.Fatalf("job 4 replayed as %+v", replay[1])
+		}
+		if got := replay[1].NotBefore.UnixMilli(); got != notBefore.UnixMilli() {
+			t.Fatalf("job 4 notBefore %d, want %d", got, notBefore.UnixMilli())
+		}
+	}
+	checkReplay(replay)
+
+	// Compact to the snapshot a server would write: submit (+retry) per
+	// live job.
+	recs := []journalRec{
+		{Kind: "submit", ID: 3, Time: base, Spec: testSpec("queued")},
+		{Kind: "submit", ID: 4, Time: base, Spec: testSpec("backoff")},
+		{Kind: "retry", ID: 4, Time: base, Attempt: 1, NotBeforeMS: notBefore.UnixMilli()},
+	}
+	if err := jnl.compact(recs); err != nil {
+		t.Fatal(err)
+	}
+	if jnl.dirty {
+		t.Fatal("compacted journal still dirty")
+	}
+	if jnl.size >= preSize {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", preSize, jnl.size)
+	}
+	// The compacted journal must still accept appends.
+	must(jnl.submit(5, base, testSpec("post-compact")))
+	jnl.close()
+
+	// Replay the compacted log: same live set, plus the post-compact append.
+	jnl2, replay, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.close()
+	if jnl2.dirty {
+		t.Fatal("compacted journal replayed dirty")
+	}
+	if len(replay) != 3 {
+		t.Fatalf("replayed %d jobs after compaction, want 3: %+v", len(replay), replay)
+	}
+	checkReplay(replay[:2])
+	if replay[2].ID != 5 {
+		t.Fatalf("post-compact submit replayed as %+v", replay[2])
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"done"`) {
+		t.Fatalf("compacted journal still holds terminal records:\n%s", raw)
+	}
+}
+
+// A torn trailing line (crash mid-append) is skipped, not fatal, and does
+// not corrupt the records before it.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	jnl, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.submit(1, time.Now(), testSpec("ok")); err != nil {
+		t.Fatal(err)
+	}
+	jnl.close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"sub`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	jnl2, replay, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.close()
+	if len(replay) != 1 || replay[0].ID != 1 {
+		t.Fatalf("replay after torn tail: %+v", replay)
+	}
+}
