@@ -1,0 +1,265 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"datacutter/internal/core"
+	"datacutter/internal/elastic"
+	"datacutter/internal/obs"
+)
+
+// The elastic hot-spot scenario (-elastic): one worker host is 4x slower
+// per buffer — a co-tenant hogging the machine, the situation the paper's
+// static cost model cannot plan for — and the same pipeline runs twice,
+// with the autoscale controller off and on. Off, the slow host's single
+// worker copy gates every unit of work. On, the controller reads the
+// live queue-depth signal, grows the hot copy sets at work-cycle
+// boundaries within its budget, and work stealing lets idle copies drain
+// the hot queues mid-cycle. The report (optionally written as JSON with
+// -bench-out) compares wall time and records the scaling trajectory.
+
+const (
+	elasticUOWs        = 8
+	elasticBuffers     = 64 // per unit of work
+	elasticFastCost    = 200 * time.Microsecond
+	elasticSlowCost    = 800 * time.Microsecond
+	elasticSlowHost    = "node1"
+	elasticQueueCap    = 4
+	elasticExtraCopies = 3 // controller budget above the base placement
+)
+
+// hotSource emits the unit of work's buffers, split across source copies.
+type hotSource struct {
+	core.BaseFilter
+	n int
+}
+
+func (s *hotSource) Process(ctx core.Ctx) error {
+	payload := make([]byte, 4096)
+	for i := ctx.CopyIndex(); i < s.n; i += ctx.TotalCopies() {
+		if err := ctx.Write("items", core.Buffer{Payload: payload, Size: len(payload)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hotWorker burns a fixed per-buffer cost — 4x higher on the slow host —
+// and forwards each buffer downstream.
+type hotWorker struct {
+	core.BaseFilter
+}
+
+func (w *hotWorker) Process(ctx core.Ctx) error {
+	cost := elasticFastCost
+	if ctx.Host() == elasticSlowHost {
+		cost = elasticSlowCost
+	}
+	for {
+		b, ok := ctx.Read("items")
+		if !ok {
+			return nil
+		}
+		time.Sleep(cost)
+		if err := ctx.Write("done", b); err != nil {
+			return err
+		}
+	}
+}
+
+// hotSink counts deliveries.
+type hotSink struct {
+	core.BaseFilter
+	got *int64
+}
+
+func (k *hotSink) Process(ctx core.Ctx) error {
+	for {
+		if _, ok := ctx.Read("done"); !ok {
+			return nil
+		}
+		atomic.AddInt64(k.got, 1)
+	}
+}
+
+func elasticGraph(got *int64) *core.Graph {
+	g := core.NewGraph()
+	g.AddFilter("S", func() core.Filter { return &hotSource{n: elasticBuffers} })
+	g.AddFilter("W", func() core.Filter { return &hotWorker{} })
+	g.AddFilter("K", func() core.Filter { return &hotSink{got: got} })
+	g.Connect("S", "W", "items")
+	g.Connect("W", "K", "done")
+	return g
+}
+
+func elasticPlacement(workerCopies int) *core.Placement {
+	return core.NewPlacement().
+		Place("S", "node0", 1).
+		Place("W", "node0", workerCopies).
+		Place("W", elasticSlowHost, workerCopies).
+		Place("K", "node0", 1)
+}
+
+// elasticRunReport is one leg of the comparison.
+type elasticRunReport struct {
+	WallSeconds   float64        `json:"wall_seconds"`
+	PeakCopies    int            `json:"peak_copies"`
+	CopiesAdded   int64          `json:"copies_added,omitempty"`
+	CopiesRemoved int64          `json:"copies_removed,omitempty"`
+	Rebalances    int64          `json:"rebalances,omitempty"`
+	FinalCopies   map[string]int `json:"final_copies"`
+}
+
+// elasticReport is the scenario result, the shape BENCH_pr9.json carries.
+type elasticReport struct {
+	Description  string           `json:"description"`
+	UOWs         int              `json:"uows"`
+	Buffers      int              `json:"buffers_per_uow"`
+	MinCopies    int              `json:"min_copies"`
+	MaxCopies    int              `json:"max_copies"`
+	Budget       int              `json:"budget"`
+	Interval     string           `json:"interval"`
+	AutoscaleOff elasticRunReport `json:"autoscale_off"`
+	AutoscaleOn  elasticRunReport `json:"autoscale_on"`
+	Speedup      float64          `json:"speedup"`
+	BudgetOK     bool             `json:"budget_respected"`
+}
+
+// runElasticLeg executes the scenario pipeline once and reports wall time
+// plus the scaling trajectory its ring sink observed.
+func runElasticLeg(cfg *elastic.Config, minCopies int, steal bool) (elasticRunReport, error) {
+	var got int64
+	ring := obs.NewRingSink(1 << 15)
+	reg := obs.NewRegistry()
+	o := obs.New(ring, reg)
+	pl := elasticPlacement(minCopies)
+	r, err := core.NewRunner(elasticGraph(&got), pl, core.Options{
+		QueueCap:  elasticQueueCap,
+		UOWs:      make([]any, elasticUOWs),
+		Obs:       o,
+		Elastic:   cfg,
+		StealWork: steal,
+	})
+	if err != nil {
+		return elasticRunReport{}, err
+	}
+	stats, err := r.Run()
+	if err != nil {
+		return elasticRunReport{}, err
+	}
+	if want := int64(elasticUOWs * elasticBuffers); got != want {
+		return elasticRunReport{}, fmt.Errorf("sink received %d buffers, want %d", got, want)
+	}
+
+	// Replay the scale trace to find the peak total copy count. All changes
+	// at one work-cycle boundary apply atomically in the engine, so the
+	// replay groups events by boundary (e.UOW) and measures the total only
+	// between groups — a down+up pair at the same boundary is net-zero, not
+	// a transient peak.
+	rep := elasticRunReport{WallSeconds: stats.WallSeconds, FinalCopies: map[string]int{}}
+	total, peak, lastUOW := 0, 0, -1
+	seen := map[[2]string]int{}
+	for _, e := range ring.Events() {
+		if e.Kind != obs.KindScaleUp && e.Kind != obs.KindScaleDown {
+			continue
+		}
+		if os.Getenv("DCBENCH_ELASTIC_DEBUG") != "" {
+			fmt.Fprintf(os.Stderr, "scale event: uow=%d %s.%s -> %d (%s)\n", e.UOW, e.Filter, e.Host, e.Copy, e.Note)
+		}
+		if e.UOW != lastUOW {
+			if total > peak {
+				peak = total
+			}
+			lastUOW = e.UOW
+		}
+		key := [2]string{e.Filter, e.Host}
+		prev, ok := seen[key]
+		if !ok {
+			prev = minCopies // scaled sets start from their placement entry (only W is ever hot)
+		}
+		total += e.Copy - prev
+		seen[key] = e.Copy
+	}
+	if total > peak {
+		peak = total
+	}
+	rep.PeakCopies = 2 + 2*minCopies + peak // S + K + both W sets + net growth
+	rep.CopiesAdded = reg.Counter(elastic.MetricCopiesAdded).Value()
+	rep.CopiesRemoved = reg.Counter(elastic.MetricCopiesRemoved).Value()
+	rep.Rebalances = reg.Counter(elastic.MetricRebalances).Value()
+	for _, f := range []string{"S", "W", "K"} {
+		rep.FinalCopies[f] = len(r.Instances(f))
+	}
+	return rep, nil
+}
+
+// runElasticScenario runs both legs and emits the comparison; out, when
+// non-empty, receives the JSON report (the BENCH_pr9.json artifact).
+func runElasticScenario(minCopies, maxCopies int, interval time.Duration, out string) error {
+	if minCopies < 1 {
+		minCopies = 1
+	}
+	if maxCopies < minCopies {
+		maxCopies = minCopies + 3
+	}
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	baseTotal := 2 + 2*minCopies // S + K + two W entries
+	budget := baseTotal + elasticExtraCopies
+
+	off, err := runElasticLeg(nil, minCopies, false)
+	if err != nil {
+		return fmt.Errorf("autoscale off: %w", err)
+	}
+	off.PeakCopies = baseTotal
+	cfg := &elastic.Config{
+		MinCopies: minCopies, MaxCopies: maxCopies,
+		Budget: budget, Interval: interval,
+	}
+	on, err := runElasticLeg(cfg, minCopies, true)
+	if err != nil {
+		return fmt.Errorf("autoscale on: %w", err)
+	}
+
+	rep := elasticReport{
+		Description: fmt.Sprintf(
+			"Elastic hot-spot scenario: %d UOWs x %d buffers through S -> W -> K with host %s 4x slower per buffer; identical pipeline with the autoscale controller off vs on (queue-depth driven scale-up at work-cycle boundaries, work stealing mid-cycle, budget %d total copies).",
+			elasticUOWs, elasticBuffers, elasticSlowHost, budget),
+		UOWs: elasticUOWs, Buffers: elasticBuffers,
+		MinCopies: minCopies, MaxCopies: maxCopies,
+		Budget: budget, Interval: interval.String(),
+		AutoscaleOff: off, AutoscaleOn: on,
+		BudgetOK: on.PeakCopies <= budget,
+	}
+	if on.WallSeconds > 0 {
+		rep.Speedup = off.WallSeconds / on.WallSeconds
+	}
+
+	fmt.Printf("elastic hot-spot: autoscale off %.3fs, on %.3fs (%.2fx), peak copies %d / budget %d, added %d removed %d\n",
+		off.WallSeconds, on.WallSeconds, rep.Speedup, on.PeakCopies, budget, on.CopiesAdded, on.CopiesRemoved)
+	if !rep.BudgetOK {
+		return fmt.Errorf("controller exceeded its copy budget: peak %d > budget %d", on.PeakCopies, budget)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dcbench: wrote elastic report to %s\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The elastic hot-spot scenario must run both legs to completion (the sink
+// delivery check inside runElasticLeg is the correctness oracle), keep the
+// controller inside its copy budget, actually scale up under load, and
+// write a well-formed JSON report. Wall-time speedup is reported but not
+// asserted — CI machines are too noisy for a timing bound.
+func TestElasticScenarioReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := runElasticScenario(1, 4, 2*time.Millisecond, out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep elasticReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !rep.BudgetOK {
+		t.Fatalf("budget violated: peak %d > budget %d", rep.AutoscaleOn.PeakCopies, rep.Budget)
+	}
+	if rep.AutoscaleOn.CopiesAdded < 1 {
+		t.Fatalf("controller never scaled up: %+v", rep.AutoscaleOn)
+	}
+	if rep.AutoscaleOn.PeakCopies > rep.Budget {
+		t.Fatalf("peak copies %d over budget %d", rep.AutoscaleOn.PeakCopies, rep.Budget)
+	}
+	if rep.AutoscaleOff.WallSeconds <= 0 || rep.AutoscaleOn.WallSeconds <= 0 {
+		t.Fatalf("missing wall times: %+v", rep)
+	}
+}

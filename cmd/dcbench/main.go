@@ -61,10 +61,23 @@ func main() {
 		dir       = flag.String("dir", "", "datagen dataset directory for the demo source (default: synthetic field)")
 		readahead = flag.Int("readahead", 0, "chunks the demo prefetches ahead of the planned read order (with -dir)")
 		mmapOn    = flag.Bool("mmap", false, "memory-map the demo dataset instead of pread (with -dir)")
+
+		elasticOn       = flag.Bool("elastic", false, "run the elastic hot-spot scenario: a slow worker host, autoscale off vs on")
+		elasticMin      = flag.Int("elastic-min", 1, "elastic scenario: copies per worker copy set at the start (controller floor)")
+		elasticMax      = flag.Int("elastic-max", 4, "elastic scenario: controller ceiling per copy set")
+		elasticInterval = flag.Duration("elastic-interval", 2*time.Millisecond, "elastic scenario: controller sampling interval")
+		benchOut        = flag.String("bench-out", "", "elastic scenario: write the comparison report as JSON to this file")
 	)
 	flag.Parse()
 	if (*readahead > 0 || *mmapOn) && *dir == "" {
 		fatal(fmt.Errorf("-readahead/-mmap tune on-disk store reads; they need -dir"))
+	}
+
+	if *elasticOn {
+		if err := runElasticScenario(*elasticMin, *elasticMax, *elasticInterval, *benchOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *list {

@@ -150,6 +150,53 @@ func TestConformanceFaultsRing(t *testing.T) {
 	}
 }
 
+// TestConformanceElastic sweeps runtime-mutable copy sets: every seed's
+// pipeline carries a scale schedule with at least one guaranteed scale-up
+// and one guaranteed scale-down at work-cycle boundaries, and the full
+// oracle set — per-UOW effective placements composed by the model — must
+// hold on all three engines.
+func TestConformanceElastic(t *testing.T) {
+	n := int64(25)
+	if !testing.Short() {
+		n = 60
+	}
+	if *seedFlag >= 0 {
+		n = 1
+	}
+	for i := int64(0); i < n; i++ {
+		seed := i
+		if *seedFlag >= 0 {
+			seed = *seedFlag
+		}
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			leakcheck.Check(t)
+			s := Generate(seed, GenConfig{Elastic: true})
+			var ups, downs int
+			cur := map[[2]string]int{}
+			for _, p := range s.Placement {
+				cur[[2]string{p.Filter, p.Host}] = p.Copies
+			}
+			for _, step := range s.Scale {
+				k := [2]string{step.Filter, step.Host}
+				if step.Copies > cur[k] {
+					ups++
+				}
+				if step.Copies < cur[k] {
+					downs++
+				}
+				cur[k] = step.Copies
+			}
+			if ups < 1 || downs < 1 {
+				t.Fatalf("generator must guarantee a scale-up and a scale-down, got up=%d down=%d:\n%s", ups, downs, s)
+			}
+			opts := Options{}
+			if fail := Check(s, opts); fail != nil {
+				failReport(t, seed, fail, opts)
+			}
+		})
+	}
+}
+
 // TestConformanceShrinksInjectedViolation tests the harness against
 // itself: discard every ack count before the oracle diff — a violation on
 // any pipeline with demand-driven traffic — and require the shrinker to

@@ -56,6 +56,9 @@ func NewDistJob(s *Spec, hosts []string) (*DistJob, error) {
 	for i := range c.Placement {
 		c.Placement[i].Host = rename[c.Placement[i].Host]
 	}
+	for i := range c.Scale {
+		c.Scale[i].Host = rename[c.Scale[i].Host]
+	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,9 +101,10 @@ func NewDistJob(s *Spec, hosts []string) (*DistJob, error) {
 }
 
 // Options returns the dist run options the job's mesh execution needs
-// (per-stream policies, queue capacity); the executor sets JobID itself.
+// (per-stream policies, queue capacity, the elastic scale schedule when the
+// spec carries one); the executor sets JobID itself.
 func (j *DistJob) Options() dist.Options {
-	return dist.Options{Policy: "RR", StreamPolicy: j.Policies, QueueCap: j.QueueCap}
+	return dist.Options{Policy: "RR", StreamPolicy: j.Policies, QueueCap: j.QueueCap, ScaleSchedule: j.Spec.Scale}
 }
 
 // Check diffs a completed run — its aggregated stats plus everything this

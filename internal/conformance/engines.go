@@ -64,10 +64,11 @@ func uowList(s *Spec) []any {
 
 func runCore(s *Spec, rec *Recorder) (*core.Stats, error) {
 	r, err := core.NewRunner(buildGraph(s, rec), buildPlacement(s), core.Options{
-		Policy:       core.RoundRobin(),
-		StreamPolicy: corePolicies(s),
-		QueueCap:     s.QueueCap,
-		UOWs:         uowList(s),
+		Policy:        core.RoundRobin(),
+		StreamPolicy:  corePolicies(s),
+		QueueCap:      s.QueueCap,
+		UOWs:          uowList(s),
+		ScaleSchedule: s.Scale,
 	})
 	if err != nil {
 		return nil, err
@@ -84,10 +85,11 @@ func runSimrt(s *Spec, rec *Recorder) (*core.Stats, error) {
 		})
 	}
 	r, err := simrt.NewRunner(buildGraph(s, rec), buildPlacement(s), cl, simrt.Options{
-		Policy:       core.RoundRobin(),
-		StreamPolicy: corePolicies(s),
-		QueueCap:     s.QueueCap,
-		UOWs:         uowList(s),
+		Policy:        core.RoundRobin(),
+		StreamPolicy:  corePolicies(s),
+		QueueCap:      s.QueueCap,
+		UOWs:          uowList(s),
+		ScaleSchedule: s.Scale,
 	})
 	if err != nil {
 		return nil, err
@@ -149,10 +151,11 @@ func runDist(s *Spec, rec *Recorder, plans map[string]string, tune func(*dist.Op
 	}
 
 	opts := dist.Options{
-		Policy:       "RR",
-		StreamPolicy: policyNames(s),
-		QueueCap:     s.QueueCap,
-		Transport:    s.Transport,
+		Policy:        "RR",
+		StreamPolicy:  policyNames(s),
+		QueueCap:      s.QueueCap,
+		Transport:     s.Transport,
+		ScaleSchedule: s.Scale,
 	}
 	if tune != nil {
 		tune(&opts)

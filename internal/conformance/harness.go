@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"datacutter/internal/core"
+	"datacutter/internal/elastic"
 	"datacutter/internal/obs"
 )
 
@@ -200,6 +201,13 @@ func shrinkCandidates(s *Spec) []*Spec {
 		c.UOWs = 1
 		out = append(out, c)
 	}
+	for i := range s.Scale {
+		// A failure that survives without a scale step is not an elasticity
+		// bug; one that doesn't keeps the step in its minimal reproduction.
+		c := s.Clone()
+		c.Scale = append(c.Scale[:i:i], c.Scale[i+1:]...)
+		out = append(out, c)
+	}
 	if s.Transport != "" {
 		// Back to plain TCP: a failure that survives this reduction is not
 		// a ring-transport bug, and one that doesn't keeps the transport in
@@ -218,6 +226,7 @@ func removeFilter(s *Spec, name string) *Spec {
 	c.Filters = filterSlice(c.Filters, func(f Filter) bool { return f.Name != name })
 	c.Streams = filterSlice(c.Streams, func(st Stream) bool { return st.From != name && st.To != name })
 	c.Placement = filterSlice(c.Placement, func(p Place) bool { return p.Filter != name })
+	c.Scale = filterSlice(c.Scale, func(st elastic.ScaleStep) bool { return st.Filter != name })
 	c.normalizeHosts()
 	return c
 }

@@ -36,9 +36,17 @@ type model struct {
 	spec   *Spec
 	totals map[string]int            // buffers per stream per UOW (always exact)
 	ids    map[string]map[string]int // identity multiset per stream per UOW (always exact)
-	// perHost is the exact per-target-host split per UOW, nil for streams
-	// where only conservation holds (DD family, or non-deterministic
-	// producer writes).
+	// eff is the effective spec per unit of work: the base spec with the
+	// scale schedule applied up to that boundary. Without scale steps every
+	// entry is the base spec itself. Identities and totals are UOW-invariant
+	// even under scaling (the harness only scales non-source filters, and
+	// transform identities do not encode copy indices), but per-host splits
+	// and end-of-work copy counts follow the effective placement.
+	eff []*Spec
+	// perHost is the exact per-target-host split over the WHOLE RUN (summed
+	// across each UOW's effective placement), nil for streams where only
+	// conservation holds (DD family, non-deterministic producer writes, or
+	// any UOW in which the split went inexact).
 	perHost map[string]map[string]int64
 	// ackLo/ackHi bound Stats.Acks per stream over the whole run.
 	ackLo, ackHi map[string]int64
@@ -74,7 +82,50 @@ func targetInfos(s *Spec, consumer string) []core.TargetInfo {
 	return out
 }
 
+// buildModel composes the whole-run model from one single-UOW model per
+// unit of work: each UOW's effective placement (scale schedule applied) is
+// replayed independently — matching the engines, which rebuild writers
+// every UOW — and the per-host splits and ack bounds accumulate. A stream's
+// split is exact only if it is exact in EVERY UOW.
 func buildModel(s *Spec) *model {
+	m := buildUOW(s)
+	m.eff = make([]*Spec, s.UOWs)
+	perHost := map[string]map[string]int64{}
+	ackLo := map[string]int64{}
+	ackHi := map[string]int64{}
+	inexact := map[string]bool{}
+	for u := 0; u < s.UOWs; u++ {
+		m.eff[u] = s.effectiveSpec(u)
+		um := m
+		if m.eff[u] != s {
+			um = buildUOW(m.eff[u])
+		}
+		for _, st := range s.Streams {
+			ackLo[st.Name] += um.ackLo[st.Name]
+			ackHi[st.Name] += um.ackHi[st.Name]
+			if ph := um.perHost[st.Name]; ph != nil && !inexact[st.Name] {
+				acc := perHost[st.Name]
+				if acc == nil {
+					acc = map[string]int64{}
+					perHost[st.Name] = acc
+				}
+				for h, n := range ph {
+					acc[h] += n
+				}
+			} else {
+				inexact[st.Name] = true
+				delete(perHost, st.Name)
+			}
+		}
+	}
+	m.perHost, m.ackLo, m.ackHi = perHost, ackLo, ackHi
+	return m
+}
+
+// buildUOW builds the single-unit-of-work model for a spec: per-stream
+// totals, identity multisets, exact per-host splits where the writes are
+// per-copy deterministic, per-UOW ack bounds, and remote-arrival counts.
+func buildUOW(s *Spec) *model {
 	m := &model{
 		spec:     s,
 		totals:   streamTotals(s),
@@ -84,7 +135,7 @@ func buildModel(s *Spec) *model {
 		ackHi:    map[string]int64{},
 		remoteIn: map[string]int{},
 	}
-	u := int64(s.UOWs)
+	u := int64(1)
 
 	// copyWrites[f][c] is how many buffers copy c of f writes on EACH of
 	// its output streams per UOW; nil when scheduling-dependent.
@@ -211,12 +262,17 @@ func (m *model) expectedDeliveries() map[DeliveryKey]int {
 }
 
 // expectedEOW: every consumer copy sees end-of-work exactly once per input
-// stream per unit of work.
+// stream per unit of work — counted against that UOW's effective placement
+// when a scale schedule is in force.
 func (m *model) expectedEOW() map[EOWKey]int {
 	out := map[EOWKey]int{}
 	for _, st := range m.spec.Streams {
 		for u := 0; u < m.spec.UOWs; u++ {
-			out[EOWKey{st.To, st.Name, u}] = m.spec.totalCopies(st.To)
+			eff := m.spec
+			if u < len(m.eff) && m.eff[u] != nil {
+				eff = m.eff[u]
+			}
+			out[EOWKey{st.To, st.Name, u}] = eff.totalCopies(st.To)
 		}
 	}
 	return out
@@ -251,11 +307,7 @@ func checkRun(m *model, st *core.Stats, rec *Recorder, relaxed bool) []string {
 				v = append(v, fmt.Sprintf("stream %s: per-host deliveries sum to %d, want %d (%v)",
 					sp.Name, sum, want, ss.PerTargetHost))
 			}
-			if exact := m.perHost[sp.Name]; exact != nil {
-				wantPer := map[string]int64{}
-				for h, n := range exact {
-					wantPer[h] = u * n
-				}
+			if wantPer := m.perHost[sp.Name]; wantPer != nil {
 				if !equalHostCounts(ss.PerTargetHost, wantPer) {
 					v = append(v, fmt.Sprintf("stream %s (%s): per-host split %v, want %v",
 						sp.Name, sp.Policy, ss.PerTargetHost, wantPer))

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"datacutter/internal/core"
+	"datacutter/internal/elastic"
 )
 
 // Wire selects how a stream's payload identities travel: as a string (the
@@ -125,6 +126,13 @@ type Spec struct {
 	// mesh onto rings), "ring" to require them. Core and simrt ignore it —
 	// the oracles must hold identically either way.
 	Transport string
+	// Scale lists seeded copy-set membership changes applied at work-cycle
+	// boundaries on every engine. The harness restricts steps to what keeps
+	// the oracle model exact: non-source filters only (source copy counts
+	// define the emitted identity multiset), existing (filter, host)
+	// placement entries only, Copies >= 1 (the entry set is run-constant;
+	// only counts move), BeforeUOW in [1, UOWs-1].
+	Scale []elastic.ScaleStep
 }
 
 // filter returns the named filter spec, or nil.
@@ -197,7 +205,35 @@ func (s *Spec) Clone() *Spec {
 	c.Streams = append([]Stream(nil), s.Streams...)
 	c.Placement = append([]Place(nil), s.Placement...)
 	c.Hosts = append([]Host(nil), s.Hosts...)
+	c.Scale = append([]elastic.ScaleStep(nil), s.Scale...)
 	return &c
+}
+
+// effectiveSpec returns the spec with the placement every engine runs for
+// unit of work u (scale steps with BeforeUOW <= u applied, later steps
+// winning). With no scale steps it returns s itself.
+func (s *Spec) effectiveSpec(u int) *Spec {
+	due := false
+	for _, step := range s.Scale {
+		if step.BeforeUOW <= u {
+			due = true
+			break
+		}
+	}
+	if !due {
+		return s
+	}
+	base := make([]elastic.Entry, len(s.Placement))
+	for i, p := range s.Placement {
+		base[i] = elastic.Entry{Filter: p.Filter, Host: p.Host, Copies: p.Copies}
+	}
+	eff := elastic.EffectivePlacement(base, s.Scale, u)
+	c := s.Clone()
+	c.Placement = make([]Place, len(eff))
+	for i, e := range eff {
+		c.Placement[i] = Place{Filter: e.Filter, Host: e.Host, Copies: e.Copies}
+	}
+	return c
 }
 
 // Validate checks the spec is runnable: the graph must be valid under the
@@ -254,6 +290,28 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("conformance: filter %q on %q has %d copies", p.Filter, p.Host, p.Copies)
 		}
 	}
+	entryCopies := map[[2]string]bool{}
+	for _, p := range s.Placement {
+		entryCopies[[2]string{p.Filter, p.Host}] = true
+	}
+	for _, step := range s.Scale {
+		f := s.filter(step.Filter)
+		if f == nil {
+			return fmt.Errorf("conformance: scale step for unknown filter %q", step.Filter)
+		}
+		if f.Role == RoleSource {
+			return fmt.Errorf("conformance: scale step for source %q (source copy counts define the identity multiset)", step.Filter)
+		}
+		if step.BeforeUOW < 1 || step.BeforeUOW >= s.UOWs {
+			return fmt.Errorf("conformance: scale step for %q at boundary %d, want 1..%d", step.Filter, step.BeforeUOW, s.UOWs-1)
+		}
+		if !entryCopies[[2]string{step.Filter, step.Host}] {
+			return fmt.Errorf("conformance: scale step for %q on %q has no base placement entry", step.Filter, step.Host)
+		}
+		if step.Copies < 1 {
+			return fmt.Errorf("conformance: scale step for %q on %q sets %d copies, want >= 1", step.Filter, step.Host, step.Copies)
+		}
+	}
 	// The engine-neutral graph rules (unique streams, known endpoints,
 	// acyclicity) and full placement, checked exactly the way every engine
 	// will check them.
@@ -302,6 +360,9 @@ func (s *Spec) String() string {
 	for _, st := range s.Streams {
 		fmt.Fprintf(&b, "  stream %-4s %s -> %s  policy=%s wire=%s\n", st.Name, st.From, st.To, st.Policy, st.Wire)
 	}
+	for _, step := range s.Scale {
+		fmt.Fprintf(&b, "  scale  %-4s %s:%d before uow %d\n", step.Filter, step.Host, step.Copies, step.BeforeUOW)
+	}
 	return b.String()
 }
 
@@ -317,6 +378,13 @@ type GenConfig struct {
 	MaxEmit    int      // buffers per source copy per UOW per stream (10)
 	MaxUOWs    int      // units of work (2)
 	Policies   []string // policy pool (RR, WRR, DD, DD/2, DD/4)
+	// Elastic seeds a runtime scale schedule into every generated spec: at
+	// least three units of work, one guaranteed scale-up before UOW 1 and
+	// one guaranteed scale-down before UOW 2 on a non-source filter's
+	// existing placement entry. All elastic draws happen after the
+	// transport draw, so a seed's base pipeline is identical with the flag
+	// on or off.
+	Elastic bool
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -447,12 +515,46 @@ func Generate(seed int64, cfg GenConfig) *Spec {
 		s.QueueCap = 8
 	}
 
-	// Transport is drawn LAST: every draw above consumes the same rng
-	// prefix as before this field existed, so historical seeds reproduce
-	// their exact graphs. About half the seeds run dist's peer mesh over
-	// in-process rings instead of TCP sockets.
+	// Transport is drawn LAST among the base fields: every draw above
+	// consumes the same rng prefix as before this field existed, so
+	// historical seeds reproduce their exact graphs. About half the seeds
+	// run dist's peer mesh over in-process rings instead of TCP sockets.
 	if rng.Intn(2) == 0 {
 		s.Transport = "auto"
+	}
+
+	// Elastic draws come strictly after every base draw (same seed-
+	// stability rule as Transport): the base pipeline of a seed is
+	// identical whether or not cfg.Elastic is set.
+	if cfg.Elastic {
+		if s.UOWs < 3 {
+			s.UOWs = 3 // room for a scale-up boundary and a scale-down boundary
+		}
+		// Candidates: placement entries of non-source filters (sinks always
+		// exist, so there is always at least one).
+		var cands []Place
+		for _, p := range s.Placement {
+			if s.filter(p.Filter).Role != RoleSource {
+				cands = append(cands, p)
+			}
+		}
+		e := cands[rng.Intn(len(cands))]
+		up := e.Copies + 1 + rng.Intn(2)
+		down := 1 + rng.Intn(e.Copies) // <= base < up: a strict scale-down
+		s.Scale = []elastic.ScaleStep{
+			{BeforeUOW: 1, Filter: e.Filter, Host: e.Host, Copies: up},
+			{BeforeUOW: 2, Filter: e.Filter, Host: e.Host, Copies: down},
+		}
+		// Sometimes a second set scales too, on another entry.
+		if len(cands) > 1 && rng.Intn(2) == 0 {
+			e2 := cands[rng.Intn(len(cands))]
+			if e2 != e {
+				s.Scale = append(s.Scale, elastic.ScaleStep{
+					BeforeUOW: 1 + rng.Intn(s.UOWs-1), Filter: e2.Filter, Host: e2.Host,
+					Copies: 1 + rng.Intn(e2.Copies+1),
+				})
+			}
+		}
 	}
 	return s
 }

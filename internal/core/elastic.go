@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"datacutter/internal/elastic"
+)
+
+// Elasticity on the real engine. Copy-set membership changes happen at
+// work-cycle boundaries (rescale): transparent copies rebuild per-UOW state
+// in Init, so spawning and retiring instances between units of work needs
+// no state hand-off. Mid-cycle, the autoscale controller (elasticLoop) only
+// mutates what is safe while buffers are in flight: WRR weights and DD
+// windows through the StreamWriter mutation API, plus opportunistic work
+// stealing between co-hosted copy sets (readStealing).
+
+// snapshotEntries captures the current placement as engine-neutral entries,
+// in graph filter order then placement host order — the deterministic base
+// the scale schedule mutates.
+func (r *Runner) snapshotEntries() []elastic.Entry {
+	var out []elastic.Entry
+	for _, name := range r.g.Filters() {
+		for _, e := range r.pl.Of(name) {
+			out = append(out, elastic.Entry{Filter: name, Host: e.Host, Copies: e.Copies})
+		}
+	}
+	return out
+}
+
+// validateSchedule rejects scale steps naming filters absent from the
+// graph; a typo would otherwise silently grow a copy set nobody consumes.
+func (r *Runner) validateSchedule() error {
+	known := make(map[string]bool)
+	for _, name := range r.g.Filters() {
+		known[name] = true
+	}
+	for _, s := range r.opts.ScaleSchedule {
+		if !known[s.Filter] {
+			return fmt.Errorf("core: scale schedule names unknown filter %q", s.Filter)
+		}
+		if s.BeforeUOW < 1 {
+			return fmt.Errorf("core: scale step for %q has BeforeUOW %d (the initial plan is the zero boundary; steps need >= 1)", s.Filter, s.BeforeUOW)
+		}
+	}
+	return nil
+}
+
+// pendingScale is one controller-proposed copy-count change waiting for the
+// next work-cycle boundary.
+type pendingScale struct {
+	step   elastic.ScaleStep
+	reason string
+}
+
+// queuePending records controller decisions for the next boundary. Multiple
+// decisions for one (filter, host) keep the latest.
+func (r *Runner) queuePending(decisions []elastic.Decision) {
+	if len(decisions) == 0 {
+		return
+	}
+	r.pendMu.Lock()
+	defer r.pendMu.Unlock()
+	for _, d := range decisions {
+		r.pending = append(r.pending, pendingScale{
+			step:   elastic.ScaleStep{Filter: d.Filter, Host: d.Host, Copies: d.Copies},
+			reason: d.Reason,
+		})
+	}
+}
+
+// drainPending returns the queued controller steps stamped for boundary
+// uow, plus per-(filter,host) reasons for the trace events.
+func (r *Runner) drainPending(uow int) ([]elastic.ScaleStep, map[scaleKey]string) {
+	r.pendMu.Lock()
+	defer r.pendMu.Unlock()
+	if len(r.pending) == 0 {
+		return nil, nil
+	}
+	steps := make([]elastic.ScaleStep, len(r.pending))
+	reasons := make(map[scaleKey]string, len(r.pending))
+	for i, p := range r.pending {
+		p.step.BeforeUOW = uow
+		steps[i] = p.step
+		reasons[scaleKey{p.step.Filter, p.step.Host}] = p.reason
+	}
+	r.pending = nil
+	return steps, reasons
+}
+
+type scaleKey struct{ filter, host string }
+
+// rescale applies a new effective placement between units of work: for each
+// filter, surviving (filter, host) slots keep their existing instances (the
+// work-cycle model persists instances across UOWs), grown slots spawn fresh
+// instances from the factory, and shrunk slots retire instances from the
+// end. Global copy indices and totals are reassigned in placement order;
+// filters untouched by the change keep their instances and indices exactly.
+// Per-copy stats slices grow and never shrink, so retired copies keep their
+// accumulated time.
+func (r *Runner) rescale(entries []elastic.Entry, uow int, reasons map[scaleKey]string) {
+	newPl := NewPlacement()
+	for _, e := range entries {
+		newPl.Place(e.Filter, e.Host, e.Copies)
+	}
+	for _, name := range r.g.Filters() {
+		oldByHost := make(map[string][]*copyInst)
+		oldCount := make(map[string]int)
+		for _, ci := range r.copies[name] {
+			oldByHost[ci.host] = append(oldByHost[ci.host], ci)
+			oldCount[ci.host]++
+		}
+		total := newPl.TotalCopies(name)
+		var next []*copyInst
+		idx := 0
+		for _, e := range newPl.Of(name) {
+			pool := oldByHost[e.Host]
+			for c := 0; c < e.Copies; c++ {
+				var ci *copyInst
+				if len(pool) > 0 {
+					ci, pool = pool[0], pool[1:]
+				} else {
+					ci = &copyInst{filter: r.g.Factory(name)(), name: name, host: e.Host}
+				}
+				ci.globalIdx = idx
+				ci.total = total
+				next = append(next, ci)
+				idx++
+			}
+			oldByHost[e.Host] = pool
+			if old := oldCount[e.Host]; old != e.Copies {
+				elastic.RecordScale(r.opts.Obs, name, e.Host, old, e.Copies, uow, r.scaleReason(reasons, name, e.Host))
+			}
+			delete(oldCount, e.Host)
+		}
+		// Hosts whose entry was retired entirely.
+		for host, old := range oldCount {
+			elastic.RecordScale(r.opts.Obs, name, host, old, 0, uow, r.scaleReason(reasons, name, host))
+		}
+		r.copies[name] = next
+		fs := r.stats.Filters[name]
+		fs.Copies = total
+		for len(fs.BusySeconds) < total {
+			fs.BusySeconds = append(fs.BusySeconds, 0)
+			fs.WallSeconds = append(fs.WallSeconds, 0)
+			fs.ReadBlockedSeconds = append(fs.ReadBlockedSeconds, 0)
+			fs.WriteBlockedSeconds = append(fs.WriteBlockedSeconds, 0)
+		}
+	}
+	r.pl = newPl
+}
+
+func (r *Runner) scaleReason(reasons map[scaleKey]string, filter, host string) string {
+	if s, ok := reasons[scaleKey{filter, host}]; ok && s != "" {
+		return s
+	}
+	return "scale schedule"
+}
+
+// elasticLoop is the per-UOW autoscale controller: every Interval it (a)
+// reweights WRR streams from observed per-target throughput, and (b) turns
+// queue-depth / DD-window / p95-service signals into copy-count decisions
+// queued for the next work-cycle boundary. It owns no engine state — all
+// mutation goes through the StreamWriter API or the pending queue.
+func (r *Runner) elasticLoop(streams map[string]*streamRT, uow int, stop chan struct{}) {
+	cfg := r.opts.Elastic.WithDefaults()
+	qcap := r.opts.queueCap()
+	total := 0
+	for _, cs := range r.copies {
+		total += len(cs)
+	}
+	ticker := time.NewTicker(cfg.Interval)
+	defer ticker.Stop()
+
+	// Stream names in sorted order for deterministic sampling.
+	names := make([]string, 0, len(streams))
+	for name := range streams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	prevCounts := make(map[string][]int64)
+	prevWeights := make(map[string]map[string]int)
+	lowStreak := make(map[scaleKey]int)
+	pendCopies := make(map[scaleKey]int)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+
+		bySet := make(map[scaleKey]*elastic.Signals)
+		var order []scaleKey
+		for _, name := range names {
+			st := streams[name]
+			pol := r.opts.policyFor(name)
+
+			// (a) WRR reweight from observed throughput since last tick.
+			if pol.Name() == "WRR" && len(st.hosts) > 1 {
+				cur := make([]int64, len(st.hosts))
+				tp := make(map[string]float64, len(st.hosts))
+				prev := prevCounts[name]
+				for i, h := range st.hosts {
+					cur[i] = st.counts.Get(i)
+					d := cur[i]
+					if i < len(prev) {
+						d -= prev[i]
+					}
+					tp[h] += float64(d)
+				}
+				prevCounts[name] = cur
+				weights := elastic.ReweightByThroughput(tp, cfg.MaxCopies)
+				if !sameWeights(weights, prevWeights[name]) && anyPositive(tp) {
+					for _, sw := range st.writers {
+						for h, w := range weights {
+							sw.Reweight(h, w)
+						}
+					}
+					prevWeights[name] = weights
+					elastic.RecordRebalance(r.opts.Obs, name, "", uow, weightNote(weights))
+				}
+			}
+
+			// (b) Load signals per consumer copy set. A consumer filter can
+			// have several input streams; merge to the worst occupancy.
+			windows := windowFractions(st, qcap)
+			p95 := 0.0
+			if reg := r.opts.Obs.Registry(); reg != nil {
+				p95 = reg.Histogram("core.filter." + st.spec.To + ".service_seconds").Quantile(0.95)
+			}
+			for i, h := range st.hosts {
+				key := scaleKey{st.spec.To, h}
+				sig := bySet[key]
+				if sig == nil {
+					sig = &elastic.Signals{Filter: st.spec.To, Host: h, Copies: st.copies[i], QueueCap: qcap}
+					bySet[key] = sig
+					order = append(order, key)
+				}
+				if q := len(st.chans[i]); q > sig.QueueLen {
+					sig.QueueLen = q
+				}
+				if windows[i] > sig.WindowFrac {
+					sig.WindowFrac = windows[i]
+				}
+				if p95 > sig.P95Service {
+					sig.P95Service = p95
+				}
+			}
+		}
+		// Scale-down hysteresis input: consecutive low-occupancy ticks per
+		// set (see elastic.Config.DownAfter).
+		for _, key := range order {
+			if bySet[key].Occupancy() <= cfg.LowWater {
+				lowStreak[key]++
+			} else {
+				lowStreak[key] = 0
+			}
+			bySet[key].LowStreak = lowStreak[key]
+		}
+		// One decision per copy set per work cycle: a set with a pending
+		// change is excluded from further sampling until the boundary applies
+		// it. Its observed copy count cannot change mid-cycle, so re-deciding
+		// would double-count the same step against the budget — the bug class
+		// where the controller overshoots its bound by one per extra tick.
+		sets := make([]elastic.Signals, 0, len(order))
+		for _, key := range order {
+			if _, ok := pendCopies[key]; !ok {
+				sets = append(sets, *bySet[key])
+			}
+		}
+		decisions := elastic.Decide(cfg, sets, total)
+		for _, d := range decisions {
+			key := scaleKey{d.Filter, d.Host}
+			total += d.Copies - bySet[key].Copies
+			pendCopies[key] = d.Copies
+		}
+		r.queuePending(decisions)
+	}
+}
+
+// windowFractions samples DD ack-window occupancy per target across the
+// stream's producer writers: the max unacked fraction of the effective
+// window (queue capacity plus copy count — the in-flight bound per target).
+func windowFractions(st *streamRT, qcap int) []float64 {
+	out := make([]float64, len(st.hosts))
+	for _, sw := range st.writers {
+		if !sw.WantsAcks() {
+			return out
+		}
+		una := sw.Unacked()
+		for i := range st.hosts {
+			if i >= len(una) {
+				break
+			}
+			bound := qcap + st.copies[i]
+			if bound <= 0 {
+				continue
+			}
+			if f := float64(una[i]) / float64(bound); f > out[i] {
+				out[i] = f
+			}
+		}
+	}
+	return out
+}
+
+func sameWeights(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func anyPositive(tp map[string]float64) bool {
+	for _, v := range tp {
+		if v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func weightNote(w map[string]int) string {
+	hosts := make([]string, 0, len(w))
+	for h := range w {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	parts := make([]string, len(hosts))
+	for i, h := range hosts {
+		parts[i] = fmt.Sprintf("%s=%d", h, w[h])
+	}
+	return strings.Join(parts, " ")
+}
+
+// readStealing is Read with work stealing: the copy drains its own queue
+// first, then opportunistically steals from sibling copy sets' queues on
+// the same stream. Deliveries carry their producer-side ack path and target
+// index, so a stolen buffer acknowledges the correct window. All of a
+// stream's queues close together at end-of-work, and closed channels still
+// hand out their buffered remainder, so the final drain loop strands
+// nothing.
+func (c *runCtx) readStealing(stream string, own chan delivery, sibs []chan delivery) (Buffer, bool) {
+	t0 := time.Now()
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		// Own queue first: demand-based balance within the copy set.
+		select {
+		case d, ok := <-own:
+			if ok {
+				return c.finishRead(stream, t0, d, true)
+			}
+			// Own queue closed: drain every sibling to exhaustion. A
+			// sibling that is open-but-empty is mid-close (the close loop
+			// walks all queues); yield and rescan.
+			for {
+				allClosed := true
+				for _, sch := range sibs {
+					if sch == own {
+						continue
+					}
+					select {
+					case d, ok := <-sch:
+						if ok {
+							return c.finishRead(stream, t0, d, true)
+						}
+					default:
+						allClosed = false
+					}
+				}
+				if allClosed {
+					return c.finishRead(stream, t0, delivery{}, false)
+				}
+				select {
+				case <-c.done:
+					return c.finishRead(stream, t0, delivery{}, false)
+				default:
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		case <-c.done:
+			c.readBlocked += time.Since(t0).Seconds()
+			return Buffer{}, false
+		default:
+		}
+		// Own queue empty: steal one buffer from a sibling, if any.
+		for _, sch := range sibs {
+			if sch == own {
+				continue
+			}
+			select {
+			case d, ok := <-sch:
+				if ok {
+					return c.finishRead(stream, t0, d, true)
+				}
+			default:
+			}
+		}
+		// Nothing anywhere: wait briefly on the own queue, then rescan the
+		// siblings — stealing is opportunistic, not a barrier.
+		if timer == nil {
+			timer = time.NewTimer(200 * time.Microsecond)
+		} else {
+			timer.Reset(200 * time.Microsecond)
+		}
+		select {
+		case d, ok := <-own:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			if ok {
+				return c.finishRead(stream, t0, d, true)
+			}
+			// Closed: fall through via the next loop iteration's own-case.
+			continue
+		case <-c.done:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			c.readBlocked += time.Since(t0).Seconds()
+			return Buffer{}, false
+		case <-timer.C:
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"datacutter/internal/elastic"
 	"datacutter/internal/exec"
 	"datacutter/internal/obs"
 )
@@ -31,6 +32,27 @@ type Options struct {
 	// events and live metrics (see internal/obs). Nil disables
 	// instrumentation at near-zero hot-path cost.
 	Obs *obs.Observer
+	// ScaleSchedule seeds deterministic copy-set membership changes at
+	// work-cycle boundaries: before unit of work BeforeUOW, the (Filter,
+	// Host) entry's copy count becomes Copies (see elastic.ScaleStep).
+	// Copies are spawned and retired between units of work — the paper's
+	// work-cycle model rebuilds per-UOW state in Init, so membership can
+	// change at the boundary without any state hand-off.
+	ScaleSchedule []elastic.ScaleStep
+	// Elastic enables the live autoscale controller: it samples copy-set
+	// queue depth, DD ack-window occupancy, and p95 filter service time
+	// every Interval, reweights WRR streams from observed throughput
+	// mid-cycle, and applies copy-count changes at the next work-cycle
+	// boundary, bounded by the config's Min/MaxCopies and Budget.
+	Elastic *elastic.Config
+	// StealWork lets a consumer copy with an empty queue opportunistically
+	// drain sibling copy sets' queues on the same stream. Transparent
+	// copies make any copy interchangeable, and deliveries carry their
+	// producer-side ack path, so stolen buffers acknowledge the correct
+	// window. Off by default: it trades strict per-host delivery placement
+	// for latency, so replay-exact per-host accounting no longer matches
+	// the writer's picks.
+	StealWork bool
 }
 
 // Validate rejects option values that would otherwise be silently coerced
@@ -81,6 +103,11 @@ type Runner struct {
 
 	copies map[string][]*copyInst
 	stats  *Stats
+
+	// pending holds copy-count changes the autoscale controller proposed
+	// mid-cycle, applied at the next work-cycle boundary (see elastic.go).
+	pendMu  sync.Mutex
+	pending []pendingScale
 }
 
 type copyInst struct {
@@ -144,16 +171,30 @@ func (r *Runner) Instances(name string) []Filter {
 func (r *Runner) Stats() *Stats { return r.stats }
 
 // Run executes every unit of work sequentially and returns the accumulated
-// stats. The first filter error aborts the run.
+// stats. The first filter error aborts the run. Between units of work the
+// effective placement is re-derived from the scale schedule and any
+// copy-count changes the live autoscale controller proposed during the
+// previous cycle, and the copy sets are rescaled in place (see rescale).
 func (r *Runner) Run() (*Stats, error) {
 	uows := r.opts.UOWs
 	if len(uows) == 0 {
 		uows = []any{nil}
 	}
+	if err := r.validateSchedule(); err != nil {
+		return r.stats, err
+	}
 	// The real engine's time domain is wall seconds since the run started.
 	r.opts.Obs.SetClock(obs.NewWallClock())
+	cur := r.snapshotEntries()
 	start := time.Now()
 	for i, work := range uows {
+		due := elastic.StepsAt(r.opts.ScaleSchedule, i)
+		pending, reasons := r.drainPending(i)
+		due = append(due, pending...)
+		if len(due) > 0 {
+			cur = elastic.Apply(cur, due)
+			r.rescale(cur, i, reasons)
+		}
 		t0 := time.Now()
 		if err := r.runUOW(i, work); err != nil {
 			return r.stats, err
@@ -193,6 +234,12 @@ type streamRT struct {
 	producers *exec.Countdown // end-of-work: last producer closes the queues
 	bufBytes  int
 	metrics   *streamMetrics // nil unless Options.Obs is set
+
+	// writers collects every producer copy's StreamWriter on this stream.
+	// Appended during (single-threaded) context build, read by the
+	// autoscale controller during Process for mid-cycle reweights and
+	// window sampling; the two phases never overlap.
+	writers []*exec.StreamWriter
 
 	// DeclareBuffer bounds gathered during Init.
 	mu       sync.Mutex
@@ -304,6 +351,18 @@ func (r *Runner) runUOW(uow int, work any) error {
 				}
 				c.writers[sp.Name] = sw
 				c.outputRT[sp.Name] = st
+				st.writers = append(st.writers, sw)
+			}
+			if r.opts.StealWork {
+				c.inputAll = make(map[string][]chan delivery, len(c.inputs))
+				for _, sp := range r.g.Inputs(name) {
+					c.inputAll[sp.Name] = streams[sp.Name].chans
+				}
+			}
+			if r.opts.Elastic != nil {
+				if reg := r.opts.Obs.Registry(); reg != nil {
+					c.svcH = reg.Histogram("core.filter." + name + ".service_seconds")
+				}
 			}
 			ctxs = append(ctxs, c)
 		}
@@ -315,6 +374,18 @@ func (r *Runner) runUOW(uow int, work any) error {
 	}
 	for _, st := range streams {
 		st.resolve(r.opts.bufferBytes())
+	}
+
+	// Autoscale controller: samples load during Process, reweights WRR
+	// mid-cycle, and queues copy-count changes for the next boundary.
+	var ctlWG sync.WaitGroup
+	stopCtl := make(chan struct{})
+	if r.opts.Elastic != nil {
+		ctlWG.Add(1)
+		go func() {
+			defer ctlWG.Done()
+			r.elasticLoop(streams, uow, stopCtl)
+		}()
 	}
 
 	// Phase 2: Process, with end-of-work propagation: when the last
@@ -349,6 +420,8 @@ func (r *Runner) runUOW(uow int, work any) error {
 		}(c)
 	}
 	wg.Wait()
+	close(stopCtl)
+	ctlWG.Wait()
 	if err := ab.err(); err != nil {
 		return err
 	}
@@ -473,12 +546,20 @@ type runCtx struct {
 	inputRT  map[string]*streamRT
 	writers  map[string]*exec.StreamWriter
 	outputRT map[string]*streamRT
+	// inputAll holds every copy set's queue per input stream when work
+	// stealing is on (Options.StealWork); nil otherwise.
+	inputAll map[string][]chan delivery
 
 	// o is the attached observer (nil = disabled; every use is guarded or
 	// nil-receiver safe, so the off cost is a pointer comparison).
 	o           *obs.Observer
 	readStallH  *obs.Histogram
 	writeStallH *obs.Histogram
+
+	// svcH samples inter-read service time for the autoscale controller's
+	// p95 signal (elastic mode with obs attached only).
+	svcH    *obs.Histogram
+	svcLast time.Time
 
 	readBlocked  float64
 	writeBlocked float64
@@ -500,6 +581,9 @@ func (c *runCtx) Read(stream string) (Buffer, bool) {
 	ch, ok := c.inputs[stream]
 	if !ok {
 		panic(fmt.Sprintf("core: filter %s reads unknown input stream %q", c.ci.name, stream))
+	}
+	if sibs := c.inputAll[stream]; len(sibs) > 1 {
+		return c.readStealing(stream, ch, sibs)
 	}
 	t0 := time.Now()
 	if c.o != nil {
@@ -538,6 +622,13 @@ func (c *runCtx) finishRead(stream string, t0 time.Time, d delivery, ok bool) (B
 	}
 	if d.acks != nil {
 		c.ack(stream, d)
+	}
+	if c.svcH != nil {
+		now := time.Now()
+		if !c.svcLast.IsZero() {
+			c.svcH.Observe(now.Sub(c.svcLast).Seconds())
+		}
+		c.svcLast = now
 	}
 	atomic.AddInt64(&c.r.stats.Filters[c.ci.name].BuffersIn, 1)
 	return d.buf, true

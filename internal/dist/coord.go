@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"datacutter/internal/core"
+	"datacutter/internal/elastic"
 	"datacutter/internal/obs"
 )
 
@@ -95,6 +96,9 @@ func RunObservedCtx(ctx context.Context, addrs map[string]string, spec GraphSpec
 			return nil, fmt.Errorf("dist: placement host %q has no worker address", e.Host)
 		}
 	}
+	if err := validateSchedule(spec, addrs, opts.ScaleSchedule); err != nil {
+		return nil, err
+	}
 
 	if ctx == nil {
 		ctx = context.Background()
@@ -130,6 +134,11 @@ func RunObservedCtx(ctx context.Context, addrs map[string]string, spec GraphSpec
 
 	start := time.Now()
 	for i, work := range uows {
+		if due := elastic.StepsAt(opts.ScaleSchedule, i); len(due) > 0 {
+			if err := co.rescaleSessions(due, i); err != nil {
+				return co.agg.s, attributeHosts(err, co.deadHosts())
+			}
+		}
 		for attempt := 0; ; attempt++ {
 			if cerr := ctx.Err(); cerr != nil {
 				return co.agg.s, fmt.Errorf("dist: run cancelled: %w", cerr)

@@ -1,0 +1,93 @@
+package dist_test
+
+import (
+	"testing"
+
+	"datacutter/internal/dist"
+	"datacutter/internal/elastic"
+	"datacutter/internal/leakcheck"
+	"datacutter/internal/obs"
+)
+
+// TestDistElasticScaleScheduleRestartsSessions drives a 3-UOW distributed
+// run through a seeded scale-up (sink grows onto a second host) and
+// scale-down (it retreats), checking delivery conservation across the
+// session restarts, traffic on the grown host, and the elastic metrics.
+func TestDistElasticScaleScheduleRestartsSessions(t *testing.T) {
+	leakcheck.Check(t)
+	addrs, _ := startWorkers(t, 2)
+	const n = 40
+	ring := obs.NewRingSink(1 << 12)
+	o := obs.New(ring, nil)
+	st, err := dist.RunObserved(addrs, intGraph(n), []dist.PlacementEntry{
+		{Filter: "S", Host: "host0", Copies: 1},
+		{Filter: "K", Host: "host0", Copies: 1},
+	}, dist.Options{
+		ScaleSchedule: []elastic.ScaleStep{
+			{BeforeUOW: 1, Filter: "K", Host: "host1", Copies: 2},
+			{BeforeUOW: 2, Filter: "K", Host: "host1", Copies: 0},
+		},
+	}, []any{0, 1, 2}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Streams["ints"].Buffers != 3*n {
+		t.Fatalf("delivered %d buffers across 3 UOWs, want %d", st.Streams["ints"].Buffers, 3*n)
+	}
+	// UOW 1 ran the sink on both hosts; RR must have used the new one.
+	per := st.Streams["ints"].PerTargetHost
+	if per["host1"] == 0 {
+		t.Fatalf("per-target deliveries %v: grown host never picked", per)
+	}
+	if per["host0"] == 0 {
+		t.Fatalf("per-target deliveries %v: original host starved", per)
+	}
+	reg := o.Registry()
+	if v := reg.Counter(elastic.MetricCopiesAdded).Value(); v != 2 {
+		t.Fatalf("copies_added = %d, want 2", v)
+	}
+	if v := reg.Counter(elastic.MetricCopiesRemoved).Value(); v != 2 {
+		t.Fatalf("copies_removed = %d, want 2", v)
+	}
+	var ups, downs int
+	for _, e := range ring.Events() {
+		switch e.Kind {
+		case obs.KindScaleUp:
+			ups++
+			if e.Filter != "K" || e.Host != "host1" || e.Copy != 2 || e.UOW != 1 {
+				t.Fatalf("scale-up event: %+v", e)
+			}
+		case obs.KindScaleDown:
+			downs++
+			if e.Copy != 0 || e.UOW != 2 {
+				t.Fatalf("scale-down event: %+v", e)
+			}
+		}
+	}
+	if ups != 1 || downs != 1 {
+		t.Fatalf("scale events up=%d down=%d, want 1/1", ups, downs)
+	}
+}
+
+// TestDistElasticScheduleValidation rejects bad schedules before any
+// worker is dialed.
+func TestDistElasticScheduleValidation(t *testing.T) {
+	leakcheck.Check(t)
+	addrs, _ := startWorkers(t, 1)
+	pl := []dist.PlacementEntry{
+		{Filter: "S", Host: "host0", Copies: 1},
+		{Filter: "K", Host: "host0", Copies: 1},
+	}
+	cases := []elastic.ScaleStep{
+		{BeforeUOW: 1, Filter: "nope", Host: "host0", Copies: 2},
+		{BeforeUOW: 0, Filter: "K", Host: "host0", Copies: 2},
+		{BeforeUOW: 1, Filter: "K", Host: "ghost", Copies: 2},
+	}
+	for i, step := range cases {
+		_, err := dist.Run(addrs, intGraph(1), pl,
+			dist.Options{ScaleSchedule: []elastic.ScaleStep{step}}, []any{0, 1})
+		if err == nil {
+			t.Fatalf("case %d: bad step %+v accepted", i, step)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"datacutter/internal/core"
+	"datacutter/internal/elastic"
 	"datacutter/internal/faults"
 )
 
@@ -80,6 +81,13 @@ type Options struct {
 	// TCP otherwise. Control-plane traffic always stays on TCP. Carried to
 	// every worker in the setup frame.
 	Transport string
+
+	// ScaleSchedule lists seeded copy-set membership changes applied at
+	// work-cycle boundaries (elastic.ScaleStep.BeforeUOW >= 1): the
+	// coordinator restarts worker sessions with the mutated placement.
+	// Gob-carried in the setup frame like the rest of Options, though only
+	// the coordinator acts on it.
+	ScaleSchedule []elastic.ScaleStep
 
 	// Failure model. Zero values select the defaults below; recovery is
 	// opt-in — with MaxUOWRetries at its default of 0, a lost host fails

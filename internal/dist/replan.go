@@ -1,92 +1,30 @@
 package dist
 
 import (
-	"fmt"
-	"strings"
+	"datacutter/internal/elastic"
 )
 
 // replanPlacement rebuilds a placement after the hosts in dead are declared
-// lost. Transparent-copy semantics make this legal: a filter's copies are
+// lost. The algorithm lives in internal/elastic (ReplanDead) because fault
+// replanning and elastic scaling are the same placement mutation —
+// transparent-copy semantics make both legal: a filter's copies are
 // interchangeable, so copies stranded on a dead host are re-created on
-// survivors — preferentially on hosts that already run copies of the same
-// filter (warm code paths, and WRR weights rescale naturally because the
-// per-host copy counts grow), otherwise round-robin across all survivors.
-// Entries for the same (filter, host) pair are merged. The input is not
-// mutated; ordering is deterministic (first-appearance order), so a retry
-// with the same dead set always produces the same plan.
+// survivors (preferentially on hosts already running the filter, otherwise
+// round-robin), entries for the same (filter, host) pair are merged, the
+// input is not mutated, and ordering is deterministic (first-appearance
+// order), so a retry with the same dead set always produces the same plan.
 func replanPlacement(placement []PlacementEntry, dead map[string]bool) ([]PlacementEntry, error) {
-	// Survivor hosts in first-appearance order.
-	var survivors []string
-	seen := map[string]bool{}
-	for _, pe := range placement {
-		if !dead[pe.Host] && !seen[pe.Host] {
-			seen[pe.Host] = true
-			survivors = append(survivors, pe.Host)
-		}
+	in := make([]elastic.Entry, len(placement))
+	for i, pe := range placement {
+		in[i] = elastic.Entry{Filter: pe.Filter, Host: pe.Host, Copies: pe.Copies}
 	}
-	if len(survivors) == 0 {
-		return nil, fmt.Errorf("dist: no surviving hosts (lost: %s)", deadList(dead))
+	out, err := elastic.ReplanDead(in, dead)
+	if err != nil {
+		return nil, err
 	}
-
-	// Filters in first-appearance order, with their surviving and lost
-	// entries partitioned.
-	type filterPlan struct {
-		name     string
-		hosts    []string       // surviving hosts already running this filter
-		copies   map[string]int // surviving host -> copies
-		orphaned int            // copies stranded on dead hosts
+	res := make([]PlacementEntry, len(out))
+	for i, e := range out {
+		res[i] = PlacementEntry{Filter: e.Filter, Host: e.Host, Copies: e.Copies}
 	}
-	var order []*filterPlan
-	byName := map[string]*filterPlan{}
-	for _, pe := range placement {
-		fp := byName[pe.Filter]
-		if fp == nil {
-			fp = &filterPlan{name: pe.Filter, copies: map[string]int{}}
-			byName[pe.Filter] = fp
-			order = append(order, fp)
-		}
-		if dead[pe.Host] {
-			fp.orphaned += pe.Copies
-			continue
-		}
-		if _, ok := fp.copies[pe.Host]; !ok {
-			fp.hosts = append(fp.hosts, pe.Host)
-		}
-		fp.copies[pe.Host] += pe.Copies
-	}
-
-	out := make([]PlacementEntry, 0, len(placement))
-	for _, fp := range order {
-		targets := fp.hosts
-		if len(targets) == 0 {
-			targets = survivors
-			for _, h := range targets {
-				fp.copies[h] = 0
-			}
-			fp.hosts = targets
-		}
-		for i := 0; i < fp.orphaned; i++ {
-			fp.copies[targets[i%len(targets)]]++
-		}
-		for _, h := range fp.hosts {
-			if n := fp.copies[h]; n > 0 {
-				out = append(out, PlacementEntry{Filter: fp.name, Host: h, Copies: n})
-			}
-		}
-	}
-	return out, nil
-}
-
-func deadList(dead map[string]bool) string {
-	var names []string
-	for h := range dead {
-		names = append(names, h)
-	}
-	// Deterministic message: insertion order of a map range is not, so sort.
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
-	return strings.Join(names, ", ")
+	return res, nil
 }

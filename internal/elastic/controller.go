@@ -1,0 +1,200 @@
+package elastic
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Config bounds the autoscale controller. The paper's cost model (§3) says
+// the right copy count depends on per-datum filter cost and host speed —
+// runtime quantities — so the controller reads live signals instead of the
+// static plan, but every decision stays inside these bounds so elasticity
+// composes with jobd's per-tenant quotas: a job can never grow past Budget
+// total copies no matter how hot it runs.
+type Config struct {
+	// MinCopies / MaxCopies bound each (filter, host) copy set. Defaults 1
+	// and 4.
+	MinCopies int
+	MaxCopies int
+	// Budget caps the job's total copy count across all filters and hosts;
+	// 0 means bounded only by MaxCopies per set. Scale-ups stop at the
+	// budget; scale-downs always proceed.
+	Budget int
+	// Interval is the sampling period between controller decisions. The
+	// engines interpret it on their own clock. Default 50ms.
+	Interval time.Duration
+	// HighWater / LowWater are occupancy fractions (of queue capacity or of
+	// the DD ack window) above which a set scales up and below which it
+	// scales down. Defaults 0.75 and 0.10.
+	HighWater float64
+	LowWater  float64
+	// DownAfter is the scale-down hysteresis: a set must report at least
+	// this many consecutive low-occupancy samples (Signals.LowStreak)
+	// before it sheds a copy. Queues drain naturally around work-cycle
+	// boundaries, and a single idle sample there must not retire a copy the
+	// next cycle needs. Scale-ups have no debounce — a full queue is
+	// already evidence of sustained pressure. Default 3.
+	DownAfter int
+}
+
+// WithDefaults fills zero fields with the documented defaults.
+func (c Config) WithDefaults() Config {
+	if c.MinCopies < 1 {
+		c.MinCopies = 1
+	}
+	if c.MaxCopies < c.MinCopies {
+		if c.MaxCopies == 0 {
+			c.MaxCopies = 4
+		}
+		if c.MaxCopies < c.MinCopies {
+			c.MaxCopies = c.MinCopies
+		}
+	}
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = 0.75
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = 0.10
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	return c
+}
+
+// Signals is one sampling snapshot of one copy set (all copies of Filter on
+// Host), assembled by the engine from the signals internal/obs already
+// collects.
+type Signals struct {
+	Filter string
+	Host   string
+	Copies int // current copy count
+
+	// QueueLen/QueueCap is the copy-set queue depth: buffers enqueued and
+	// waiting against capacity.
+	QueueLen int
+	QueueCap int
+	// WindowFrac is the demand-driven ack-window occupancy toward this set
+	// (unacked buffers over the producer's effective window), 0 when the
+	// feeding policy wants no acks.
+	WindowFrac float64
+	// P95Service is the set's p95 per-buffer filter service time in the
+	// engine's seconds; 0 when unknown. Used to order scale-up candidates
+	// under a tight budget: the slowest sets grow first.
+	P95Service float64
+	// Throughput is buffers/sec since the last sample, for WRR reweighting.
+	Throughput float64
+	// LowStreak counts consecutive samples (including this one) at or below
+	// the controller's low-water occupancy, maintained by the engine across
+	// its sampling ticks. Decide scales a set down only once the streak
+	// reaches Config.DownAfter, so transient drains — a work-cycle boundary,
+	// a momentarily starved producer — never retire copies.
+	LowStreak int
+}
+
+// Occupancy is the scalar load signal: the worse of queue fill and DD
+// window fill.
+func (s Signals) Occupancy() float64 {
+	occ := 0.0
+	if s.QueueCap > 0 {
+		occ = float64(s.QueueLen) / float64(s.QueueCap)
+	}
+	if s.WindowFrac > occ {
+		occ = s.WindowFrac
+	}
+	return occ
+}
+
+// Decision is one copy-count change for a (filter, host) copy set.
+type Decision struct {
+	Filter string
+	Host   string
+	Copies int // new copy count
+	Reason string
+}
+
+// Decide is the controller policy: a pure function from one sampling round
+// to copy-count changes, deterministic in its inputs so seeded tests can
+// replay it. total is the job's current total copy count (for the budget).
+// Hot sets (occupancy >= HighWater) scale up one copy, slowest-p95 first
+// when the budget cannot cover them all; idle sets (occupancy <= LowWater
+// for at least DownAfter consecutive samples) scale down one copy toward
+// MinCopies. A set is never both.
+func Decide(cfg Config, sets []Signals, total int) []Decision {
+	cfg = cfg.WithDefaults()
+	var ups []int // indices of scale-up candidates
+	var out []Decision
+	for i, s := range sets {
+		occ := s.Occupancy()
+		switch {
+		case occ >= cfg.HighWater && s.Copies < cfg.MaxCopies:
+			ups = append(ups, i)
+		case occ <= cfg.LowWater && s.Copies > cfg.MinCopies && s.LowStreak >= cfg.DownAfter:
+			out = append(out, Decision{
+				Filter: s.Filter, Host: s.Host, Copies: s.Copies - 1,
+				Reason: fmt.Sprintf("occupancy %.2f <= low water %.2f", occ, cfg.LowWater),
+			})
+			total--
+		}
+	}
+	// Hottest first: by occupancy, then p95 service time; stable so equal
+	// sets keep input order and the decision stays deterministic.
+	sort.SliceStable(ups, func(a, b int) bool {
+		sa, sb := sets[ups[a]], sets[ups[b]]
+		if oa, ob := sa.Occupancy(), sb.Occupancy(); oa != ob {
+			return oa > ob
+		}
+		return sa.P95Service > sb.P95Service
+	})
+	for _, i := range ups {
+		if cfg.Budget > 0 && total >= cfg.Budget {
+			break
+		}
+		s := sets[i]
+		out = append(out, Decision{
+			Filter: s.Filter, Host: s.Host, Copies: s.Copies + 1,
+			Reason: fmt.Sprintf("occupancy %.2f >= high water %.2f", s.Occupancy(), cfg.HighWater),
+		})
+		total++
+	}
+	return out
+}
+
+// ReweightByThroughput maps observed per-host throughput onto small integer
+// WRR weights in 1..maxWeight, proportional to the fastest host — the
+// runtime replacement for weighting by static copy counts. All-zero (or
+// empty) throughput yields weight 1 everywhere: no observed signal, no
+// skew. Deterministic: hosts are processed in sorted order.
+func ReweightByThroughput(tp map[string]float64, maxWeight int) map[string]int {
+	if maxWeight < 1 {
+		maxWeight = 4
+	}
+	out := make(map[string]int, len(tp))
+	hosts := make([]string, 0, len(tp))
+	best := 0.0
+	for h, v := range tp {
+		hosts = append(hosts, h)
+		if v > best {
+			best = v
+		}
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		w := 1
+		if best > 0 {
+			w = int(float64(maxWeight)*tp[h]/best + 0.5)
+			if w < 1 {
+				w = 1
+			}
+			if w > maxWeight {
+				w = maxWeight
+			}
+		}
+		out[h] = w
+	}
+	return out
+}

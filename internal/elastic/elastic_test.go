@@ -1,0 +1,257 @@
+package elastic
+
+import (
+	"reflect"
+	"testing"
+
+	"datacutter/internal/obs"
+)
+
+// ---- placement: ReplanDead ----
+
+func TestReplanDeadMovesOrphansToWarmHosts(t *testing.T) {
+	in := []Entry{
+		{Filter: "F", Host: "a", Copies: 2},
+		{Filter: "F", Host: "b", Copies: 1},
+	}
+	out, err := ReplanDead(in, map[string]bool{"a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{{Filter: "F", Host: "b", Copies: 3}}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+	// Input untouched.
+	if in[0].Copies != 2 || in[1].Copies != 1 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestReplanDeadNoSurvivors(t *testing.T) {
+	in := []Entry{{Filter: "F", Host: "a", Copies: 1}}
+	if _, err := ReplanDead(in, map[string]bool{"a": true}); err == nil {
+		t.Fatal("want error when every host is dead")
+	}
+}
+
+func TestReplanDeadIdentityWithoutDeaths(t *testing.T) {
+	in := []Entry{
+		{Filter: "F", Host: "a", Copies: 1},
+		{Filter: "G", Host: "b", Copies: 2},
+	}
+	out, err := ReplanDead(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("identity replan changed plan: %v", out)
+	}
+}
+
+// ---- schedule: Apply / EffectivePlacement / StepsAt ----
+
+func basePlacement() []Entry {
+	return []Entry{
+		{Filter: "F", Host: "a", Copies: 1},
+		{Filter: "F", Host: "b", Copies: 2},
+		{Filter: "G", Host: "a", Copies: 1},
+	}
+}
+
+func TestApplySetsAppendsAndRetires(t *testing.T) {
+	out := Apply(basePlacement(), []ScaleStep{
+		{Filter: "F", Host: "a", Copies: 3},  // set existing
+		{Filter: "G", Host: "b", Copies: 2},  // append new entry
+		{Filter: "F", Host: "b", Copies: 0},  // retire (F still on a)
+		{Filter: "G", Host: "a", Copies: -1}, // retire
+	})
+	want := []Entry{
+		{Filter: "F", Host: "a", Copies: 3},
+		{Filter: "G", Host: "b", Copies: 2},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+}
+
+func TestApplyNeverRetiresLastEntry(t *testing.T) {
+	out := Apply([]Entry{{Filter: "F", Host: "a", Copies: 4}},
+		[]ScaleStep{{Filter: "F", Host: "a", Copies: 0}})
+	want := []Entry{{Filter: "F", Host: "a", Copies: 1}}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("last entry retired: %v", out)
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	in := basePlacement()
+	Apply(in, []ScaleStep{{Filter: "F", Host: "a", Copies: 9}})
+	if in[0].Copies != 1 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestEffectivePlacementByBoundary(t *testing.T) {
+	steps := []ScaleStep{
+		{BeforeUOW: 1, Filter: "F", Host: "b", Copies: 4},
+		{BeforeUOW: 2, Filter: "F", Host: "b", Copies: 1},
+	}
+	base := basePlacement()
+	if got := EffectivePlacement(base, steps, 0); !reflect.DeepEqual(got, base) {
+		t.Fatalf("uow 0: %v", got)
+	}
+	if got := EffectivePlacement(base, steps, 1); got[1].Copies != 4 {
+		t.Fatalf("uow 1: %v", got)
+	}
+	// Both steps in force: the later one wins.
+	if got := EffectivePlacement(base, steps, 2); got[1].Copies != 1 {
+		t.Fatalf("uow 2: %v", got)
+	}
+	if got := StepsAt(steps, 2); len(got) != 1 || got[0].Copies != 1 {
+		t.Fatalf("StepsAt(2) = %v", got)
+	}
+	if got := StepsAt(steps, 3); got != nil {
+		t.Fatalf("StepsAt(3) = %v", got)
+	}
+}
+
+// ---- controller: Decide / ReweightByThroughput ----
+
+func TestDecideScalesHotAndIdleSets(t *testing.T) {
+	cfg := Config{MaxCopies: 4}
+	sets := []Signals{
+		{Filter: "F", Host: "a", Copies: 1, QueueLen: 9, QueueCap: 10},               // hot
+		{Filter: "F", Host: "b", Copies: 3, QueueLen: 0, QueueCap: 10, LowStreak: 3}, // idle long enough
+		{Filter: "G", Host: "a", Copies: 2, QueueLen: 5, QueueCap: 10},               // fine
+		{Filter: "G", Host: "b", Copies: 1, QueueLen: 0, QueueCap: 10, LowStreak: 5}, // idle, at floor
+		{Filter: "H", Host: "a", Copies: 4, QueueLen: 10, QueueCap: 10},              // hot, at ceiling
+	}
+	got := Decide(cfg, sets, 11)
+	want := []Decision{
+		{Filter: "F", Host: "b", Copies: 2},
+		{Filter: "F", Host: "a", Copies: 2},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decisions %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].Filter != want[i].Filter || got[i].Host != want[i].Host || got[i].Copies != want[i].Copies {
+			t.Fatalf("decision %d = %+v, want %+v", i, got[i], want[i])
+		}
+		if got[i].Reason == "" {
+			t.Fatalf("decision %d missing reason", i)
+		}
+	}
+}
+
+func TestDecideRespectsBudget(t *testing.T) {
+	cfg := Config{MaxCopies: 8, Budget: 5}
+	sets := []Signals{
+		{Filter: "F", Host: "a", Copies: 2, QueueLen: 8, QueueCap: 10, P95Service: 0.1},
+		{Filter: "F", Host: "b", Copies: 2, QueueLen: 8, QueueCap: 10, P95Service: 0.9},
+	}
+	got := Decide(cfg, sets, 4)
+	// Budget leaves room for exactly one new copy; the slower set (higher
+	// p95) wins the tie on equal occupancy.
+	if len(got) != 1 || got[0].Host != "b" || got[0].Copies != 3 {
+		t.Fatalf("decisions %v, want one scale-up on b", got)
+	}
+	if got := Decide(cfg, sets, 5); len(got) != 0 {
+		t.Fatalf("at budget, got %v", got)
+	}
+}
+
+// A transiently idle set — low occupancy but a streak shorter than the
+// hysteresis — must not shed a copy, and the budget its down would free
+// must not be spent on an up in the same round.
+func TestDecideScaleDownHysteresis(t *testing.T) {
+	cfg := Config{MaxCopies: 4, Budget: 4}
+	sets := []Signals{
+		{Filter: "F", Host: "a", Copies: 3, QueueLen: 0, QueueCap: 10, LowStreak: 1}, // draining, not idle yet
+		{Filter: "G", Host: "a", Copies: 1, QueueLen: 10, QueueCap: 10},              // hot
+	}
+	if got := Decide(cfg, sets, 4); len(got) != 0 {
+		t.Fatalf("short low streak produced decisions %v, want none (budget full, down debounced)", got)
+	}
+	sets[0].LowStreak = 3
+	got := Decide(cfg, sets, 4)
+	if len(got) != 2 || got[0].Copies != 2 || got[1].Filter != "G" || got[1].Copies != 2 {
+		t.Fatalf("sustained low streak: decisions %v, want F.a down to 2 then G.a up to 2", got)
+	}
+}
+
+func TestDecideWindowFracTriggersScaleUp(t *testing.T) {
+	sets := []Signals{
+		{Filter: "F", Host: "a", Copies: 1, QueueLen: 0, QueueCap: 10, WindowFrac: 0.9},
+	}
+	got := Decide(Config{}, sets, 1)
+	if len(got) != 1 || got[0].Copies != 2 {
+		t.Fatalf("DD window occupancy ignored: %v", got)
+	}
+}
+
+func TestReweightByThroughput(t *testing.T) {
+	got := ReweightByThroughput(map[string]float64{"a": 100, "b": 50, "c": 1}, 4)
+	want := map[string]int{"a": 4, "b": 2, "c": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("weights %v, want %v", got, want)
+	}
+	// No signal, no skew.
+	got = ReweightByThroughput(map[string]float64{"a": 0, "b": 0}, 4)
+	if got["a"] != 1 || got["b"] != 1 {
+		t.Fatalf("zero-throughput weights %v, want all 1", got)
+	}
+}
+
+// ---- metrics / trace events ----
+
+func TestRecordScaleMetricsAndEvents(t *testing.T) {
+	ring := obs.NewRingSink(16)
+	o := obs.New(ring, nil)
+	RecordScale(o, "F", "a", 1, 3, 2, "hot")
+	RecordScale(o, "F", "a", 3, 2, 4, "cool")
+	RecordScale(o, "F", "a", 2, 2, 5, "noop") // no-op: no counter, no event
+	reg := o.Registry()
+	if got := reg.Counter(MetricCopiesAdded).Value(); got != 2 {
+		t.Fatalf("copies_added = %d, want 2", got)
+	}
+	if got := reg.Counter(MetricCopiesRemoved).Value(); got != 1 {
+		t.Fatalf("copies_removed = %d, want 1", got)
+	}
+	if got := reg.Gauge(GaugeCopysetSize + ".F.a").Value(); got != 2 {
+		t.Fatalf("copyset_size gauge = %d, want 2", got)
+	}
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events %d, want 2: %v", len(evs), evs)
+	}
+	if evs[0].Kind != obs.KindScaleUp || evs[0].Copy != 3 || evs[0].UOW != 2 || evs[0].Note != "hot" {
+		t.Fatalf("scale-up event: %+v", evs[0])
+	}
+	if evs[1].Kind != obs.KindScaleDown || evs[1].Copy != 2 {
+		t.Fatalf("scale-down event: %+v", evs[1])
+	}
+	if evs[0].Kind.String() != "scale-up" || evs[1].Kind.String() != "scale-down" {
+		t.Fatalf("kind names: %v %v", evs[0].Kind, evs[1].Kind)
+	}
+	// Nil observer: all no-ops.
+	RecordScale(nil, "F", "a", 1, 2, 0, "")
+	RecordRebalance(nil, "s", "a", 0, "")
+}
+
+func TestRecordRebalance(t *testing.T) {
+	ring := obs.NewRingSink(4)
+	o := obs.New(ring, nil)
+	RecordRebalance(o, "tri", "node0", 3, "a=4 b=1")
+	if got := o.Registry().Counter(MetricRebalances).Value(); got != 1 {
+		t.Fatalf("rebalances = %d", got)
+	}
+	evs := ring.Events()
+	if len(evs) != 1 || evs[0].Kind != obs.KindRebalance || evs[0].Stream != "tri" {
+		t.Fatalf("rebalance event: %+v", evs)
+	}
+	if evs[0].Kind.String() != "rebalance" {
+		t.Fatalf("kind name: %v", evs[0].Kind)
+	}
+}

@@ -18,6 +18,8 @@
 package exec
 
 import (
+	"sync"
+
 	"datacutter/internal/obs"
 )
 
@@ -148,16 +150,31 @@ type Meta struct {
 // single-producer state — engines create one per producer copy per stream
 // (core, simrt) or one per producing host per stream (dist, where a host's
 // copies share the write path under the session lock).
+//
+// The target set is runtime-mutable: AddTarget/RemoveTarget/Reweight queue
+// membership changes that take effect at the next buffer-pick boundary (see
+// mutable.go). Target indices are stable for the writer's lifetime — a
+// removed target keeps its index (and its unacked-window slot, so late acks
+// still land) and a re-added host reclaims it; brand-new hosts append. The
+// policy writer itself only ever sees the active targets.
 type StreamWriter struct {
 	stream   string
-	targets  []TargetInfo
-	w        Writer
-	unacked  []int
+	pol      Policy
+	targets  []TargetInfo // stable-index table; removed targets keep slots
+	w        Writer       // policy state over the active view
+	unacked  []int        // stable-index space
 	acks     AckSource
 	ackEvery int
 	counts   *Counts
 	port     Port
 	meta     Meta
+
+	mu      sync.Mutex // guards pending ops, window, view, and policy state
+	pending []targetOp
+	active  []bool
+	view    []int // active stable indices in stable order; nil = identity
+	scratch []int // view-space unacked, reused across picks
+	mutated bool  // true once the view differs from the stable table
 }
 
 // NewStreamWriter builds the write path for one stream: policy writer from
@@ -169,12 +186,17 @@ func NewStreamWriter(stream string, p Policy, targets []TargetInfo, port Port, c
 	w := p.NewWriter(targets)
 	sw := &StreamWriter{
 		stream:  stream,
-		targets: targets,
+		pol:     p,
+		targets: append([]TargetInfo(nil), targets...),
 		w:       w,
 		unacked: make([]int, len(targets)),
+		active:  make([]bool, len(targets)),
 		counts:  counts,
 		port:    port,
 		meta:    meta,
+	}
+	for i := range sw.active {
+		sw.active[i] = true
 	}
 	if w.WantsAcks() {
 		sw.ackEvery = AckBatchOf(w)
@@ -193,8 +215,21 @@ func (sw *StreamWriter) AckEvery() int { return sw.ackEvery }
 // WantsAcks is true.
 func (sw *StreamWriter) BindAckSource(src AckSource) { sw.acks = src }
 
-// Targets returns the writer's copy-set targets in pick-index order.
-func (sw *StreamWriter) Targets() []TargetInfo { return sw.targets }
+// Targets returns a copy of the writer's active copy-set targets in stable
+// index order. It is a defensive copy: the underlying set is runtime-mutable,
+// so handing out the internal slice would let callers alias state that
+// AddTarget/RemoveTarget/Reweight change underneath them.
+func (sw *StreamWriter) Targets() []TargetInfo {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	out := make([]TargetInfo, 0, len(sw.targets))
+	for i, t := range sw.targets {
+		if sw.active[i] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
 
 // SetUOW updates the unit-of-work index stamped on pick events.
 func (sw *StreamWriter) SetUOW(uow int) { sw.meta.UOW = uow }
@@ -207,6 +242,10 @@ func (sw *StreamWriter) SetUOW(uow int) { sw.meta.UOW = uow }
 // increment, since a failed Deliver only happens during teardown when no
 // further picks occur.
 func (sw *StreamWriter) Write(b Buffer) error {
+	sw.mu.Lock()
+	if len(sw.pending) > 0 {
+		sw.applyPending()
+	}
 	if sw.acks != nil {
 		for {
 			target, n, ok := sw.acks.TryAck()
@@ -216,18 +255,35 @@ func (sw *StreamWriter) Write(b Buffer) error {
 			sw.unacked[target] -= n
 		}
 	}
-	idx := sw.w.Pick(sw.unacked)
+	var idx int
+	if !sw.mutated {
+		idx = sw.w.Pick(sw.unacked)
+	} else {
+		// The policy writer runs in view space (active targets only); map
+		// its pick back to the stable index the transport and acks use.
+		if cap(sw.scratch) < len(sw.view) {
+			sw.scratch = make([]int, len(sw.view))
+		}
+		s := sw.scratch[:len(sw.view)]
+		for vi, si := range sw.view {
+			s[vi] = sw.unacked[si]
+		}
+		idx = sw.view[sw.w.Pick(s)]
+	}
 	if sw.w.WantsAcks() {
 		sw.unacked[idx]++
 	}
+	targetHost := sw.targets[idx].Host
+	ackEvery := sw.ackEvery
+	sw.mu.Unlock()
 	if sw.meta.Obs != nil {
 		sw.meta.Obs.Emit(obs.Event{
 			Kind: obs.KindPick, Filter: sw.meta.Filter, Copy: sw.meta.Copy,
-			Host: sw.meta.Host, Stream: sw.stream, Target: sw.targets[idx].Host,
+			Host: sw.meta.Host, Stream: sw.stream, Target: targetHost,
 			UOW: sw.meta.UOW,
 		})
 	}
-	if err := sw.port.Deliver(idx, b, sw.ackEvery); err != nil {
+	if err := sw.port.Deliver(idx, b, ackEvery); err != nil {
 		return err
 	}
 	if sw.counts != nil {
@@ -236,8 +292,12 @@ func (sw *StreamWriter) Write(b Buffer) error {
 	return nil
 }
 
-// Unacked returns a copy of the sliding window, for tests and debugging.
+// Unacked returns a copy of the sliding window in stable index order, for
+// tests and debugging. Removed targets keep their slots (late acks still
+// drain them), so the slice always spans every target ever added.
 func (sw *StreamWriter) Unacked() []int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	out := make([]int, len(sw.unacked))
 	copy(out, sw.unacked)
 	return out

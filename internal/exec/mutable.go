@@ -1,0 +1,204 @@
+package exec
+
+// Runtime-mutable target sets. A StreamWriter's copy-set membership can be
+// changed while the writer is live: the autoscale controller (internal/
+// elastic) reweights WRR from observed throughput and retires hot-spot
+// targets mid-cycle, and the engines rebuild full membership at work-cycle
+// boundaries. Three invariants make this safe without pausing the stream:
+//
+//  1. Mutations are queued and applied only at buffer-pick boundaries (the
+//     top of Write), never concurrently with a pick. The queueing methods
+//     are safe to call from any goroutine.
+//
+//  2. Target indices are stable forever. Deliveries and acknowledgments in
+//     flight carry the index they were picked with; compacting the table
+//     would misdirect them. A removed target therefore keeps its slot and
+//     its unacked-window entry — late acks still drain it, and if the host
+//     rejoins it reclaims both, so no window accounting is ever lost.
+//
+//  3. The policy writer is rebuilt over the active view (active targets in
+//     stable order) and its state migrated: RR resumes its rotation at the
+//     nearest surviving target, WRR carries surviving smooth-WRR credits,
+//     DD remaps its tie-break rotation point. The per-target window itself
+//     lives in the StreamWriter, not the policy writer, so DD's demand
+//     signal survives any rebuild untouched.
+type targetOp struct {
+	kind   opKind
+	t      TargetInfo // opAdd
+	host   string     // opRemove, opReweight
+	copies int        // opReweight
+}
+
+type opKind uint8
+
+const (
+	opAdd opKind = iota
+	opRemove
+	opReweight
+)
+
+// AddTarget schedules a copy set joining the stream: a previously removed
+// host reclaims its stable index (and any residual unacked window), a new
+// host appends one. Takes effect at the next Write.
+func (sw *StreamWriter) AddTarget(t TargetInfo) {
+	sw.mu.Lock()
+	sw.pending = append(sw.pending, targetOp{kind: opAdd, t: t})
+	sw.mu.Unlock()
+}
+
+// RemoveTarget schedules a copy set leaving the stream. The target keeps its
+// stable index and window slot so in-flight acknowledgments still drain; it
+// just stops receiving picks. Removing the last active target is ignored —
+// a stream must always have somewhere to send. Takes effect at the next
+// Write.
+func (sw *StreamWriter) RemoveTarget(host string) {
+	sw.mu.Lock()
+	sw.pending = append(sw.pending, targetOp{kind: opRemove, host: host})
+	sw.mu.Unlock()
+}
+
+// Reweight schedules a copy-count change for an active target, shifting WRR
+// proportions and DD/k batch scaling. Unknown or inactive hosts are ignored.
+// Takes effect at the next Write.
+func (sw *StreamWriter) Reweight(host string, copies int) {
+	sw.mu.Lock()
+	sw.pending = append(sw.pending, targetOp{kind: opReweight, host: host, copies: copies})
+	sw.mu.Unlock()
+}
+
+// applyPending drains the mutation queue and, if membership or weights
+// changed, rebuilds the policy writer over the new active view. Caller holds
+// sw.mu.
+func (sw *StreamWriter) applyPending() {
+	changed := false
+	for _, op := range sw.pending {
+		switch op.kind {
+		case opAdd:
+			if i := sw.slotOf(op.t.Host); i >= 0 {
+				if op.t.Copies >= 1 {
+					sw.targets[i].Copies = op.t.Copies
+				}
+				sw.targets[i].Local = op.t.Local
+				sw.active[i] = true
+			} else {
+				sw.targets = append(sw.targets, op.t)
+				sw.active = append(sw.active, true)
+				sw.unacked = append(sw.unacked, 0)
+				if sw.counts != nil {
+					sw.counts.Grow(len(sw.targets))
+				}
+			}
+			changed = true
+		case opRemove:
+			i := sw.slotOf(op.host)
+			if i < 0 || !sw.active[i] {
+				continue
+			}
+			live := 0
+			for _, a := range sw.active {
+				if a {
+					live++
+				}
+			}
+			if live <= 1 {
+				continue // never empty the target set
+			}
+			sw.active[i] = false
+			changed = true
+		case opReweight:
+			i := sw.slotOf(op.host)
+			if i < 0 || !sw.active[i] || op.copies < 1 {
+				continue
+			}
+			if sw.targets[i].Copies != op.copies {
+				sw.targets[i].Copies = op.copies
+				changed = true
+			}
+		}
+	}
+	sw.pending = sw.pending[:0]
+	if changed {
+		sw.rebuild()
+	}
+}
+
+// slotOf returns host's stable index, or -1. Caller holds sw.mu.
+func (sw *StreamWriter) slotOf(host string) int {
+	for i := range sw.targets {
+		if sw.targets[i].Host == host {
+			return i
+		}
+	}
+	return -1
+}
+
+// rebuild reconstructs the active view and the policy writer, migrating the
+// old writer's rotation/credit state onto the survivors. Caller holds sw.mu.
+func (sw *StreamWriter) rebuild() {
+	oldView := sw.view
+	if oldView == nil {
+		// Identity view before the first mutation. Appends have already
+		// grown the stable table, so recover the pre-rebuild width from the
+		// current policy writer.
+		n := sw.prevLen()
+		oldView = make([]int, n)
+		for i := range oldView {
+			oldView[i] = i
+		}
+	}
+	newView := make([]int, 0, len(sw.targets))
+	for i := range sw.targets {
+		if sw.active[i] {
+			newView = append(newView, i)
+		}
+	}
+	at := make([]TargetInfo, len(newView))
+	for vi, si := range newView {
+		at[vi] = sw.targets[si]
+	}
+	nw := sw.pol.NewWriter(at)
+	stableToNew := make([]int, len(sw.targets))
+	for i := range stableToNew {
+		stableToNew[i] = -1
+	}
+	for vi, si := range newView {
+		stableToNew[si] = vi
+	}
+	oldToNew := make([]int, len(oldView))
+	for vi, si := range oldView {
+		oldToNew[vi] = stableToNew[si]
+	}
+	if m, ok := nw.(migratory); ok {
+		m.migrateFrom(sw.w, oldToNew)
+	}
+	sw.w = nw
+	sw.view = newView
+	// Identity view ⇔ every stable slot active; then the fast path (pick
+	// directly over the stable window) is valid again.
+	sw.mutated = len(newView) != len(sw.targets)
+}
+
+// prevLen returns the target count the current policy writer was built over,
+// so a first mutation can reconstruct the identity view it is migrating
+// from. Caller holds sw.mu.
+func (sw *StreamWriter) prevLen() int {
+	switch w := sw.w.(type) {
+	case *rrWriter:
+		return w.n
+	case *wrrWriter:
+		return len(w.weight)
+	case *ddWriter:
+		return len(w.local)
+	case *ddBatchedWriter:
+		return len(w.local)
+	default:
+		return len(sw.targets)
+	}
+}
+
+// migratory is implemented by policy writers that can carry their state
+// across a target-set rebuild. oldToNew maps old view positions to new view
+// positions, -1 for targets no longer active.
+type migratory interface {
+	migrateFrom(old Writer, oldToNew []int)
+}

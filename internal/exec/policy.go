@@ -73,6 +73,24 @@ func (w *rrWriter) Pick([]int) int {
 }
 func (w *rrWriter) WantsAcks() bool { return false }
 
+// migrateFrom resumes the rotation at the first surviving target at or after
+// the old writer's next pick, so a membership change neither skips nor
+// double-serves anyone.
+func (w *rrWriter) migrateFrom(old Writer, oldToNew []int) {
+	o, ok := old.(*rrWriter)
+	if !ok || len(oldToNew) == 0 || w.n == 0 {
+		return
+	}
+	n := len(oldToNew)
+	for i := 0; i < n; i++ {
+		q := (o.next + i) % n
+		if oldToNew[q] >= 0 {
+			w.next = oldToNew[q]
+			return
+		}
+	}
+}
+
 // ---- Weighted Round Robin ----
 
 type wrrPolicy struct{}
@@ -123,6 +141,22 @@ func (w *wrrWriter) Pick([]int) int {
 	return best
 }
 func (w *wrrWriter) WantsAcks() bool { return false }
+
+// migrateFrom carries surviving targets' smooth-WRR credits across a
+// rebuild; departed credit disappears with its target and new targets start
+// at zero. Smooth WRR is self-correcting, so carried credit only smooths the
+// transition — long-run proportions follow the new weights regardless.
+func (w *wrrWriter) migrateFrom(old Writer, oldToNew []int) {
+	o, ok := old.(*wrrWriter)
+	if !ok {
+		return
+	}
+	for i, np := range oldToNew {
+		if np >= 0 && i < len(o.current) && np < len(w.current) {
+			w.current[np] = o.current[i]
+		}
+	}
+}
 
 // ---- Demand Driven ----
 
@@ -181,6 +215,34 @@ func (w *ddWriter) Pick(unacked []int) int {
 	return best
 }
 func (w *ddWriter) WantsAcks() bool { return true }
+
+// migrateFrom remaps the remote tie-break rotation point to the nearest
+// surviving predecessor, so saturated-steady-state fairness carries across a
+// membership change. DD's demand signal itself (the unacked window) lives in
+// the StreamWriter and needs no migration. Promoted through ddBatchedWriter's
+// embedding, so it handles both plain and batched old writers.
+func (w *ddWriter) migrateFrom(old Writer, oldToNew []int) {
+	var o *ddWriter
+	switch v := old.(type) {
+	case *ddWriter:
+		o = v
+	case *ddBatchedWriter:
+		o = v.ddWriter
+	default:
+		return
+	}
+	n := len(oldToNew)
+	if n == 0 || o.last < 0 || o.last >= n || len(w.local) == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		q := ((o.last-i)%n + n) % n
+		if oldToNew[q] >= 0 {
+			w.last = oldToNew[q]
+			return
+		}
+	}
+}
 
 // ---- Demand Driven with batched acknowledgments ----
 

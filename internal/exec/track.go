@@ -1,6 +1,9 @@
 package exec
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Countdown tracks end-of-work propagation for one stream: it starts at the
 // number of producer copies (or producing hosts, in dist) and Done reports
@@ -29,23 +32,69 @@ func (c *Countdown) Left() int { return int(c.left.Load()) }
 // Counts is a per-target delivery tally, shared by all producer copies of
 // one stream and safe for concurrent increment. Fold turns the indices back
 // into the per-host map the engines expose in their stream stats.
+//
+// The tally is growable so a runtime target-set addition (StreamWriter.
+// AddTarget) can extend it mid-stream: slots are pointers published through
+// an atomic snapshot, so a grow copies the pointers and concurrent
+// increments on existing slots are never lost.
 type Counts struct {
-	n []atomic.Int64
+	mu    sync.Mutex // serializes Grow
+	slots atomic.Pointer[[]*atomic.Int64]
 }
 
 // NewCounts returns a tally over n targets.
-func NewCounts(n int) *Counts { return &Counts{n: make([]atomic.Int64, n)} }
+func NewCounts(n int) *Counts {
+	c := &Counts{}
+	s := make([]*atomic.Int64, n)
+	for i := range s {
+		s[i] = new(atomic.Int64)
+	}
+	c.slots.Store(&s)
+	return c
+}
 
 // Inc adds one delivery to target i.
-func (c *Counts) Inc(i int) { c.n[i].Add(1) }
+func (c *Counts) Inc(i int) { (*c.slots.Load())[i].Add(1) }
 
-// Get returns target i's delivery count.
-func (c *Counts) Get(i int) int64 { return c.n[i].Load() }
+// Get returns target i's delivery count (0 for targets beyond the tally).
+func (c *Counts) Get(i int) int64 {
+	s := *c.slots.Load()
+	if i >= len(s) {
+		return 0
+	}
+	return s[i].Load()
+}
 
-// Fold adds the tally into a per-host map; hosts[i] names target i.
+// Len returns the number of targets tallied.
+func (c *Counts) Len() int { return len(*c.slots.Load()) }
+
+// Grow extends the tally to cover n targets; existing counts are preserved.
+// No-op when already that wide. Safe to call concurrently with Inc/Get/Fold.
+func (c *Counts) Grow(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := *c.slots.Load()
+	if n <= len(s) {
+		return
+	}
+	ns := make([]*atomic.Int64, n)
+	copy(ns, s)
+	for i := len(s); i < n; i++ {
+		ns[i] = new(atomic.Int64)
+	}
+	c.slots.Store(&ns)
+}
+
+// Fold adds the tally into a per-host map; hosts[i] names target i. Slots
+// beyond the host list (added after the caller captured its host order) are
+// skipped.
 func (c *Counts) Fold(hosts []string, into map[string]int64) {
-	for i := range c.n {
-		if v := c.n[i].Load(); v != 0 {
+	s := *c.slots.Load()
+	for i := range s {
+		if i >= len(hosts) {
+			break
+		}
+		if v := s[i].Load(); v != 0 {
 			into[hosts[i]] += v
 		}
 	}

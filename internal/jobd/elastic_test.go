@@ -1,0 +1,103 @@
+package jobd_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"datacutter/internal/conformance"
+	"datacutter/internal/elastic"
+	"datacutter/internal/jobd"
+	"datacutter/internal/leakcheck"
+)
+
+// scaleTotals returns the total copies of the base placement and the peak
+// total across every boundary of the scale schedule — computed here,
+// independently of the server's admission arithmetic.
+func scaleTotals(placement []conformance.Place, steps []elastic.ScaleStep) (base, peak int) {
+	entries := make([]elastic.Entry, 0, len(placement))
+	for _, p := range placement {
+		entries = append(entries, elastic.Entry{Filter: p.Filter, Host: p.Host, Copies: p.Copies})
+		base += p.Copies
+	}
+	peak = base
+	for _, st := range steps {
+		n := 0
+		for _, e := range elastic.EffectivePlacement(entries, steps, st.BeforeUOW) {
+			n += e.Copies
+		}
+		if n > peak {
+			peak = n
+		}
+	}
+	return base, peak
+}
+
+// A tenant's MaxCopies quota bounds the peak of a job's elastic scale
+// schedule at admission: a schedule that would scale past the budget is
+// rejected with ErrQuota before it is journaled; within budget the schedule
+// rides the JobSpec to the coordinator, the session rescales at its
+// boundaries (visible in the job's isolated metrics), and the run stays
+// oracle-clean.
+func TestElasticCopyBudget(t *testing.T) {
+	leakcheck.Check(t)
+	mesh, _, register := startMesh(t, 2)
+
+	// First seed whose schedule peaks strictly above the base placement —
+	// the generator guarantees a scale-up per entry, but a same-boundary
+	// scale-down on a second entry can offset the total.
+	var spec *conformance.Spec
+	base, peak := 0, 0
+	for seed := int64(0); seed < 20; seed++ {
+		s := conformance.Generate(seed, conformance.GenConfig{MaxHosts: 2, Elastic: true})
+		if b, p := scaleTotals(s.Placement, s.Scale); p > b {
+			spec, base, peak = s, b, p
+			break
+		}
+	}
+	if spec == nil {
+		t.Fatal("no seed in 0..19 produced a schedule peaking above its base placement")
+	}
+	t.Logf("base %d copies, schedule peaks at %d", base, peak)
+
+	j, err := conformance.NewDistJob(spec, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	s := newServer(t, jobd.Config{Quotas: map[string]jobd.Quota{
+		"capped": {MaxCopies: peak - 1},
+		"roomy":  {MaxCopies: peak},
+	}})
+	register(s)
+
+	if _, err := s.Submit(confJobSpec(j, "capped", "over-budget")); !errors.Is(err, jobd.ErrQuota) {
+		t.Fatalf("submit over copy budget: err = %v, want ErrQuota", err)
+	}
+
+	id, err := s.Submit(confJobSpec(j, "roomy", "in-budget"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Await(id, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != jobd.StateDone {
+		t.Fatalf("job state %s: %s", res.State, res.Err)
+	}
+	if v := j.Check(res.Stats); len(v) > 0 {
+		t.Fatalf("elastic job violated %d oracle(s):\n%v", len(v), v)
+	}
+	m, ok := s.JobMetrics(id)
+	if !ok {
+		t.Fatal("no metrics for elastic job")
+	}
+	if added, _ := m[elastic.MetricCopiesAdded].(int64); added < 1 {
+		t.Fatalf("elastic.copies_added = %v, want >= 1", m[elastic.MetricCopiesAdded])
+	}
+	if removed, _ := m[elastic.MetricCopiesRemoved].(int64); removed < 1 {
+		t.Fatalf("elastic.copies_removed = %v, want >= 1", m[elastic.MetricCopiesRemoved])
+	}
+}

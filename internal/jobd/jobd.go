@@ -24,6 +24,7 @@ import (
 
 	"datacutter/internal/core"
 	"datacutter/internal/dist"
+	"datacutter/internal/elastic"
 	"datacutter/internal/obs"
 )
 
@@ -32,6 +33,11 @@ type Quota struct {
 	MaxRunning     int   // concurrent running jobs
 	MaxQueued      int   // jobs waiting in the queue
 	MaxQueuedBytes int64 // total encoded bytes (UOWs + filter params) queued
+	// MaxCopies caps the peak number of transparent filter copies one job
+	// may place at any work-cycle boundary — the initial placement and every
+	// point of its elastic scale schedule (Options.ScaleSchedule). A job may
+	// scale up and down within this budget, never beyond it.
+	MaxCopies int
 }
 
 // Config configures a Server. Zero values select the defaults noted.
@@ -131,6 +137,33 @@ func (sp *JobSpec) bytes() int64 {
 	}
 	for _, f := range sp.Graph.Filters {
 		n += int64(len(f.Params))
+	}
+	return n
+}
+
+// peakCopies is the largest total number of transparent copies the job's
+// placement reaches at any work-cycle boundary: the base placement, plus
+// the effective placement after each elastic scale step the spec's
+// Options.ScaleSchedule carries. Quota.MaxCopies bounds this peak.
+func (sp *JobSpec) peakCopies() int {
+	base := make([]elastic.Entry, 0, len(sp.Placement))
+	for _, p := range sp.Placement {
+		base = append(base, elastic.Entry{Filter: p.Filter, Host: p.Host, Copies: p.Copies})
+	}
+	peak := totalCopies(base)
+	for _, st := range sp.Options.ScaleSchedule {
+		eff := elastic.EffectivePlacement(base, sp.Options.ScaleSchedule, st.BeforeUOW)
+		if n := totalCopies(eff); n > peak {
+			peak = n
+		}
+	}
+	return peak
+}
+
+func totalCopies(entries []elastic.Entry) int {
+	n := 0
+	for _, e := range entries {
+		n += e.Copies
 	}
 	return n
 }
@@ -408,6 +441,13 @@ func (s *Server) Submit(spec JobSpec) (uint64, error) {
 	}
 	size := spec.bytes()
 	q := s.cfg.quotaFor(spec.Tenant)
+	if q.MaxCopies > 0 {
+		if peak := spec.peakCopies(); peak > q.MaxCopies {
+			s.m.rejected.Inc()
+			return 0, fmt.Errorf("%w: tenant %q job peaks at %d transparent copies (max %d)",
+				ErrQuota, spec.Tenant, peak, q.MaxCopies)
+		}
+	}
 
 	s.mu.Lock()
 	if s.draining {

@@ -34,6 +34,10 @@ type Kind uint8
 // HostDown/UOWRetry are failure-model events from the distributed
 // coordinator: a host declared dead (Note names it) and a unit of work
 // re-dispatched on a shrunk placement.
+// ScaleUp/ScaleDown/Rebalance are elasticity events (internal/elastic):
+// copies added to or retired from a filter's copy set (Filter and Host name
+// the set, Copy carries the new copy count, Note the reason), and a WRR
+// weight rebalance from observed throughput (Stream names the stream).
 const (
 	KindEnqueue Kind = iota + 1
 	KindPick
@@ -45,6 +49,9 @@ const (
 	KindStallEnd
 	KindHostDown
 	KindUOWRetry
+	KindScaleUp
+	KindScaleDown
+	KindRebalance
 )
 
 var kindNames = [...]string{
@@ -58,6 +65,9 @@ var kindNames = [...]string{
 	KindStallEnd:     "stall-end",
 	KindHostDown:     "host-down",
 	KindUOWRetry:     "uow-retry",
+	KindScaleUp:      "scale-up",
+	KindScaleDown:    "scale-down",
+	KindRebalance:    "rebalance",
 }
 
 // String returns the event kind's schema name.

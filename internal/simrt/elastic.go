@@ -1,0 +1,104 @@
+package simrt
+
+import (
+	"fmt"
+
+	"datacutter/internal/core"
+	"datacutter/internal/elastic"
+)
+
+// Elasticity on the simulated engine. The kernel runs each unit of work to
+// completion in one virtual-time episode, so membership changes apply at
+// work-cycle boundaries only: before a UOW starts, the scale schedule's due
+// steps rewrite the placement, surviving instances carry over, grown slots
+// spawn fresh copies, and shrunk slots retire from the end — exactly the
+// real engine's rescale semantics, replayed in virtual time.
+
+// snapshotEntries captures the current placement as engine-neutral entries,
+// in graph filter order then placement host order.
+func (r *Runner) snapshotEntries() []elastic.Entry {
+	var out []elastic.Entry
+	for _, name := range r.g.Filters() {
+		for _, e := range r.pl.Of(name) {
+			out = append(out, elastic.Entry{Filter: name, Host: e.Host, Copies: e.Copies})
+		}
+	}
+	return out
+}
+
+// validateSchedule rejects steps naming unknown filters or hosts absent
+// from the cluster (a grown copy set must land on modeled hardware).
+func (r *Runner) validateSchedule() error {
+	known := make(map[string]bool)
+	for _, name := range r.g.Filters() {
+		known[name] = true
+	}
+	for _, s := range r.opts.ScaleSchedule {
+		if !known[s.Filter] {
+			return fmt.Errorf("simrt: scale schedule names unknown filter %q", s.Filter)
+		}
+		if s.BeforeUOW < 1 {
+			return fmt.Errorf("simrt: scale step for %q has BeforeUOW %d (the initial plan is the zero boundary; steps need >= 1)", s.Filter, s.BeforeUOW)
+		}
+		if s.Copies >= 1 && r.cl.Host(s.Host) == nil {
+			return fmt.Errorf("simrt: scale step for %q uses host %q not present in cluster", s.Filter, s.Host)
+		}
+	}
+	return nil
+}
+
+// rescale applies a new effective placement between units of work (see the
+// core engine's rescale): surviving (filter, host) slots keep instances,
+// grown slots spawn from the factory, shrunk slots retire from the end.
+// Indices and totals are reassigned in placement order; untouched filters
+// keep their instances and indices exactly. Stats slices grow, never shrink.
+func (r *Runner) rescale(entries []elastic.Entry, uow int) {
+	newPl := core.NewPlacement()
+	for _, e := range entries {
+		newPl.Place(e.Filter, e.Host, e.Copies)
+	}
+	for _, name := range r.g.Filters() {
+		oldByHost := make(map[string][]*copyInst)
+		oldCount := make(map[string]int)
+		for _, ci := range r.copies[name] {
+			oldByHost[ci.host] = append(oldByHost[ci.host], ci)
+			oldCount[ci.host]++
+		}
+		total := newPl.TotalCopies(name)
+		var next []*copyInst
+		idx := 0
+		for _, e := range newPl.Of(name) {
+			pool := oldByHost[e.Host]
+			for c := 0; c < e.Copies; c++ {
+				var ci *copyInst
+				if len(pool) > 0 {
+					ci, pool = pool[0], pool[1:]
+				} else {
+					ci = &copyInst{filter: r.g.Factory(name)(), name: name, host: e.Host}
+				}
+				ci.globalIdx = idx
+				ci.total = total
+				next = append(next, ci)
+				idx++
+			}
+			oldByHost[e.Host] = pool
+			if old := oldCount[e.Host]; old != e.Copies {
+				elastic.RecordScale(r.opts.Obs, name, e.Host, old, e.Copies, uow, "scale schedule")
+			}
+			delete(oldCount, e.Host)
+		}
+		for host, old := range oldCount {
+			elastic.RecordScale(r.opts.Obs, name, host, old, 0, uow, "scale schedule")
+		}
+		r.copies[name] = next
+		fs := r.stats.Filters[name]
+		fs.Copies = total
+		for len(fs.BusySeconds) < total {
+			fs.BusySeconds = append(fs.BusySeconds, 0)
+			fs.WallSeconds = append(fs.WallSeconds, 0)
+			fs.ReadBlockedSeconds = append(fs.ReadBlockedSeconds, 0)
+			fs.WriteBlockedSeconds = append(fs.WriteBlockedSeconds, 0)
+		}
+	}
+	r.pl = newPl
+}

@@ -1,0 +1,146 @@
+package simrt
+
+import (
+	"testing"
+
+	"datacutter/internal/core"
+	"datacutter/internal/elastic"
+	"datacutter/internal/leakcheck"
+	"datacutter/internal/obs"
+	"datacutter/internal/sim"
+)
+
+// TestSimElasticScaleScheduleSpeedsHotUOWs scales the compute-bound worker
+// from one copy to three before UOW 1 and back down before UOW 2, then
+// checks delivery conservation, the emitted elastic metrics, and that the
+// wider middle UOW actually ran faster in virtual time.
+func TestSimElasticScaleScheduleSpeedsHotUOWs(t *testing.T) {
+	leakcheck.Check(t)
+	k := sim.NewKernel()
+	cl := uniformCluster(k, "h0", "h1")
+	g, sink := buildPipeline(60, 1000, 0.02)
+	pl := core.NewPlacement().
+		Place("S", "h0", 1).
+		Place("W", "h1", 1).
+		Place("K", "h0", 1)
+	ring := obs.NewRingSink(1 << 14)
+	o := obs.New(ring, nil)
+	r, err := NewRunner(g, pl, cl, Options{
+		UOWs: []any{0, 1, 2},
+		Obs:  o,
+		ScaleSchedule: []elastic.ScaleStep{
+			{BeforeUOW: 1, Filter: "W", Host: "h1", Copies: 3},
+			{BeforeUOW: 2, Filter: "W", Host: "h1", Copies: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.seen != 3*60 {
+		t.Fatalf("sink saw %d buffers, want %d", sink.seen, 3*60)
+	}
+	if len(st.PerUOWSeconds) != 3 {
+		t.Fatalf("per-UOW times: %v", st.PerUOWSeconds)
+	}
+	// One host, one core: three copies still share the CPU, but CPU is not
+	// the bottleneck here (0.02 ref-s per buffer vs the serialized pick/ack
+	// path); the widened UOW must not be slower, and typically is faster.
+	if st.PerUOWSeconds[1] > st.PerUOWSeconds[0]*1.05 {
+		t.Fatalf("scaled-up UOW slower: %v", st.PerUOWSeconds)
+	}
+	reg := o.Registry()
+	if v := reg.Counter(elastic.MetricCopiesAdded).Value(); v != 2 {
+		t.Fatalf("copies_added = %d, want 2", v)
+	}
+	if v := reg.Counter(elastic.MetricCopiesRemoved).Value(); v != 2 {
+		t.Fatalf("copies_removed = %d, want 2", v)
+	}
+	if v := reg.Gauge(elastic.GaugeCopysetSize + ".W.h1").Value(); v != 1 {
+		t.Fatalf("copyset_size = %d, want 1", v)
+	}
+	var ups, downs int
+	for _, e := range ring.Events() {
+		switch e.Kind {
+		case obs.KindScaleUp:
+			ups++
+		case obs.KindScaleDown:
+			downs++
+		}
+	}
+	if ups != 1 || downs != 1 {
+		t.Fatalf("scale events up=%d down=%d, want 1/1", ups, downs)
+	}
+	// Stats slices grew to the peak width and kept retired copies' time.
+	fs := st.Filters["W"]
+	if fs.Copies != 1 || len(fs.BusySeconds) != 3 {
+		t.Fatalf("stats width: copies=%d busy=%d", fs.Copies, len(fs.BusySeconds))
+	}
+	if fs.BusySeconds[1] <= 0 || fs.BusySeconds[2] <= 0 {
+		t.Fatalf("retired copies lost their accumulated time: %v", fs.BusySeconds)
+	}
+}
+
+// TestSimElasticScheduleValidation rejects unknown filters, zero
+// boundaries, and hosts outside the modeled cluster.
+func TestSimElasticScheduleValidation(t *testing.T) {
+	leakcheck.Check(t)
+	cases := []elastic.ScaleStep{
+		{BeforeUOW: 1, Filter: "nope", Host: "h0", Copies: 2},
+		{BeforeUOW: 0, Filter: "W", Host: "h0", Copies: 2},
+		{BeforeUOW: 1, Filter: "W", Host: "ghost", Copies: 2},
+	}
+	for i, step := range cases {
+		k := sim.NewKernel()
+		cl := uniformCluster(k, "h0")
+		g, _ := buildPipeline(1, 100, 0)
+		pl := core.NewPlacement().Place("S", "h0", 1).Place("W", "h0", 1).Place("K", "h0", 1)
+		r, err := NewRunner(g, pl, cl, Options{ScaleSchedule: []elastic.ScaleStep{step}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(); err == nil {
+			t.Fatalf("case %d: bad step %+v accepted", i, step)
+		}
+	}
+}
+
+// TestSimElasticSpawnOnNewHost grows a copy set onto a host the filter did
+// not start on; the new copies join the RR rotation and consume buffers.
+func TestSimElasticSpawnOnNewHost(t *testing.T) {
+	leakcheck.Check(t)
+	k := sim.NewKernel()
+	cl := uniformCluster(k, "h0", "h1", "h2")
+	g, sink := buildPipeline(40, 1000, 0.01)
+	pl := core.NewPlacement().
+		Place("S", "h0", 1).
+		Place("W", "h1", 1).
+		Place("K", "h0", 1)
+	r, err := NewRunner(g, pl, cl, Options{
+		UOWs: []any{0, 1},
+		ScaleSchedule: []elastic.ScaleStep{
+			{BeforeUOW: 1, Filter: "W", Host: "h2", Copies: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.seen != 80 {
+		t.Fatalf("sink saw %d, want 80", sink.seen)
+	}
+	// UOW 1 ran W on two hosts; RR must have delivered to both.
+	per := st.Streams["in"].PerTargetHost
+	if per["h1"] == 0 || per["h2"] == 0 {
+		t.Fatalf("per-target deliveries %v: new host never picked", per)
+	}
+	if n := len(r.Instances("W")); n != 3 {
+		t.Fatalf("final W instances = %d, want 3", n)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"datacutter/internal/cluster"
 	"datacutter/internal/core"
+	"datacutter/internal/elastic"
 	"datacutter/internal/exec"
 	"datacutter/internal/obs"
 	"datacutter/internal/sim"
@@ -44,6 +45,10 @@ type Options struct {
 	PrefetchDepth int
 	// UOWs lists the unit-of-work descriptors (one nil UOW if empty).
 	UOWs []any
+	// ScaleSchedule lists seeded copy-set membership changes applied at
+	// work-cycle boundaries (elastic.ScaleStep.BeforeUOW >= 1). Surviving
+	// instances persist across the change; grown slots spawn fresh copies.
+	ScaleSchedule []elastic.ScaleStep
 	// Obs attaches the observability subsystem (see internal/obs). Events
 	// are stamped in virtual seconds — the kernel's clock, not wall time —
 	// so an exported trace shows the simulated timeline. Nil disables.
@@ -179,11 +184,19 @@ func (r *Runner) Run() (*core.Stats, error) {
 	if len(uows) == 0 {
 		uows = []any{nil}
 	}
+	if err := r.validateSchedule(); err != nil {
+		return r.stats, err
+	}
+	cur := r.snapshotEntries()
 	// This engine's time domain is the kernel's virtual clock: exported
 	// traces show simulated seconds, directly comparable to Stats.
 	r.opts.Obs.SetClock(obs.ClockFunc(func() float64 { return float64(k.Now()) }))
 	start := k.Now()
 	for i, work := range uows {
+		if due := elastic.StepsAt(r.opts.ScaleSchedule, i); len(due) > 0 {
+			cur = elastic.Apply(cur, due)
+			r.rescale(cur, i)
+		}
 		t0 := k.Now()
 		if err := r.runUOW(i, work); err != nil {
 			return r.stats, err
