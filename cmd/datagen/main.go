@@ -3,15 +3,21 @@
 // into chunks, and declustered across data files along a 3-D Hilbert curve
 // (the storage layout the paper's datasets used).
 //
+// Creation also writes the chunk-summary sidecar (summary.idx) that powers
+// predicate pushdown; -no-index suppresses it, and -reindex retrofits the
+// sidecar onto an existing dataset by re-reading every chunk.
+//
 // Usage:
 //
 //	datagen -dir /data/plume -grid 129x129x97 -chunks 8x8x6 -timesteps 10 -files 64
+//	datagen -dir /data/plume -reindex
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"datacutter/internal/dataset"
 )
@@ -26,11 +32,19 @@ func main() {
 		seed      = flag.Int64("seed", 2002, "field seed")
 		plumes    = flag.Int("plumes", 5, "chemical plumes in the field")
 		skewed    = flag.Bool("skewed", false, "use the spatially skewed field variant")
+		reindex   = flag.Bool("reindex", false, "rebuild the summary sidecar of an existing dataset (ignores generation flags)")
+		noIndex   = flag.Bool("no-index", false, "do not write the summary sidecar (disables pushdown pruning)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "datagen: -dir is required")
 		os.Exit(2)
+	}
+	if *reindex {
+		if err := reindexStore(*dir); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	m := dataset.Meta{
 		Timesteps: *timesteps, Files: *files,
@@ -47,10 +61,39 @@ func main() {
 		fatal(err)
 	}
 	defer st.Close()
+	if *noIndex {
+		if err := os.Remove(filepath.Join(*dir, dataset.SummaryFile)); err != nil {
+			fatal(err)
+		}
+	}
 	ds := st.DS
-	fmt.Printf("created %s: %d chunks (%d samples each on average) x %d timesteps in %d files, %.1f MB/timestep\n",
+	idxNote := "with summary sidecar"
+	if *noIndex {
+		idxNote = "without summary sidecar"
+	}
+	fmt.Printf("created %s: %d chunks (%d samples each on average) x %d timesteps in %d files, %.1f MB/timestep, %s\n",
 		*dir, ds.Chunks(), ds.Block(0).Samples(), m.Timesteps, m.Files,
-		float64(ds.TotalBytes())/1e6)
+		float64(ds.TotalBytes())/1e6, idxNote)
+}
+
+// reindexStore rebuilds summary.idx for a dataset created before summaries
+// existed (or with -no-index), reading every chunk once.
+func reindexStore(dir string) error {
+	st, err := dataset.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	ix, err := dataset.BuildSummaryIndex(st)
+	if err != nil {
+		return err
+	}
+	if err := dataset.WriteSummaryIndex(dir, ix); err != nil {
+		return err
+	}
+	fmt.Printf("reindexed %s: %d chunk-timestep summaries (%d chunks x %d timesteps)\n",
+		dir, len(ix.Entries), ix.Chunks, ix.Timesteps)
+	return nil
 }
 
 func fatal(err error) {

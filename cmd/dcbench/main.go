@@ -66,7 +66,8 @@ func main() {
 		elasticMin      = flag.Int("elastic-min", 1, "elastic scenario: copies per worker copy set at the start (controller floor)")
 		elasticMax      = flag.Int("elastic-max", 4, "elastic scenario: controller ceiling per copy set")
 		elasticInterval = flag.Duration("elastic-interval", 2*time.Millisecond, "elastic scenario: controller sampling interval")
-		benchOut        = flag.String("bench-out", "", "elastic scenario: write the comparison report as JSON to this file")
+		pushdownOn      = flag.Bool("pushdown", false, "run the pushdown scenario: sparse vs dense iso-values, predicate pruning off vs on")
+		benchOut        = flag.String("bench-out", "", "scenario runs (-elastic, -pushdown): write the comparison report as JSON to this file")
 	)
 	flag.Parse()
 	if (*readahead > 0 || *mmapOn) && *dir == "" {
@@ -75,6 +76,12 @@ func main() {
 
 	if *elasticOn {
 		if err := runElasticScenario(*elasticMin, *elasticMax, *elasticInterval, *benchOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *pushdownOn {
+		if err := runPushdownScenario(*benchOut); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+
+	"datacutter/internal/core"
+	"datacutter/internal/dataset"
+	"datacutter/internal/exec"
+	"datacutter/internal/isoviz"
+	"datacutter/internal/obs"
+	"datacutter/internal/render"
+)
+
+// The pushdown scenario (-pushdown): an "LHC skim"-shaped high-selectivity
+// workload. A datagen dataset is rendered twice per iso-value — predicate
+// pushdown off and on — through the fully split R-E-Ra-M pipeline, where
+// the R->E voxels stream measures exactly the bytes the storage tier moved.
+// A sparse iso-value (above almost every chunk's max) prunes most of the
+// dataset; a dense mid-range one prunes little. The report (-bench-out,
+// the BENCH_pr10.json artifact) records bytes-moved, pruning counters, wall
+// time, and an image hash per leg: pruning must change the bytes, never the
+// pixels.
+
+const (
+	pushdownGrid      = "129x129x97"
+	pushdownChunks    = "8x8x6"
+	pushdownTimesteps = 2
+	pushdownFiles     = 8
+	pushdownSeed      = 2002
+	pushdownPlumes    = 5
+	pushdownImageSize = 384
+
+	// The plume field is background ~0.05 with Gaussian peaks around 0.6-1.1:
+	// 0.15 cuts a large surface through every plume's skirt, 0.9 only tight
+	// caps around the strongest peaks.
+	pushdownDenseIso  = 0.15
+	pushdownSparseIso = 0.9
+)
+
+// pushdownLeg is one run: a fixed iso with pushdown off or on.
+type pushdownLeg struct {
+	WallSeconds  float64 `json:"wall_seconds"`
+	BytesMoved   int64   `json:"bytes_moved"` // R->E voxels stream
+	ChunksPruned int64   `json:"chunks_pruned"`
+	BytesSkipped int64   `json:"bytes_skipped"`
+	ImageHash    string  `json:"image_hash"`
+}
+
+// pushdownCase compares the off/on legs at one iso-value.
+type pushdownCase struct {
+	Iso            float64     `json:"iso"`
+	Off            pushdownLeg `json:"off"`
+	On             pushdownLeg `json:"on"`
+	BytesReduction float64     `json:"bytes_reduction"`
+	Speedup        float64     `json:"speedup"`
+	HashIdentical  bool        `json:"hash_identical"`
+}
+
+// pushdownReport is the scenario result, the shape BENCH_pr10.json carries.
+type pushdownReport struct {
+	Description string       `json:"description"`
+	Grid        string       `json:"grid"`
+	Chunks      string       `json:"chunk_grid"`
+	TotalChunks int          `json:"total_chunks"`
+	Timesteps   int          `json:"timesteps"`
+	Sparse      pushdownCase `json:"sparse"`
+	Dense       pushdownCase `json:"dense"`
+}
+
+// hashImage fingerprints a rendered frame (depth and color planes).
+func hashImage(z *render.ZBuffer) string {
+	h := fnv.New64a()
+	var quad [4]byte
+	for _, d := range z.Depth {
+		binary.LittleEndian.PutUint32(quad[:], math.Float32bits(d))
+		h.Write(quad[:])
+	}
+	for _, c := range z.Color {
+		h.Write([]byte{c.R, c.G, c.B})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// runPushdownLeg renders every stored timestep at iso through R-E-Ra-M on
+// the core engine, one copy per filter so both legs are bit-deterministic.
+func runPushdownLeg(dir string, iso float32, pushdown bool) (pushdownLeg, error) {
+	st, err := dataset.Open(dir)
+	if err != nil {
+		return pushdownLeg{}, err
+	}
+	defer st.Close()
+	reg := obs.NewRegistry()
+	o := obs.New(nil, reg)
+
+	source := &isoviz.StoreSource{St: st}
+	spec := isoviz.PipelineSpec{
+		Config:   isoviz.FullPipeline,
+		Alg:      isoviz.ZBuffer,
+		Source:   source,
+		Assign:   isoviz.AssignByCopy(source.Chunks()),
+		Pushdown: pushdown,
+	}
+	placement := core.NewPlacement().
+		Place("R", "node0", 1).
+		Place("E", "node0", 1).
+		Place("Ra", "node0", 1).
+		Place("M", "node0", 1)
+	var uows []any
+	for t := 0; t < st.DS.Timesteps; t++ {
+		v := isoviz.DefaultView(iso)
+		v.Timestep = t
+		v.Width, v.Height = pushdownImageSize, pushdownImageSize
+		uows = append(uows, v)
+	}
+	cfg, err := exec.ParsePolicies("RR", nil)
+	if err != nil {
+		return pushdownLeg{}, err
+	}
+	runner, err := core.NewRunner(spec.Build(), placement, core.Options{
+		Policy:       cfg.Default,
+		StreamPolicy: cfg.PerStream,
+		UOWs:         uows,
+		Obs:          o,
+	})
+	if err != nil {
+		return pushdownLeg{}, err
+	}
+	stats, err := runner.Run()
+	if err != nil {
+		return pushdownLeg{}, err
+	}
+	m, err := isoviz.MergeResult(runner.Instances("M"))
+	if err != nil {
+		return pushdownLeg{}, err
+	}
+	return pushdownLeg{
+		WallSeconds:  stats.WallSeconds,
+		BytesMoved:   stats.Streams[isoviz.StreamVoxels].Bytes,
+		ChunksPruned: reg.Counter("dataset.chunks_pruned").Value(),
+		BytesSkipped: reg.Counter("dataset.bytes_skipped").Value(),
+		ImageHash:    hashImage(m.Result()),
+	}, nil
+}
+
+// runPushdownCase runs the off/on pair at one iso-value.
+func runPushdownCase(dir string, iso float32) (pushdownCase, error) {
+	off, err := runPushdownLeg(dir, iso, false)
+	if err != nil {
+		return pushdownCase{}, fmt.Errorf("pushdown off: %w", err)
+	}
+	on, err := runPushdownLeg(dir, iso, true)
+	if err != nil {
+		return pushdownCase{}, fmt.Errorf("pushdown on: %w", err)
+	}
+	c := pushdownCase{
+		Iso: float64(iso), Off: off, On: on,
+		HashIdentical: off.ImageHash == on.ImageHash,
+	}
+	if on.BytesMoved > 0 {
+		c.BytesReduction = float64(off.BytesMoved) / float64(on.BytesMoved)
+	}
+	if on.WallSeconds > 0 {
+		c.Speedup = off.WallSeconds / on.WallSeconds
+	}
+	return c, nil
+}
+
+// runPushdownScenario generates the dataset, runs both iso cases, prints
+// the comparison, and writes the JSON report when out is non-empty. The
+// image hashes must match between legs — a mismatch is an unsound prune and
+// fails the run — and the sparse case must actually skip bytes.
+func runPushdownScenario(out string) error {
+	dir, err := os.MkdirTemp("", "dcbench-pushdown-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	var m dataset.Meta
+	fmt.Sscanf(pushdownGrid, "%dx%dx%d", &m.GX, &m.GY, &m.GZ)
+	fmt.Sscanf(pushdownChunks, "%dx%dx%d", &m.BX, &m.BY, &m.BZ)
+	m.Timesteps, m.Files = pushdownTimesteps, pushdownFiles
+	m.Seed, m.Plumes = pushdownSeed, pushdownPlumes
+	st, err := dataset.Create(dir, m)
+	if err != nil {
+		return err
+	}
+	totalChunks := st.DS.Chunks()
+	st.Close()
+
+	sparse, err := runPushdownCase(dir, pushdownSparseIso)
+	if err != nil {
+		return err
+	}
+	dense, err := runPushdownCase(dir, pushdownDenseIso)
+	if err != nil {
+		return err
+	}
+
+	rep := pushdownReport{
+		Description: fmt.Sprintf(
+			"Near-storage pushdown scenario: a %s dataset (%d chunks x %d timesteps) rendered through R-E-Ra-M with predicate pushdown off vs on; iso %.2f is sparse (chunk summaries prune most chunks before any read), iso %.2f dense. bytes_moved is the R->E voxels stream.",
+			pushdownGrid, totalChunks, pushdownTimesteps, pushdownSparseIso, pushdownDenseIso),
+		Grid: pushdownGrid, Chunks: pushdownChunks,
+		TotalChunks: totalChunks, Timesteps: pushdownTimesteps,
+		Sparse: sparse, Dense: dense,
+	}
+
+	for _, c := range []struct {
+		name string
+		c    pushdownCase
+	}{{"sparse", sparse}, {"dense", dense}} {
+		fmt.Printf("pushdown %-6s iso=%.2f: bytes %8.2f MB -> %8.2f MB (%5.1fx), pruned %4d chunks, wall %.3fs -> %.3fs (%.2fx), hashes %s\n",
+			c.name, c.c.Iso,
+			float64(c.c.Off.BytesMoved)/1e6, float64(c.c.On.BytesMoved)/1e6, c.c.BytesReduction,
+			c.c.On.ChunksPruned, c.c.Off.WallSeconds, c.c.On.WallSeconds, c.c.Speedup,
+			map[bool]string{true: "identical", false: "DIFFER"}[c.c.HashIdentical])
+	}
+	if !sparse.HashIdentical || !dense.HashIdentical {
+		return fmt.Errorf("pushdown changed the rendered image: pruning is unsound")
+	}
+	if sparse.On.BytesSkipped == 0 {
+		return fmt.Errorf("sparse iso %.2f skipped no bytes: pruning never engaged", pushdownSparseIso)
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dcbench: wrote pushdown report to %s\n", out)
+	}
+	return nil
+}

@@ -15,7 +15,10 @@
 // auto/ring for zero-copy in-process rings between workers sharing a
 // process); with -dir, -readahead overlaps each RE copy's chunk reads with
 // its extraction work (bounded by -readahead-bytes) and -mmap switches the
-// store to memory-mapped reads. See DESIGN.md §14.
+// store to memory-mapped reads. See DESIGN.md §14. -pushdown turns on
+// near-storage predicate pruning: each RE copy checks the view's iso-value
+// against the dataset's summary sidecar and skips chunks that provably
+// contribute no triangles, before any byte is read (DESIGN.md §17).
 //
 // Fault tolerance: -uow-retries lets the coordinator replan a failed unit
 // of work onto the surviving workers (dead hosts' filter copies move to
@@ -84,6 +87,7 @@ func main() {
 		readahead = flag.Int("readahead", 0, "chunks each RE copy prefetches ahead of its planned read order (with -dir)")
 		raBytes   = flag.Int64("readahead-bytes", 0, "byte budget for resident prefetched chunks, 0 = unbounded (with -readahead)")
 		mmap      = flag.Bool("mmap", false, "memory-map dataset files instead of pread (with -dir)")
+		pushdown  = flag.Bool("pushdown", false, "prune chunks against the store's summary sidecar on the worker owning the data (with -dir)")
 
 		grid    = flag.Int("grid", 65, "synthetic grid samples per axis (without -dir)")
 		debug   = flag.String("debug-addr", "", "serve coordinator /metrics and /debug/pprof on this address during the run")
@@ -157,14 +161,15 @@ func main() {
 	if *dir != "" {
 		raw, err := json.Marshal(isoviz.StoreREParams{
 			Dir: *dir, Readahead: *readahead, ReadaheadBytes: *raBytes, Mmap: *mmap,
+			Pushdown: *pushdown,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		re = dist.FilterSpec{Name: "RE", Kind: isoviz.KindREStore, Params: raw}
 	} else {
-		if *readahead > 0 || *mmap {
-			fatal(fmt.Errorf("-readahead/-mmap tune on-disk store reads; they need -dir"))
+		if *readahead > 0 || *mmap || *pushdown {
+			fatal(fmt.Errorf("-readahead/-mmap/-pushdown tune on-disk store reads; they need -dir"))
 		}
 		fieldSeed := int64(2002)
 		if *seed != 0 {

@@ -197,6 +197,81 @@ func TestConformanceElastic(t *testing.T) {
 	}
 }
 
+// TestConformancePushdown sweeps near-storage predicate pruning: every
+// seed's pipeline carries a pushdown predicate (drawn after every base
+// draw, so the base pipeline is seed-stable), sources evaluate the real
+// dataset predicate against each identity's synthetic chunk summary, and
+// the full oracle set — including pruning conservation: pruned plus
+// delivered exactly partition the unpruned multiset — must hold on all
+// three engines. The sweep itself must be non-vacuous: some identities
+// pruned, some kept, and at least one seed where a source is genuinely
+// split (both pruned and surviving identities).
+func TestConformancePushdown(t *testing.T) {
+	n := int64(25)
+	if !testing.Short() {
+		n = 60
+	}
+	if *seedFlag >= 0 {
+		n = 1
+	}
+	var sweepPruned, sweepKept int
+	partial := false
+	for i := int64(0); i < n; i++ {
+		seed := i
+		if *seedFlag >= 0 {
+			seed = *seedFlag
+		}
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			leakcheck.Check(t)
+			s := Generate(seed, GenConfig{Pushdown: true})
+			if s.Pred == nil || s.Pred.Empty() {
+				t.Fatalf("pushdown generator produced no predicate:\n%s", s)
+			}
+			// Seed stability: the predicate draw must not perturb the base
+			// pipeline.
+			base := s.Clone()
+			base.Pred = nil
+			if !reflect.DeepEqual(Generate(seed, GenConfig{}), base) {
+				t.Fatalf("pushdown draw changed the base pipeline of seed %d", seed)
+			}
+			m := buildModel(s)
+			var pruned, kept int
+			for _, ids := range m.prunedIDs {
+				for _, cnt := range ids {
+					pruned += cnt
+				}
+			}
+			for _, f := range s.Filters {
+				if f.Role != RoleSource {
+					continue
+				}
+				if outs := s.outputsOf(f.Name); len(outs) > 0 {
+					for _, cnt := range m.ids[outs[0].Name] {
+						kept += cnt
+					}
+				}
+			}
+			sweepPruned += pruned
+			sweepKept += kept
+			if pruned > 0 && kept > 0 {
+				partial = true
+			}
+			if fail := Check(s, Options{}); fail != nil {
+				failReport(t, seed, fail, Options{})
+			}
+		})
+	}
+	if *seedFlag >= 0 {
+		return
+	}
+	if sweepPruned == 0 || sweepKept == 0 {
+		t.Fatalf("vacuous sweep: %d identities pruned, %d kept across all seeds", sweepPruned, sweepKept)
+	}
+	if !partial {
+		t.Fatal("no seed split a pipeline into both pruned and surviving identities")
+	}
+}
+
 // TestConformanceShrinksInjectedViolation tests the harness against
 // itself: discard every ack count before the oracle diff — a violation on
 // any pipeline with demand-driven traffic — and require the shrinker to

@@ -3,9 +3,11 @@ package conformance
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"datacutter/internal/core"
+	"datacutter/internal/dataset"
 	"datacutter/internal/dist"
 )
 
@@ -52,6 +54,23 @@ func decodePayload(p any) (string, error) {
 	return "", fmt.Errorf("conformance: unexpected payload type %T", p)
 }
 
+// synthSummary derives the deterministic chunk summary of one identity:
+// conformance buffers stand in for chunks, so the summary is a pure hash of
+// the identity — sources on every engine and the oracle model compute the
+// identical summary without coordination. Min is uniform in [0,1) and Max
+// in [Min, Min+1), a spread the generator's predicate draw is matched to.
+func synthSummary(id string) dataset.ChunkSummary {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	v := h.Sum64()
+	min := float32(v%1024) / 1024
+	return dataset.ChunkSummary{
+		Min:       min,
+		Max:       min + float32((v>>10)%1024)/1024,
+		Occupancy: uint32(v % 7),
+	}
+}
+
 // DeliveryKey identifies one delivered identity at one consumer filter.
 type DeliveryKey struct {
 	Consumer string
@@ -68,6 +87,16 @@ type EOWKey struct {
 	UOW      int
 }
 
+// PruneKey identifies one pruned identity at one source filter: the owning
+// copy evaluated the pushdown predicate and skipped the emission. Pruning
+// happens before the buffer reaches any stream, so the key has no stream —
+// an identity a source prunes is withheld from every output at once.
+type PruneKey struct {
+	Source string
+	UOW    int
+	ID     string
+}
+
 // Recorder accumulates what the pipeline's filters actually observed: a
 // multiset of delivered identities and a count of end-of-work edges. It is
 // shared by every copy of every filter in one run (including the dist
@@ -77,10 +106,15 @@ type Recorder struct {
 	mu         sync.Mutex
 	deliveries map[DeliveryKey]int
 	eow        map[EOWKey]int
+	pruned     map[PruneKey]int
 }
 
 func newRecorder() *Recorder {
-	return &Recorder{deliveries: map[DeliveryKey]int{}, eow: map[EOWKey]int{}}
+	return &Recorder{
+		deliveries: map[DeliveryKey]int{},
+		eow:        map[EOWKey]int{},
+		pruned:     map[PruneKey]int{},
+	}
 }
 
 func (r *Recorder) delivery(consumer, stream string, uow int, id string) {
@@ -92,6 +126,12 @@ func (r *Recorder) delivery(consumer, stream string, uow int, id string) {
 func (r *Recorder) endOfWork(consumer, stream string, uow int) {
 	r.mu.Lock()
 	r.eow[EOWKey{consumer, stream, uow}]++
+	r.mu.Unlock()
+}
+
+func (r *Recorder) prune(source string, uow int, id string) {
+	r.mu.Lock()
+	r.pruned[PruneKey{source, uow, id}]++
 	r.mu.Unlock()
 }
 
@@ -117,6 +157,17 @@ func (r *Recorder) EOW() map[EOWKey]int {
 	return out
 }
 
+// Pruned returns a copy of the pruned-identity multiset.
+func (r *Recorder) Pruned() map[PruneKey]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[PruneKey]int, len(r.pruned))
+	for k, v := range r.pruned {
+		out[k] = v
+	}
+	return out
+}
+
 // ---- the one conformance filter (role-switched) ----
 
 type confFilter struct {
@@ -127,12 +178,13 @@ type confFilter struct {
 	inputs  []string
 	outputs []string
 	wires   map[string]Wire
+	pred    *dataset.Predicate // pushdown predicate; nil = emit everything
 	rec     *Recorder
 }
 
 func newConfFilter(s *Spec, f Filter, rec *Recorder) *confFilter {
 	cf := &confFilter{name: f.Name, role: f.Role, emit: f.Emit, rec: rec,
-		wires: map[string]Wire{}}
+		pred: s.Pred, wires: map[string]Wire{}}
 	for _, st := range s.inputsOf(f.Name) {
 		cf.inputs = append(cf.inputs, st.Name)
 	}
@@ -157,6 +209,15 @@ func (f *confFilter) Process(ctx core.Ctx) error {
 	if f.role == RoleSource {
 		for i := 0; i < f.emit; i++ {
 			id := fmt.Sprintf("%s.%d#%d", f.name, ctx.CopyIndex(), i)
+			// Near-storage pushdown: evaluate the predicate against the
+			// identity's synthetic summary before emitting, exactly like a
+			// store pruning a chunk before reading it. Pruned identities are
+			// recorded so the oracle can prove pruned + delivered partition
+			// the full multiset.
+			if f.pred != nil && !f.pred.MatchSummary(synthSummary(id)) {
+				f.rec.prune(f.name, ctx.UOW(), id)
+				continue
+			}
 			if err := f.writeAll(ctx, id); err != nil {
 				return err
 			}
@@ -234,6 +295,10 @@ type distParams struct {
 	Outputs []string
 	Wires   map[string]Wire
 	Token   uint64
+	// Pred rides the setup frame as JSON, like the production StoreREParams
+	// path: the pruning decision executes on the worker that owns the
+	// source, never on the coordinator.
+	Pred *dataset.Predicate `json:",omitempty"`
 }
 
 func init() {
@@ -248,7 +313,8 @@ func init() {
 		}
 		return &confFilter{
 			name: p.Name, role: p.Role, emit: p.Emit,
-			inputs: p.Inputs, outputs: p.Outputs, wires: p.Wires, rec: rec,
+			inputs: p.Inputs, outputs: p.Outputs, wires: p.Wires,
+			pred: p.Pred, rec: rec,
 		}, nil
 	})
 }
@@ -257,6 +323,7 @@ func (f *confFilter) distSpec(tok uint64) (dist.FilterSpec, error) {
 	params, err := json.Marshal(distParams{
 		Name: f.name, Role: f.role, Emit: f.emit,
 		Inputs: f.inputs, Outputs: f.outputs, Wires: f.wires, Token: tok,
+		Pred: f.pred,
 	})
 	if err != nil {
 		return dist.FilterSpec{}, err

@@ -216,6 +216,14 @@ func shrinkCandidates(s *Spec) []*Spec {
 		c.Transport = ""
 		out = append(out, c)
 	}
+	if s.Pred != nil {
+		// Drop the pushdown predicate: a failure that survives without it
+		// is not a pruning bug, and one that doesn't keeps the predicate in
+		// its minimal reproduction.
+		c := s.Clone()
+		c.Pred = nil
+		out = append(out, c)
+	}
 	return out
 }
 

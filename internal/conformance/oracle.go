@@ -53,6 +53,11 @@ type model struct {
 	// remoteIn counts, per host, the exactly-known data frames per UOW
 	// arriving from other hosts — used to pick kill victims in fault mode.
 	remoteIn map[string]int
+	// prunedIDs is, per source filter, the identity multiset the pushdown
+	// predicate prunes per UOW (always exact: the predicate is a pure
+	// function of the identity, and source copy counts never scale). Empty
+	// when the spec has no predicate.
+	prunedIDs map[string]map[string]int
 }
 
 // ddEvery returns the ack batch size of a policy name (1 for plain DD)
@@ -127,13 +132,14 @@ func buildModel(s *Spec) *model {
 // per-copy deterministic, per-UOW ack bounds, and remote-arrival counts.
 func buildUOW(s *Spec) *model {
 	m := &model{
-		spec:     s,
-		totals:   streamTotals(s),
-		ids:      map[string]map[string]int{},
-		perHost:  map[string]map[string]int64{},
-		ackLo:    map[string]int64{},
-		ackHi:    map[string]int64{},
-		remoteIn: map[string]int{},
+		spec:      s,
+		totals:    streamTotals(s),
+		ids:       map[string]map[string]int{},
+		perHost:   map[string]map[string]int64{},
+		ackLo:     map[string]int64{},
+		ackHi:     map[string]int64{},
+		remoteIn:  map[string]int{},
+		prunedIDs: map[string]map[string]int{},
 	}
 	u := int64(1)
 
@@ -155,11 +161,11 @@ func buildUOW(s *Spec) *model {
 		// What this filter writes per copy per output stream.
 		switch f.Role {
 		case RoleSource:
-			w := make([]int, s.totalCopies(f.Name))
-			for c := range w {
-				w[c] = f.Emit
-			}
-			copyWrites[f.Name] = w
+			// Per-copy survivor counts: the pushdown predicate (when set)
+			// prunes a deterministic subset of each copy's identities, so
+			// copies may write different counts — the policy replay below
+			// consumes the per-copy numbers.
+			copyWrites[f.Name] = sourceWrites(s, f)
 		case RoleTransform:
 			exact := recvExact[f.Name]
 			for _, e := range s.entriesOf(f.Name) {
@@ -179,7 +185,15 @@ func buildUOW(s *Spec) *model {
 			outIDs = map[string]int{}
 			for c := 0; c < s.totalCopies(f.Name); c++ {
 				for i := 0; i < f.Emit; i++ {
-					outIDs[fmt.Sprintf("%s.%d#%d", f.Name, c, i)]++
+					id := fmt.Sprintf("%s.%d#%d", f.Name, c, i)
+					if !s.survives(id) {
+						if m.prunedIDs[f.Name] == nil {
+							m.prunedIDs[f.Name] = map[string]int{}
+						}
+						m.prunedIDs[f.Name][id]++
+						continue
+					}
+					outIDs[id]++
 				}
 			}
 		case RoleTransform:
@@ -255,6 +269,21 @@ func (m *model) expectedDeliveries() map[DeliveryKey]int {
 		for u := 0; u < m.spec.UOWs; u++ {
 			for id, n := range m.ids[st.Name] {
 				out[DeliveryKey{st.To, st.Name, u, id}] = n
+			}
+		}
+	}
+	return out
+}
+
+// expectedPruned builds the full pruned multiset the Recorder must hold
+// after a clean run: each source's pruned identity set, once per unit of
+// work (the predicate is UOW-invariant and source copy counts never scale).
+func (m *model) expectedPruned() map[PruneKey]int {
+	out := map[PruneKey]int{}
+	for src, ids := range m.prunedIDs {
+		for u := 0; u < m.spec.UOWs; u++ {
+			for id, n := range ids {
+				out[PruneKey{src, u, id}] = n
 			}
 		}
 	}
@@ -337,6 +366,60 @@ func checkRun(m *model, st *core.Stats, rec *Recorder, relaxed bool) []string {
 		if _, ok := wantDel[k]; !ok {
 			v = append(v, fmt.Sprintf("unexpected delivery %s/%s uow=%d id=%q (x%d)",
 				k.Consumer, k.Stream, k.UOW, k.ID, got))
+		}
+	}
+
+	// Pushdown oracles. First the pruned multiset itself: exactly what the
+	// predicate dictates (at-least-once under the relaxed fault oracle,
+	// where a retried UOW legitimately re-prunes), and never an identity
+	// the model expects to flow. Then conservation, the soundness property
+	// near-storage pruning stands on: on every stream leaving a source,
+	// pruned and delivered must PARTITION the full identity multiset — an
+	// identity in both was pruned yet leaked downstream, an identity in
+	// neither was silently dropped without being accounted as pruned.
+	wantPruned := m.expectedPruned()
+	gotPruned := rec.Pruned()
+	for k, want := range wantPruned {
+		got := gotPruned[k]
+		bad := got != want
+		if relaxed {
+			bad = got < want
+		}
+		if bad {
+			v = append(v, fmt.Sprintf("pruned %s uow=%d id=%q: %d, want %s%d",
+				k.Source, k.UOW, k.ID, got, relaxedPrefix(relaxed), want))
+		}
+	}
+	for k, got := range gotPruned {
+		if _, ok := wantPruned[k]; !ok {
+			v = append(v, fmt.Sprintf("unexpected prune %s uow=%d id=%q (x%d)", k.Source, k.UOW, k.ID, got))
+		}
+	}
+	if m.spec.Pred != nil {
+		for _, sp := range m.spec.Streams {
+			if m.spec.filter(sp.From).Role != RoleSource {
+				continue
+			}
+			for u := 0; u < m.spec.UOWs; u++ {
+				check := func(id string) {
+					del := gotDel[DeliveryKey{sp.To, sp.Name, u, id}]
+					pr := gotPruned[PruneKey{sp.From, u, id}]
+					if del > 0 && pr > 0 {
+						v = append(v, fmt.Sprintf("conservation %s uow=%d id=%q: pruned (x%d) AND delivered (x%d)",
+							sp.Name, u, id, pr, del))
+					}
+					if !relaxed && del+pr != 1 {
+						v = append(v, fmt.Sprintf("conservation %s uow=%d id=%q: delivered %d + pruned %d, want exactly 1",
+							sp.Name, u, id, del, pr))
+					}
+				}
+				for id := range m.ids[sp.Name] {
+					check(id)
+				}
+				for id := range m.prunedIDs[sp.From] {
+					check(id)
+				}
+			}
 		}
 	}
 

@@ -7,7 +7,10 @@
 // multiset equality of delivered buffers per consumer filter, exact RR/WRR
 // per-target distributions (replayed through the very exec.Policy writers
 // the engines use), demand-driven ack-count bounds, exactly-once
-// end-of-work per consumer copy, and zero goroutine leaks. A failing seed
+// end-of-work per consumer copy, and zero goroutine leaks. In pushdown
+// mode (GenConfig.Pushdown) a near-storage predicate prunes identities at
+// the sources and a conservation oracle requires the pruned and delivered
+// sets to exactly partition the full multiset. A failing seed
 // is greedily shrunk to a minimal reproduction (see shrink.go).
 //
 // Everything is derived from a Spec, which is in turn derived from a seed:
@@ -22,6 +25,7 @@ import (
 	"strings"
 
 	"datacutter/internal/core"
+	"datacutter/internal/dataset"
 	"datacutter/internal/elastic"
 )
 
@@ -133,6 +137,16 @@ type Spec struct {
 	// placement entries only, Copies >= 1 (the entry set is run-constant;
 	// only counts move), BeforeUOW in [1, UOWs-1].
 	Scale []elastic.ScaleStep
+	// Pred, when non-nil, is a near-storage pushdown predicate: every
+	// conformance buffer stands in for a chunk whose summary is a pure hash
+	// of its identity (synthSummary), and each source evaluates the real
+	// dataset predicate against that summary before emitting — matching
+	// identities flow, the rest are recorded as pruned. The pruning oracle
+	// (checkRun) then requires, on every engine, that pruned and delivered
+	// partition the full identity multiset exactly: nothing pruned AND
+	// delivered, nothing silently dropped. QueueCap is sized from the
+	// UNPRUNED totals (the generator draws Pred last), so it stays safe.
+	Pred *dataset.Predicate
 }
 
 // filter returns the named filter spec, or nil.
@@ -206,6 +220,18 @@ func (s *Spec) Clone() *Spec {
 	c.Placement = append([]Place(nil), s.Placement...)
 	c.Hosts = append([]Host(nil), s.Hosts...)
 	c.Scale = append([]elastic.ScaleStep(nil), s.Scale...)
+	if s.Pred != nil {
+		p := *s.Pred
+		if p.Iso != nil {
+			r := *p.Iso
+			p.Iso = &r
+		}
+		if p.Box != nil {
+			b := *p.Box
+			p.Box = &b
+		}
+		c.Pred = &p
+	}
 	return &c
 }
 
@@ -340,6 +366,9 @@ func (s *Spec) String() string {
 	if s.Transport != "" {
 		fmt.Fprintf(&b, " transport=%s", s.Transport)
 	}
+	if s.Pred != nil {
+		fmt.Fprintf(&b, " pred=%s", s.Pred)
+	}
 	b.WriteString(")\n")
 	fmt.Fprintf(&b, "  hosts:")
 	for _, h := range s.Hosts {
@@ -385,6 +414,13 @@ type GenConfig struct {
 	// transport draw, so a seed's base pipeline is identical with the flag
 	// on or off.
 	Elastic bool
+	// Pushdown seeds a near-storage pruning predicate (Spec.Pred) into
+	// every generated spec: a random iso range evaluated by sources against
+	// each identity's synthetic chunk summary. The predicate draws happen
+	// strictly after every other draw (the same seed-stability rule as
+	// Transport and Elastic), so a seed's base pipeline is identical with
+	// the flag on or off.
+	Pushdown bool
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -556,6 +592,16 @@ func Generate(seed int64, cfg GenConfig) *Spec {
 			}
 		}
 	}
+
+	// Pushdown draws come last of all (the Transport/Elastic seed-stability
+	// rule again). Identity summaries have Min uniform in [0,1) and Max in
+	// [Min, Min+1), so an iso range with Lo in [0,1.2) and a short width
+	// sweeps the whole spectrum: seeds where everything survives, seeds
+	// where almost everything prunes, and plenty of genuine partitions.
+	if cfg.Pushdown {
+		lo := float32(rng.Float64() * 1.2)
+		s.Pred = &dataset.Predicate{Iso: &dataset.IsoRange{Lo: lo, Hi: lo + float32(rng.Float64()*0.6)}}
+	}
 	return s
 }
 
@@ -575,10 +621,38 @@ func (s *Spec) normalizeHosts() {
 	s.Hosts = hosts
 }
 
+// survives reports whether the pushdown predicate keeps the identity: the
+// very dataset.Predicate.MatchSummary call the source filters run, against
+// the identity's synthetic summary. No predicate keeps everything.
+func (s *Spec) survives(id string) bool {
+	return s.Pred == nil || s.Pred.MatchSummary(synthSummary(id))
+}
+
+// sourceWrites returns how many buffers each copy of a source emits per UOW
+// per output stream after pushdown pruning (identities encode the copy, so
+// different copies may prune different counts).
+func sourceWrites(s *Spec, f Filter) []int {
+	w := make([]int, s.totalCopies(f.Name))
+	for c := range w {
+		if s.Pred == nil {
+			w[c] = f.Emit
+			continue
+		}
+		for i := 0; i < f.Emit; i++ {
+			if s.survives(fmt.Sprintf("%s.%d#%d", f.Name, c, i)) {
+				w[c]++
+			}
+		}
+	}
+	return w
+}
+
 // streamTotals returns each stream's per-UOW buffer count, propagated
-// through the DAG: sources write Emit x copies, transforms forward every
-// buffer they receive to every output. Totals are exact on every engine
-// regardless of policy — conservation is scheduling-independent.
+// through the DAG: sources write Emit x copies (minus anything the pushdown
+// predicate prunes), transforms forward every buffer they receive to every
+// output. Totals are exact on every engine regardless of policy —
+// conservation is scheduling-independent. The generator calls this before
+// drawing Pred, so QueueCap is sized from the unpruned totals.
 func streamTotals(s *Spec) map[string]int {
 	totals := make(map[string]int, len(s.Streams))
 	recv := map[string]int{}
@@ -586,7 +660,9 @@ func streamTotals(s *Spec) map[string]int {
 		var writes int
 		switch f.Role {
 		case RoleSource:
-			writes = f.Emit * s.totalCopies(f.Name)
+			for _, n := range sourceWrites(s, f) {
+				writes += n
+			}
 		default:
 			writes = recv[f.Name]
 		}

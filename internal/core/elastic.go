@@ -122,7 +122,9 @@ func (r *Runner) rescale(entries []elastic.Entry, uow int, reasons map[scaleKey]
 				if len(pool) > 0 {
 					ci, pool = pool[0], pool[1:]
 				} else {
-					ci = &copyInst{filter: r.g.Factory(name)(), name: name, host: e.Host}
+					filt := r.g.Factory(name)()
+					attachObserver(filt, r.opts.Obs)
+					ci = &copyInst{filter: filt, name: name, host: e.Host}
 				}
 				ci.globalIdx = idx
 				ci.total = total

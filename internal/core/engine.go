@@ -137,8 +137,10 @@ func NewRunner(g *Graph, pl *Placement, opts Options) (*Runner, error) {
 		idx := 0
 		for _, e := range pl.Of(name) {
 			for c := 0; c < e.Copies; c++ {
+				filt := g.Factory(name)()
+				attachObserver(filt, opts.Obs)
 				r.copies[name] = append(r.copies[name], &copyInst{
-					filter:    g.Factory(name)(),
+					filter:    filt,
 					name:      name,
 					host:      e.Host,
 					globalIdx: idx,

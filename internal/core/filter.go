@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"datacutter/internal/exec"
+	"datacutter/internal/obs"
 )
 
 // Buffer is the unit of data carried by a stream: a fixed-size container
@@ -42,6 +43,22 @@ type Filter interface {
 	// Finalize releases unit-of-work resources and may emit final results
 	// (a combine filter typically writes or stores its merged output here).
 	Finalize(ctx Ctx) error
+}
+
+// ObserverSetter is an optional Filter extension. A filter that owns an
+// instrumented subsystem — e.g. a dataset.Store whose predicate pruning
+// publishes chunks-pruned/bytes-skipped metrics — implements it to receive
+// the engine's observer. Engines invoke it once per copy at instantiation,
+// before any work cycle; the argument may be nil (observability disabled).
+type ObserverSetter interface {
+	SetObserver(o *obs.Observer)
+}
+
+// attachObserver hands o to f when f opts in via ObserverSetter.
+func attachObserver(f Filter, o *obs.Observer) {
+	if s, ok := f.(ObserverSetter); ok {
+		s.SetObserver(o)
+	}
 }
 
 // Ctx is the runtime interface handed to a filter copy. It is implemented

@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzSummaryIndex drives the sidecar decoder with arbitrary bytes. The
+// decoder guards the pruning path: it must never panic or over-allocate
+// whatever the header claims (hostile counts, truncation, trailing bytes are
+// all in the seed corpus), and any index it does accept must re-encode to
+// the exact input bytes — the codec admits no non-canonical encodings, so a
+// torn or concatenated sidecar can never half-apply.
+func FuzzSummaryIndex(f *testing.F) {
+	seed := func(ix *SummaryIndex) { f.Add(EncodeSummaryIndex(ix)) }
+	seed(&SummaryIndex{Timesteps: 0, Chunks: 0})
+	seed(&SummaryIndex{Timesteps: 1, Chunks: 1, Entries: []ChunkSummary{{Min: 0.05, Max: 1.1, Occupancy: 7}}})
+	seed(&SummaryIndex{Timesteps: 2, Chunks: 3, Entries: []ChunkSummary{
+		{Min: -1, Max: 2, Occupancy: 0},
+		{Min: float32(math.Inf(-1)), Max: float32(math.Inf(1)), Occupancy: 1},
+		{Min: float32(math.NaN()), Max: float32(math.NaN()), Occupancy: 2},
+		{}, {Min: 0.5, Max: 0.5}, {Min: 3, Max: -3, Occupancy: 4096},
+	}})
+
+	// Hostile headers (also committed under testdata/fuzz/FuzzSummaryIndex).
+	hdr := func(magic string, version, timesteps, chunks uint32, body int) []byte {
+		b := append([]byte(magic), make([]byte, 12+body)...)
+		binary.LittleEndian.PutUint32(b[4:], version)
+		binary.LittleEndian.PutUint32(b[8:], timesteps)
+		binary.LittleEndian.PutUint32(b[12:], chunks)
+		return b
+	}
+	f.Add([]byte{})                                                                            // empty
+	f.Add([]byte("DCS"))                                                                       // shorter than magic
+	f.Add(hdr("XXXX", 1, 1, 1, 12))                                                            // bad magic
+	f.Add(hdr("DCSI", 2, 1, 1, 12))                                                            // future version
+	f.Add(hdr("DCSI", 1, 0xFFFFFFFF, 0xFFFFFFFF, 0))                                           // count overflow
+	f.Add(hdr("DCSI", 1, 1, maxSummaryEntries, 0))                                             // huge allocation claim
+	f.Add(hdr("DCSI", 1, 1, 2, summaryRecLen))                                                 // body shorter than counts
+	f.Add(hdr("DCSI", 1, 1, 1, summaryRecLen+1))                                               // trailing byte
+	f.Add(append(hdr("DCSI", 1, 1, 1, summaryRecLen), hdr("DCSI", 1, 1, 1, summaryRecLen)...)) // concatenated
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		ix, err := DecodeSummaryIndex(in)
+		if err != nil {
+			return
+		}
+		if got := len(ix.Entries); got != ix.Timesteps*ix.Chunks {
+			t.Fatalf("accepted index has %d entries for %dx%d", got, ix.Timesteps, ix.Chunks)
+		}
+		if re := EncodeSummaryIndex(ix); !bytes.Equal(re, in) {
+			t.Fatalf("accepted index does not round-trip:\n got  %x\n want %x", re, in)
+		}
+		// Every in-range lookup must succeed and every out-of-range one fail,
+		// whatever the decoded shape.
+		if _, ok := ix.At(ix.Chunks, 0); ok {
+			t.Fatal("At accepted an out-of-range chunk")
+		}
+		if ix.Chunks > 0 && ix.Timesteps > 0 {
+			if _, ok := ix.At(ix.Chunks-1, ix.Timesteps-1); !ok {
+				t.Fatal("At rejected an in-range pair")
+			}
+		}
+	})
+}

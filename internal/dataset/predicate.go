@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"datacutter/internal/volume"
+)
+
+// Predicate is a declarative chunk filter a storage node can evaluate
+// without reading chunk data: an iso-value range checked against the
+// per-chunk min/max summaries, and a spatial box checked against the chunk
+// partition geometry. The zero value matches every chunk. Predicates are
+// plain data (JSON- and gob-friendly) so they travel in the dist setup
+// frame and execute on the worker that owns the store — near-storage, the
+// paper's R-filter placement taken one step further.
+//
+// Soundness: a chunk can emit marching-cubes triangles at iso-value v iff
+// it holds a sample <= v and a sample > v (mcubes classifies corners with
+// "> iso"; a chunk is a connected box, so mixed samples force a mixed
+// cell). MatchSummary keeps a chunk for range [Lo,Hi] iff some v in the
+// range could cross: Min <= Hi && Max > Lo. Everything pruned is therefore
+// provably triangle-free for every iso-value in the range.
+type Predicate struct {
+	// Iso keeps only chunks whose value range can cross an iso-value in
+	// [Lo,Hi]. Nil = no iso constraint.
+	Iso *IsoRange `json:"iso,omitempty"`
+	// Box keeps only chunks intersecting the half-open sample-coordinate
+	// box — the paper's multi-dimensional range query as a predicate.
+	// Nil = no spatial constraint.
+	Box *Box `json:"box,omitempty"`
+}
+
+// IsoRange is a closed iso-value interval.
+type IsoRange struct {
+	Lo, Hi float32
+}
+
+// Box is a half-open sample-coordinate box [X0,X1) x [Y0,Y1) x [Z0,Z1).
+type Box struct {
+	X0, Y0, Z0 int
+	X1, Y1, Z1 int
+}
+
+// IsoPredicate builds the predicate for a single iso-value.
+func IsoPredicate(iso float32) Predicate {
+	return Predicate{Iso: &IsoRange{Lo: iso, Hi: iso}}
+}
+
+// Empty reports whether the predicate matches everything (no pruning).
+func (p Predicate) Empty() bool { return p.Iso == nil && p.Box == nil }
+
+// And intersects two predicates: a chunk survives the result only if it
+// survives both. Range intersections may be empty, which simply prunes
+// everything — still sound.
+func (p Predicate) And(q Predicate) Predicate {
+	out := Predicate{}
+	switch {
+	case p.Iso == nil:
+		out.Iso = q.Iso
+	case q.Iso == nil:
+		out.Iso = p.Iso
+	default:
+		r := IsoRange{Lo: maxf(p.Iso.Lo, q.Iso.Lo), Hi: minf(p.Iso.Hi, q.Iso.Hi)}
+		out.Iso = &r
+	}
+	switch {
+	case p.Box == nil:
+		out.Box = q.Box
+	case q.Box == nil:
+		out.Box = p.Box
+	default:
+		b := Box{
+			X0: maxi(p.Box.X0, q.Box.X0), Y0: maxi(p.Box.Y0, q.Box.Y0), Z0: maxi(p.Box.Z0, q.Box.Z0),
+			X1: mini(p.Box.X1, q.Box.X1), Y1: mini(p.Box.Y1, q.Box.Y1), Z1: mini(p.Box.Z1, q.Box.Z1),
+		}
+		out.Box = &b
+	}
+	return out
+}
+
+// MatchSummary evaluates the iso constraint against a chunk summary.
+func (p Predicate) MatchSummary(s ChunkSummary) bool {
+	if p.Iso == nil {
+		return true
+	}
+	if p.Iso.Lo > p.Iso.Hi {
+		// Empty range (e.g. the And of disjoint ranges): no iso-value
+		// exists to cross, so nothing matches.
+		return false
+	}
+	return s.Min <= p.Iso.Hi && s.Max > p.Iso.Lo
+}
+
+// MatchBlock evaluates the spatial constraint against a chunk's block.
+func (p Predicate) MatchBlock(b volume.Block) bool {
+	if p.Box == nil {
+		return true
+	}
+	q := p.Box
+	return b.X0 < q.X1 && b.X0+b.NX > q.X0 &&
+		b.Y0 < q.Y1 && b.Y0+b.NY > q.Y0 &&
+		b.Z0 < q.Z1 && b.Z0+b.NZ > q.Z0
+}
+
+func (p Predicate) String() string {
+	if p.Empty() {
+		return "all"
+	}
+	var parts []string
+	if p.Iso != nil {
+		if p.Iso.Lo == p.Iso.Hi {
+			parts = append(parts, fmt.Sprintf("iso=%g", p.Iso.Lo))
+		} else {
+			parts = append(parts, fmt.Sprintf("iso=[%g,%g]", p.Iso.Lo, p.Iso.Hi))
+		}
+	}
+	if p.Box != nil {
+		parts = append(parts, fmt.Sprintf("box=[%d,%d,%d)-(%d,%d,%d)",
+			p.Box.X0, p.Box.Y0, p.Box.Z0, p.Box.X1, p.Box.Y1, p.Box.Z1))
+	}
+	return strings.Join(parts, " ")
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"datacutter/internal/obs"
 	"datacutter/internal/volume"
 	"datacutter/internal/wirebin"
 )
@@ -40,6 +41,16 @@ type Store struct {
 	// a single buffer) keeps ReadChunk safe for concurrent readers — each
 	// in-flight read owns its buffer and returns it when done.
 	scratch sync.Pool
+
+	// Summary sidecar (summary.go), loaded lazily on the first Prune: nil
+	// after sumOnce when the file is missing or rejected by the strict
+	// decoder — pruning then degrades to the geometry-only (Box) checks.
+	sumOnce sync.Once
+	summary *SummaryIndex
+
+	// obsrv publishes pruning metrics and trace events; nil = disabled
+	// (every obs method is nil-receiver safe).
+	obsrv *obs.Observer
 }
 
 const metaFile = "meta.json"
@@ -64,6 +75,11 @@ func Create(dir string, m Meta) (*Store, error) {
 	}
 	fld := ds.Field()
 	buf := make([]byte, 0)
+	ix := &SummaryIndex{
+		Timesteps: m.Timesteps,
+		Chunks:    ds.Chunks(),
+		Entries:   make([]ChunkSummary, m.Timesteps*ds.Chunks()),
+	}
 	for f := 0; f < m.Files; f++ {
 		chunks := ds.ChunksInFile(f)
 		out, err := os.Create(filepath.Join(dir, fileName(f)))
@@ -74,6 +90,7 @@ func Create(dir string, m Meta) (*Store, error) {
 			for _, c := range chunks {
 				v := volume.NewBlockVolume(ds.Block(c))
 				volume.FillBlock(fld, v, float64(t))
+				summarizeVolume(ix, c, t, v)
 				buf = buf[:0]
 				for _, s := range v.Data {
 					buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(s))
@@ -87,6 +104,11 @@ func Create(dir string, m Meta) (*Store, error) {
 		if err := out.Close(); err != nil {
 			return nil, err
 		}
+	}
+	// The pruning sidecar costs one record per chunk-timestep and no extra
+	// reads — the volumes were just in hand.
+	if err := WriteSummaryIndex(dir, ix); err != nil {
+		return nil, err
 	}
 	return Open(dir)
 }
@@ -253,6 +275,83 @@ func (s *Store) ReadChunk(chunk, timestep int) (*volume.Volume, error) {
 	}
 	wirebin.Float32s(v.Data, *raw)
 	return v, nil
+}
+
+// SetObserver attaches the observability subsystem: Prune publishes
+// dataset.chunks_pruned / dataset.bytes_skipped counters and a prune trace
+// event per evaluation. o may be nil (disabled). Engines that run filters
+// over this store call it through the filters' SetObserver chain.
+func (s *Store) SetObserver(o *obs.Observer) {
+	s.mu.Lock()
+	s.obsrv = o
+	s.mu.Unlock()
+}
+
+func (s *Store) observer() *obs.Observer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obsrv
+}
+
+// Summaries returns the sidecar summary index, loading it lazily on first
+// use. It returns nil — and keeps returning nil without retrying — when the
+// sidecar is missing, torn, or truncated: a store without summaries is
+// merely unprunable, never broken.
+func (s *Store) Summaries() *SummaryIndex {
+	s.sumOnce.Do(func() {
+		raw, err := os.ReadFile(filepath.Join(s.Dir, SummaryFile))
+		if err != nil {
+			return
+		}
+		ix, err := DecodeSummaryIndex(raw)
+		if err != nil {
+			return
+		}
+		// A sidecar that disagrees with the meta (copied from another
+		// dataset, or written against a different chunking) must not drive
+		// pruning decisions.
+		if ix.Timesteps != s.DS.Timesteps || ix.Chunks != s.DS.Chunks() {
+			return
+		}
+		s.summary = ix
+	})
+	return s.summary
+}
+
+// Prune returns the subset of chunks that can contribute to pred at
+// timestep, in input order. It is conservative by construction: the spatial
+// constraint is evaluated exactly against the chunk partition geometry, the
+// iso constraint against the sidecar min/max summaries — and any chunk the
+// loaded index does not cover (or, with no index at all, every chunk)
+// passes the iso check unexamined. The input slice is never mutated.
+func (s *Store) Prune(chunks []int, timestep int, pred Predicate) []int {
+	if pred.Empty() || len(chunks) == 0 {
+		return chunks
+	}
+	ix := s.Summaries()
+	out := make([]int, 0, len(chunks))
+	var skippedBytes int64
+	for _, c := range chunks {
+		if pred.MatchBlock(s.DS.Block(c)) {
+			if sum, ok := ix.At(c, timestep); !ok || pred.MatchSummary(sum) {
+				out = append(out, c)
+				continue
+			}
+		}
+		skippedBytes += int64(s.DS.ChunkBytes(c))
+	}
+	pruned := len(chunks) - len(out)
+	if o := s.observer(); o != nil && pruned > 0 {
+		if reg := o.Registry(); reg != nil {
+			reg.Counter("dataset.chunks_pruned").Add(int64(pruned))
+			reg.Counter("dataset.bytes_skipped").Add(skippedBytes)
+		}
+		o.Emit(obs.Event{
+			Kind: obs.KindPrune, N: pruned, Bytes: int(skippedBytes),
+			UOW: timestep, Note: pred.String(),
+		})
+	}
+	return out
 }
 
 // scratchBuf returns a pooled raw-read buffer resized to n bytes.

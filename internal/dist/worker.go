@@ -648,6 +648,12 @@ func newSession(w *Worker, setup *setupMsg) (*session, error) {
 					if err != nil {
 						return nil, fmt.Errorf("dist: building %s: %w", fs.Name, err)
 					}
+					// Near-storage instrumentation: a filter that owns a
+					// prunable store gets this worker's observer, so pushdown
+					// metrics are recorded where the pruning decision runs.
+					if so, ok := filt.(core.ObserverSetter); ok {
+						so.SetObserver(s.w.obsrv)
+					}
 					s.copies = append(s.copies, &dcopy{
 						name: fs.Name, filter: filt,
 						globalIdx: idx, total: s.totalOf[fs.Name],

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"datacutter/internal/core"
+	"datacutter/internal/dataset"
 	"datacutter/internal/geom"
 	"datacutter/internal/mcubes"
+	"datacutter/internal/obs"
 	"datacutter/internal/render"
 )
 
@@ -15,13 +17,19 @@ import (
 // decoupling for lower communication volume.
 
 // ReadExtractFilter (RE) fuses reading and extraction: chunks never cross
-// the network as voxels, only triangles leave the filter.
+// the network as voxels, only triangles leave the filter. With Pushdown the
+// predicate prunes before any chunk read (see ReadFilter).
 type ReadExtractFilter struct {
 	core.BaseFilter
-	Source ChunkSource
-	Assign Assign
-	Out    string
+	Source   ChunkSource
+	Assign   Assign
+	Out      string
+	Pushdown bool
+	Pred     dataset.Predicate
 }
+
+// SetObserver implements core.ObserverSetter (near-storage metrics).
+func (f *ReadExtractFilter) SetObserver(o *obs.Observer) { forwardObserver(f.Source, o) }
 
 // Process implements core.Filter.
 func (f *ReadExtractFilter) Process(ctx core.Ctx) error {
@@ -30,7 +38,7 @@ func (f *ReadExtractFilter) Process(ctx core.Ctx) error {
 		return err
 	}
 	packer := newTriPacker(ctx, f.Out)
-	chunks := f.Assign(ctx)
+	chunks := pruneChunks(f.Source, f.Assign(ctx), view, f.Pred, f.Pushdown)
 	load, stop := planLoad(f.Source, chunks, view.Timestep)
 	defer stop()
 	for _, chunk := range chunks {
@@ -144,11 +152,16 @@ func (f *ExtractRasterAPFilter) Finalize(core.Ctx) error {
 // configuration closest to ADR's model (paper §4.3: a single combined
 // filter allows no demand-driven distribution among copies).
 type ReadExtractRasterZFilter struct {
-	Source ChunkSource
-	Assign Assign
-	Out    string
-	st     *zbufState
+	Source   ChunkSource
+	Assign   Assign
+	Out      string
+	Pushdown bool
+	Pred     dataset.Predicate
+	st       *zbufState
 }
+
+// SetObserver implements core.ObserverSetter (near-storage metrics).
+func (f *ReadExtractRasterZFilter) SetObserver(o *obs.Observer) { forwardObserver(f.Source, o) }
 
 // Init implements core.Filter.
 func (f *ReadExtractRasterZFilter) Init(ctx core.Ctx) error {
@@ -167,7 +180,7 @@ func (f *ReadExtractRasterZFilter) Process(ctx core.Ctx) error {
 	if err != nil {
 		return err
 	}
-	chunks := f.Assign(ctx)
+	chunks := pruneChunks(f.Source, f.Assign(ctx), view, f.Pred, f.Pushdown)
 	load, stop := planLoad(f.Source, chunks, view.Timestep)
 	defer stop()
 	for _, chunk := range chunks {
@@ -188,11 +201,16 @@ func (f *ReadExtractRasterZFilter) Finalize(core.Ctx) error {
 
 // ReadExtractRasterAPFilter (RERa, active pixel).
 type ReadExtractRasterAPFilter struct {
-	Source ChunkSource
-	Assign Assign
-	Out    string
-	ap     *apState
+	Source   ChunkSource
+	Assign   Assign
+	Out      string
+	Pushdown bool
+	Pred     dataset.Predicate
+	ap       *apState
 }
+
+// SetObserver implements core.ObserverSetter (near-storage metrics).
+func (f *ReadExtractRasterAPFilter) SetObserver(o *obs.Observer) { forwardObserver(f.Source, o) }
 
 // Init implements core.Filter.
 func (f *ReadExtractRasterAPFilter) Init(ctx core.Ctx) error {
@@ -212,7 +230,7 @@ func (f *ReadExtractRasterAPFilter) Process(ctx core.Ctx) error {
 	f.ap = newAPState(ctx, view, f.Out)
 	f.ap.ctx = ctx
 	defer func() { f.ap.ctx = nil }()
-	chunks := f.Assign(ctx)
+	chunks := pruneChunks(f.Source, f.Assign(ctx), view, f.Pred, f.Pushdown)
 	load, stop := planLoad(f.Source, chunks, view.Timestep)
 	defer stop()
 	for _, chunk := range chunks {

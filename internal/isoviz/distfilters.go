@@ -28,11 +28,16 @@ type FieldREParams struct {
 // StoreREParams parameterizes a ReadExtractFilter over an on-disk store.
 // Readahead/ReadaheadBytes configure chunk prefetching along the copy's
 // planned read order; Mmap switches the store to memory-mapped reads.
+// Pushdown/Pred enable near-storage predicate pruning: the params travel in
+// the session setup frame, so the pruning decision executes on the worker
+// that owns the store and pruned chunks never cross the network.
 type StoreREParams struct {
 	Dir            string
 	Readahead      int
 	ReadaheadBytes int64
 	Mmap           bool
+	Pushdown       bool              `json:",omitempty"`
+	Pred           dataset.Predicate `json:",omitempty"`
 }
 
 // Distributed filter kind names.
@@ -81,7 +86,10 @@ func init() {
 			}
 		}
 		src := &StoreSource{St: st, Readahead: p.Readahead, ReadaheadBytes: p.ReadaheadBytes}
-		return &ReadExtractFilter{Source: src, Assign: AssignByCopy(src.Chunks()), Out: StreamTriangles}, nil
+		return &ReadExtractFilter{
+			Source: src, Assign: AssignByCopy(src.Chunks()), Out: StreamTriangles,
+			Pushdown: p.Pushdown, Pred: p.Pred,
+		}, nil
 	})
 	dist.RegisterFilter(KindRasterAP, func([]byte) (core.Filter, error) {
 		return &RasterAPFilter{In: StreamTriangles, Out: StreamPixels}, nil
@@ -101,13 +109,29 @@ func DistGraphField(p FieldREParams, alg Algorithm) (dist.GraphSpec, error) {
 	if err != nil {
 		return dist.GraphSpec{}, err
 	}
+	return distGraphRE(KindREField, raw, alg), nil
+}
+
+// DistGraphStore builds a GraphSpec for the RE–Ra–M pipeline over an
+// on-disk store every worker can open. The params — including the pushdown
+// predicate — ship in the session setup frame, so each RE copy prunes
+// against its local summary sidecar before reading.
+func DistGraphStore(p StoreREParams, alg Algorithm) (dist.GraphSpec, error) {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return dist.GraphSpec{}, err
+	}
+	return distGraphRE(KindREStore, raw, alg), nil
+}
+
+func distGraphRE(kind string, params []byte, alg Algorithm) dist.GraphSpec {
 	raster := KindRasterAP
 	if alg == ZBuffer {
 		raster = KindRasterZB
 	}
 	return dist.GraphSpec{
 		Filters: []dist.FilterSpec{
-			{Name: "RE", Kind: KindREField, Params: raw},
+			{Name: "RE", Kind: kind, Params: params},
 			{Name: "Ra", Kind: raster},
 			{Name: "M", Kind: KindMerge},
 		},
@@ -115,5 +139,5 @@ func DistGraphField(p FieldREParams, alg Algorithm) (dist.GraphSpec, error) {
 			{Name: StreamTriangles, From: "RE", To: "Ra"},
 			{Name: StreamPixels, From: "Ra", To: "M"},
 		},
-	}, nil
+	}
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"datacutter/internal/core"
+	"datacutter/internal/dataset"
 	"datacutter/internal/geom"
 	"datacutter/internal/mcubes"
+	"datacutter/internal/obs"
 	"datacutter/internal/render"
 	"datacutter/internal/volume"
 )
@@ -22,13 +24,20 @@ func viewOf(ctx core.Ctx) (View, error) {
 // ---- Read filter (R) ----
 
 // ReadFilter retrieves the chunks assigned to this copy and writes each as
-// one buffer on its output stream.
+// one buffer on its output stream. With Pushdown set, the view's iso-value
+// (and the optional Pred) is evaluated against the source's chunk summaries
+// first, so provably contribution-free chunks are never read.
 type ReadFilter struct {
 	core.BaseFilter
-	Source ChunkSource
-	Assign Assign
-	Out    string // output stream (StreamVoxels in the standard graphs)
+	Source   ChunkSource
+	Assign   Assign
+	Out      string // output stream (StreamVoxels in the standard graphs)
+	Pushdown bool
+	Pred     dataset.Predicate // extra constraint ANDed with the view's
 }
+
+// SetObserver implements core.ObserverSetter (near-storage metrics).
+func (f *ReadFilter) SetObserver(o *obs.Observer) { forwardObserver(f.Source, o) }
 
 // Process implements core.Filter.
 func (f *ReadFilter) Process(ctx core.Ctx) error {
@@ -36,7 +45,7 @@ func (f *ReadFilter) Process(ctx core.Ctx) error {
 	if err != nil {
 		return err
 	}
-	chunks := f.Assign(ctx)
+	chunks := pruneChunks(f.Source, f.Assign(ctx), view, f.Pred, f.Pushdown)
 	load, stop := planLoad(f.Source, chunks, view.Timestep)
 	defer stop()
 	for _, chunk := range chunks {

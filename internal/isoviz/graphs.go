@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"datacutter/internal/core"
+	"datacutter/internal/dataset"
 )
 
 // Algorithm selects the hidden-surface removal scheme.
@@ -86,6 +87,14 @@ type PipelineSpec struct {
 	Alg    Algorithm
 	Source ChunkSource
 	Assign Assign
+	// Pushdown enables near-storage predicate pruning in the source-side
+	// filter: each view's iso-value (ANDed with Pred) is checked against the
+	// source's chunk summaries and provably contribution-free chunks are
+	// skipped before any read. Requires a PrunableSource to take effect.
+	Pushdown bool
+	// Pred is an extra predicate (e.g. a spatial box) intersected with the
+	// per-view iso predicate when Pushdown is on.
+	Pred dataset.Predicate
 }
 
 // Build constructs the filter graph for the spec. The merge filter is
@@ -95,7 +104,7 @@ func (s PipelineSpec) Build() *core.Graph {
 	switch s.Config {
 	case FullPipeline:
 		g.AddFilter("R", func() core.Filter {
-			return &ReadFilter{Source: s.Source, Assign: s.Assign, Out: StreamVoxels}
+			return &ReadFilter{Source: s.Source, Assign: s.Assign, Out: StreamVoxels, Pushdown: s.Pushdown, Pred: s.Pred}
 		})
 		g.AddFilter("E", func() core.Filter {
 			return &ExtractFilter{In: StreamVoxels, Out: StreamTriangles}
@@ -107,21 +116,21 @@ func (s PipelineSpec) Build() *core.Graph {
 	case CombinedAll:
 		g.AddFilter("RERa", func() core.Filter {
 			if s.Alg == ZBuffer {
-				return &ReadExtractRasterZFilter{Source: s.Source, Assign: s.Assign, Out: StreamPixels}
+				return &ReadExtractRasterZFilter{Source: s.Source, Assign: s.Assign, Out: StreamPixels, Pushdown: s.Pushdown, Pred: s.Pred}
 			}
-			return &ReadExtractRasterAPFilter{Source: s.Source, Assign: s.Assign, Out: StreamPixels}
+			return &ReadExtractRasterAPFilter{Source: s.Source, Assign: s.Assign, Out: StreamPixels, Pushdown: s.Pushdown, Pred: s.Pred}
 		})
 		g.Connect("RERa", "M", StreamPixels)
 	case ReadExtract:
 		g.AddFilter("RE", func() core.Filter {
-			return &ReadExtractFilter{Source: s.Source, Assign: s.Assign, Out: StreamTriangles}
+			return &ReadExtractFilter{Source: s.Source, Assign: s.Assign, Out: StreamTriangles, Pushdown: s.Pushdown, Pred: s.Pred}
 		})
 		g.AddFilter("Ra", s.rasterFactory(StreamTriangles))
 		g.Connect("RE", "Ra", StreamTriangles)
 		g.Connect("Ra", "M", StreamPixels)
 	case ExtractRaster:
 		g.AddFilter("R", func() core.Filter {
-			return &ReadFilter{Source: s.Source, Assign: s.Assign, Out: StreamVoxels}
+			return &ReadFilter{Source: s.Source, Assign: s.Assign, Out: StreamVoxels, Pushdown: s.Pushdown, Pred: s.Pred}
 		})
 		g.AddFilter("ERa", func() core.Filter {
 			if s.Alg == ZBuffer {

@@ -3,6 +3,7 @@ package isoviz
 import (
 	"datacutter/internal/core"
 	"datacutter/internal/dataset"
+	"datacutter/internal/obs"
 	"datacutter/internal/volume"
 )
 
@@ -60,6 +61,50 @@ func (s *StoreSource) Block(i int) volume.Block { return s.St.DS.Block(i) }
 // Load implements ChunkSource.
 func (s *StoreSource) Load(i, timestep int) (*volume.Volume, error) {
 	return s.St.ReadChunk(i, timestep)
+}
+
+// Prune implements PrunableSource by delegating to the store's summary
+// index (dataset.Store.Prune).
+func (s *StoreSource) Prune(chunks []int, timestep int, pred dataset.Predicate) []int {
+	return s.St.Prune(chunks, timestep, pred)
+}
+
+// SetObserver forwards the engine's observer to the store so pushdown
+// metrics (dataset.chunks_pruned, dataset.bytes_skipped) are published.
+func (s *StoreSource) SetObserver(o *obs.Observer) { s.St.SetObserver(o) }
+
+// PrunableSource is a ChunkSource whose storage tier can evaluate a
+// predicate over chunk ids without reading chunk data. Read filters with
+// Pushdown enabled consult it before planning loads; sources that cannot
+// prune (e.g. FieldSource) simply don't implement it and every chunk is
+// read, which is always correct.
+type PrunableSource interface {
+	ChunkSource
+	Prune(chunks []int, timestep int, pred dataset.Predicate) []int
+}
+
+// forwardObserver hands the engine's observer to a source that carries
+// instrumentation (StoreSource does; FieldSource doesn't). Read filters use
+// it to implement core.ObserverSetter without knowing the source type.
+func forwardObserver(src ChunkSource, o *obs.Observer) {
+	if s, ok := src.(interface{ SetObserver(*obs.Observer) }); ok {
+		s.SetObserver(o)
+	}
+}
+
+// pruneChunks applies pushdown for a read filter: the view's iso-value is
+// compiled into a predicate, intersected with the filter's extra predicate,
+// and evaluated by the source's storage tier. Disabled pushdown or an
+// unprunable source returns chunks unchanged.
+func pruneChunks(src ChunkSource, chunks []int, view View, extra dataset.Predicate, enabled bool) []int {
+	if !enabled {
+		return chunks
+	}
+	ps, ok := src.(PrunableSource)
+	if !ok {
+		return chunks
+	}
+	return ps.Prune(chunks, view.Timestep, dataset.IsoPredicate(view.Iso).And(extra))
 }
 
 // PlannedSource is a ChunkSource that can exploit an announced read order.

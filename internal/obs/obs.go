@@ -38,6 +38,10 @@ type Kind uint8
 // copies added to or retired from a filter's copy set (Filter and Host name
 // the set, Copy carries the new copy count, Note the reason), and a WRR
 // weight rebalance from observed throughput (Stream names the stream).
+// Prune is a storage-tier pushdown event (internal/dataset): one predicate
+// evaluation over a chunk list, with N carrying the pruned-chunk count,
+// Bytes the chunk bytes that will never be read, UOW the timestep, and
+// Note the predicate.
 const (
 	KindEnqueue Kind = iota + 1
 	KindPick
@@ -52,6 +56,7 @@ const (
 	KindScaleUp
 	KindScaleDown
 	KindRebalance
+	KindPrune
 )
 
 var kindNames = [...]string{
@@ -68,6 +73,7 @@ var kindNames = [...]string{
 	KindScaleUp:      "scale-up",
 	KindScaleDown:    "scale-down",
 	KindRebalance:    "rebalance",
+	KindPrune:        "prune",
 }
 
 // String returns the event kind's schema name.
